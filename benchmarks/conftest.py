@@ -1,0 +1,74 @@
+"""Benchmark fixtures and result recording.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+formatted reproduction table is printed *and* written to
+``benchmarks/results/<name>.txt`` so the numbers survive pytest's output
+capturing; EXPERIMENTS.md collects them.
+
+Scale knob: ``REPRO_BENCH_SCALE`` (default ``small``) controls dataset
+sizes so the whole suite stays laptop-friendly; ``paper`` uses sizes
+closer to the original evaluation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+SCALES = {
+    "small": {
+        "jotform_pages": 12,
+        "clickbench_samples": 12,
+        "robustness_samples": 36,
+        "attack_steps": 12,
+        "single_font_models": 2,
+        "perf_pages": 6,
+    },
+    "paper": {
+        "jotform_pages": 100,
+        "clickbench_samples": 40,
+        "robustness_samples": 120,
+        "attack_steps": 20,
+        "single_font_models": 5,
+        "perf_pages": 20,
+    },
+}
+
+
+def bench_scale() -> dict:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if name not in SCALES:
+        raise ValueError(f"unknown bench scale {name!r}")
+    return dict(SCALES[name], name=name)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def text_model():
+    from repro.nn.zoo import get_text_model
+
+    return get_text_model("base")
+
+
+@pytest.fixture(scope="session")
+def image_model():
+    from repro.nn.zoo import get_image_model
+
+    return get_image_model()
+
+
+def record_result(name: str, content: str) -> str:
+    """Print a reproduction table and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(content.rstrip() + "\n")
+    print(f"\n{content}\n[written to {path}]")
+    return path

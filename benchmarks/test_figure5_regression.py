@@ -1,0 +1,57 @@
+"""Figure 5: first-frame time vs model invocations, with regression fit.
+
+The paper fits ``T(frame0) ~ c_t * x_t + c_g * x_g`` over the Jotform
+set and observes the graphics coefficient exceeds the text one ("it is
+more expensive to invoke the graphic model as it takes two graphics as
+input and has to do two feature extractions").
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_result
+from benchmarks.harness import jotform_first_frame
+
+
+def test_figure5_invocation_regression(benchmark, scale, text_model, image_model):
+    def run():
+        # Sequential (CPU) mode: per-invocation cost is the quantity the
+        # regression estimates.
+        return [
+            jotform_first_frame(seed, text_model, image_model, batched=False)
+            for seed in range(max(scale["perf_pages"], 8))
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    x_t = np.asarray([r.text_invocations for r in results], dtype=float)
+    x_g = np.asarray([r.image_invocations for r in results], dtype=float)
+    t = np.asarray([r.seconds for r in results], dtype=float)
+    design = np.column_stack([x_t, x_g, np.ones_like(x_t)])
+    coef, _res, _rank, _sv = np.linalg.lstsq(design, t, rcond=None)
+    c_text, c_graphics, intercept = (float(c) for c in coef)
+    predicted = design @ coef
+    ss_res = float(np.sum((t - predicted) ** 2))
+    ss_tot = float(np.sum((t - t.mean()) ** 2))
+    r2 = 1.0 - ss_res / max(ss_tot, 1e-12)
+
+    lines = [
+        "Figure 5 — T(frame0) vs model invocations (Jotform, sequential mode)",
+        "",
+        f"{'page':>5} {'x_text':>7} {'x_graphics':>11} {'T(frame0) s':>12}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.seed:>5} {r.text_invocations:>7} {r.image_invocations:>11} {r.seconds:>12.3f}"
+        )
+    lines += [
+        "",
+        f"least-squares fit: T = {c_text * 1000:.2f}ms * x_t + {c_graphics * 1000:.2f}ms * x_g "
+        f"+ {intercept * 1000:.1f}ms   (R^2 = {r2:.3f})",
+        "",
+        "Shape check (paper): per-invocation graphics cost exceeds per-",
+        "invocation text cost, and T(frame0) is predictable from the counts.",
+    ]
+    record_result("figure5_regression", "\n".join(lines))
+
+    assert c_text > 0
+    assert r2 > 0.5

@@ -1,0 +1,54 @@
+"""Figure 6: request delay vs session time, and the cutoff session length.
+
+The paper models ``L = T(init) + sum T(frame_i) + T(request) - T(session)``
+and finds L flattens at ``T(frame_last) + T(request)`` once the session is
+long enough (cutoff 2.6s CPU / 4.6s GPU).
+"""
+
+from benchmarks.conftest import record_result
+from benchmarks.harness import run_interactive_session
+
+
+def test_figure6_request_delay(benchmark, scale, text_model, image_model):
+    from repro.core.timing import cutoff_session_length, delay_curve, request_delay
+
+    def run():
+        out = {}
+        for label, batched in (("CPU", False), ("GPU", True)):
+            decision, report, session_seconds = run_interactive_session(
+                3, text_model, image_model, batched=batched
+            )
+            assert decision.certified, decision.reason
+            out[label] = report.timing
+        return out
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    session_lengths = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0]
+    lines = ["Figure 6 — request delay L(s) vs session time (s)", ""]
+    cutoffs = {}
+    for label, timing in timings.items():
+        curve = delay_curve(timing, session_lengths)
+        cutoff = cutoff_session_length(timing, max_seconds=60.0, resolution=0.05)
+        cutoffs[label] = cutoff
+        floor = request_delay(timing, 6000.0)
+        pts = "  ".join(f"{s:g}s:{delay:.3f}" for s, delay in curve)
+        lines.append(f"{label}: {pts}")
+        lines.append(
+            f"{label}: cutoff session length = {cutoff:.2f}s, asymptotic floor = {floor:.3f}s"
+        )
+        lines.append("")
+    lines += [
+        "Paper: cutoffs 2.6s (CPU) and 4.6s (GPU); long sessions pay only",
+        "T(frame_last)+T(request) = 0.230s (CPU) / 0.197s (GPU).",
+        "Shape: L decreases monotonically with session length and flattens",
+        "at the floor beyond the cutoff.",
+    ]
+    record_result("figure6_delay", "\n".join(lines))
+
+    for label, timing in timings.items():
+        floor = request_delay(timing, 6000.0)
+        assert floor >= timing.frame_times[-1] + timing.t_request - 1e-9
+        assert request_delay(timing, 0.0) >= request_delay(timing, 30.0)
+        assert abs(request_delay(timing, 60.0) - floor) < 0.05
+        assert cutoffs[label] < 60.0

@@ -1,0 +1,45 @@
+"""Table VI: complexity of the evaluation datasets (model invocations)."""
+
+import numpy as np
+
+from benchmarks.conftest import record_result
+from benchmarks.harness import jotform_first_frame
+
+
+def test_table6_dataset_complexity(benchmark, scale, text_model, image_model):
+    from repro.core.verifiers import ImageVerifier, split_region_into_tiles
+    from repro.datasets.clickbench import clickbench_dataset
+
+    def run():
+        # Jotform: text + graphics invocations per first frame.
+        jot = [
+            jotform_first_frame(seed, text_model, image_model, batched=True)
+            for seed in range(scale["jotform_pages"])
+        ]
+        # Clickbench: whole-screen pseudo-VSPEC => graphics tiles only.
+        samples = clickbench_dataset(count=scale["clickbench_samples"], width=480, height=600)
+        cb_invocations = [len(split_region_into_tiles(s.expected)) for s in samples]
+        return jot, cb_invocations
+
+    jot, cb = benchmark.pedantic(run, rounds=1, iterations=1)
+    jot_t = [r.text_invocations for r in jot]
+    jot_g = [r.image_invocations for r in jot]
+
+    lines = [
+        "Table VI — complexity of the evaluation datasets (reproduction)",
+        "",
+        f"{'Dataset':<12} {'#points':>8} {'avg T':>8} {'avg G':>8} {'total T':>9} {'total G':>9}",
+        f"{'Clickbench':<12} {len(cb):>8} {'NA':>8} {np.mean(cb):>8.1f} {'NA':>9} {sum(cb):>9}",
+        f"{'Jotform':<12} {len(jot):>8} {np.mean(jot_t):>8.1f} {np.mean(jot_g):>8.1f} "
+        f"{sum(jot_t):>9} {sum(jot_g):>9}",
+        "",
+        "Paper: Clickbench G avg 880 (total 34,320); Jotform T avg 464.1 /",
+        "G avg 17.3.  Shape: Clickbench is graphics-only and invocation-heavy",
+        "(whole screen as one image); Jotform is text-dominated with a small",
+        "graphics tail.",
+    ]
+    record_result("table6_complexity", "\n".join(lines))
+
+    assert np.mean(cb) > np.mean(jot_g) * 5  # clickbench graphics-heavy
+    assert np.mean(jot_t) > np.mean(jot_g)  # forms text-dominated
+    assert all(r.ok for r in jot), [r.seed for r in jot if not r.ok]

@@ -1,0 +1,70 @@
+"""Table VIII: first-display-frame validation time, CPU vs GPU setups.
+
+The paper's GPU gains come from batching model invocations; the
+reproduction's "GPU" analogue is the batched vectorized inference path,
+"CPU" the sequential one-invocation-at-a-time path.
+"""
+
+from benchmarks.conftest import record_result
+from benchmarks.harness import jotform_first_frame, summarize
+
+
+def _clickbench_times(scale, image_model, batched: bool):
+    import time
+
+    from repro.core.caches import DigestCache
+    from repro.core.verifiers import ImageVerifier
+    from repro.datasets.clickbench import clickbench_dataset, validate_sample
+
+    samples = clickbench_dataset(count=min(scale["clickbench_samples"], 8), width=480, height=600)
+    times = []
+    for sample in samples:
+        verifier = ImageVerifier(image_model, batched=batched, cache=DigestCache())
+        t0 = time.perf_counter()
+        validate_sample(sample, verifier)
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def test_table8_first_frame_times(benchmark, scale, text_model, image_model):
+    def run():
+        out = {}
+        for label, batched in (("CPU", False), ("GPU", True)):
+            jot = [
+                jotform_first_frame(seed, text_model, image_model, batched=batched)
+                for seed in range(scale["perf_pages"])
+            ]
+            out[(label, "Jotform")] = summarize(r.seconds for r in jot)
+            out[(label, "Clickbench")] = summarize(
+                _clickbench_times(scale, image_model, batched)
+            )
+        return out
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Table VIII — T(frame0): first display frame validation time (s)",
+        "",
+        f"{'Setup':<6} {'Dataset':<12} {'Mean':>8} {'Max':>8} {'Min':>8} {'Stdev':>8}",
+    ]
+    for (setup, dataset), s in stats.items():
+        lines.append(
+            f"{setup:<6} {dataset:<12} {s['mean']:>8.3f} {s['max']:>8.3f} "
+            f"{s['min']:>8.3f} {s['stdev']:>8.3f}"
+        )
+    cpu_cb = stats[("CPU", "Clickbench")]["mean"]
+    gpu_cb = stats[("GPU", "Clickbench")]["mean"]
+    cpu_jf = stats[("CPU", "Jotform")]["mean"]
+    gpu_jf = stats[("GPU", "Jotform")]["mean"]
+    lines += [
+        "",
+        f"Batched speedup: Clickbench {cpu_cb / gpu_cb:.1f}x, Jotform {cpu_jf / gpu_jf:.1f}x",
+        "",
+        "Paper (CPU/GPU mean): Clickbench 3.29/0.73s, Jotform 1.17/0.88s.",
+        "Shape: batching helps most where invocations are plentiful",
+        "(Clickbench's whole-screen tiling), less on invocation-light forms.",
+    ]
+    record_result("table8_first_frame", "\n".join(lines))
+
+    assert gpu_cb < cpu_cb  # batching wins on the invocation-heavy dataset
+    assert (cpu_cb / gpu_cb) > (cpu_jf / gpu_jf) * 0.8  # bigger win on Clickbench

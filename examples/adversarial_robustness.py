@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Adversarial robustness tour: attack the verifiers directly (paper §V-B).
+
+Shows the four vWitness-specific defenses in action:
+
+* the binary VSPEC-anchored matcher resists white-box attacks far better
+  than a conventional multi-class classifier,
+* single-font specialization tightens the input manifold,
+* a 0.99 detection threshold forces high-confidence forgeries,
+* page-level attacks compound: flipping a whole word means flipping every
+  character tile independently.
+
+Run:  python examples/adversarial_robustness.py
+"""
+
+import numpy as np
+
+from repro.adversarial.attacks import AttackConfig
+from repro.adversarial.defenses import hardened, multi_unit_attack_success, single_font_model
+from repro.adversarial.evaluate import (
+    attacked_accuracy_classifier,
+    attacked_accuracy_matcher,
+)
+from repro.nn.data import reference_text_dataset, text_dataset
+from repro.nn.zoo import get_text_model, get_text_reference
+from repro.raster.fonts import font_registry
+
+
+def main() -> None:
+    config = AttackConfig(steps=15)
+    epsilon, norm = 0.2509, "linf"
+    n = 40
+
+    print("Loading/training models (cached after first run)...")
+    base = get_text_model("base")
+    reference = get_text_reference()
+    specialized = single_font_model(0)
+    fortress = hardened(get_text_model("sans"), threshold=0.99)
+
+    obs_all, exp_all, labels = text_dataset(
+        font_registry()[:2], styles=("normal",), expansions=0, seed=321
+    )
+    tampered = labels < 0.5
+    obs, exp = obs_all[tampered][:n], exp_all[tampered][:n]
+    s_obs_all, s_exp_all, s_labels = text_dataset(
+        [font_registry()[0]], styles=("normal",), expansions=0, seed=322
+    )
+    s_obs = s_obs_all[s_labels < 0.5][:n]
+    s_exp = s_exp_all[s_labels < 0.5][:n]
+    x_ref, y_ref = reference_text_dataset(font_registry()[:2], seed=323)
+
+    print(f"\nAccuracy under BIM (Linf, eps={epsilon}):")
+    ref_acc = attacked_accuracy_classifier(
+        reference, x_ref[:n], y_ref[:n], "BIM", epsilon, norm, config
+    )
+    print(f"  multi-class reference classifier : {ref_acc * 100:6.1f}%")
+    base_acc = attacked_accuracy_matcher(base, obs, exp, "BIM", epsilon, norm, config)
+    print(f"  base VSPEC-anchored matcher      : {base_acc * 100:6.1f}%")
+    spec_acc = attacked_accuracy_matcher(specialized, s_obs, s_exp, "BIM", epsilon, norm, config)
+    print(f"  single-font specialized matcher  : {spec_acc * 100:6.1f}%")
+    hard_acc = attacked_accuracy_matcher(fortress, s_obs, s_exp, "BIM", epsilon, norm, config)
+    print(f"  0.99-threshold hardened matcher  : {hard_acc * 100:6.1f}%")
+
+    print("\nMulti-character amplification (paper: attacks on real pages must")
+    print("flip several unit inputs at once):")
+    unit_success = 1.0 - base_acc
+    for word_length in (1, 3, 5, 8):
+        page_success = multi_unit_attack_success(unit_success, word_length)
+        print(
+            f"  flip a {word_length}-char word: attacker success "
+            f"{page_success * 100:8.4f}%"
+        )
+
+    print("\nShape check (paper §V-B): reference << base < specialized <= hardened.")
+
+
+if __name__ == "__main__":
+    main()

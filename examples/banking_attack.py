@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Banking scenario: request tampering and UI tampering, both defeated.
+
+Reproduces the paper's motivating attacks (Table I) on a wire-transfer
+form:
+
+1. **Request tampering** — the user sends $250 to their landlord; malware
+   rewrites the recipient and amount at submission (the VipersoftX-style
+   cryptocurrency redirection).  vWitness's validation function sees the
+   mismatch with the inputs it observed and refuses to certify.
+2. **UI tampering** — malware rewrites the *displayed* beneficiary so the
+   user confirms a transfer they never intended (Fig. 2's attack).  The
+   display validator flags the unexpected pixels.
+3. **Background forgery** — malware submits without any user at all; with
+   no hardware I/O and no displayed values, nothing can be certified.
+
+Run:  python examples/banking_attack.py
+"""
+
+from repro.attacks.forgery import forge_request_body, tamper_request_field
+from repro.attacks.tamper import swap_text_on_display
+from repro.core.session import install_vwitness
+from repro.crypto import CertificateAuthority
+from repro.server import WebServer
+from repro.web import (
+    Browser,
+    Button,
+    Checkbox,
+    HonestUser,
+    Machine,
+    Page,
+    TextBlock,
+    TextInput,
+)
+from repro.web.extension import BrowserExtension
+
+
+def make_bank() -> WebServer:
+    ca = CertificateAuthority()
+    server = WebServer(ca)
+    server.register_page(
+        "transfer",
+        Page(
+            title="Wire Transfer",
+            width=640,
+            elements=[
+                TextBlock("Send money to another account.", 14),
+                TextInput("beneficiary", label="Beneficiary account", max_length=24),
+                TextInput("amount", label="Amount (USD)", max_length=12),
+                Checkbox("confirm", "I authorize this transfer"),
+                Button("Send transfer", action="submit"),
+            ],
+        ),
+    )
+    return server
+
+
+def new_session(server):
+    machine = Machine(640, 480)
+    browser = Browser(machine, server.serve_page("transfer"))
+    vwitness = install_vwitness(machine, server.ca, batched=True)
+    extension = BrowserExtension(browser, server, vwitness)
+    vspec = extension.acquire_vspecs("transfer")
+    browser.paint()
+    extension.begin_session()
+    return machine, browser, extension, vspec
+
+
+def honest_fill(browser):
+    user = HonestUser(browser)
+    user.fill_text_input("beneficiary", "LANDLORD-4411")
+    user.fill_text_input("amount", "250.00")
+    user.toggle_checkbox("confirm", True)
+
+
+def main() -> None:
+    server = make_bank()
+
+    print("=== 1. request tampering at submission ===")
+    machine, browser, extension, vspec = new_session(server)
+    honest_fill(browser)
+    body = dict(browser.page.form_values(), session_id=vspec.session_id)
+    evil_body = tamper_request_field(body, "beneficiary", "MULE-ACCT-666")
+    evil_body = tamper_request_field(evil_body, "amount", "9500.00")
+    decision = extension.end_session(evil_body)
+    print(f"  vWitness: certified={decision.certified} — {decision.reason}")
+    assert not decision.certified
+
+    print("=== 2. UI tampering (displayed beneficiary rewritten) ===")
+    machine, browser, extension, vspec = new_session(server)
+    user = HonestUser(browser)
+    user.fill_text_input("amount", "250.00")
+    # Malware repaints the heading so the user believes a different story.
+    swap_text_on_display(machine, 24, 44, "Refund from your bank", size=14)
+    machine.clock.advance(1500)  # sampling observes the tampering
+    body = dict(browser.page.form_values(), session_id=vspec.session_id)
+    decision = extension.end_session(body)
+    print(f"  vWitness: certified={decision.certified} — {decision.reason}")
+    assert not decision.certified
+
+    print("=== 3. background forgery (no user present) ===")
+    machine, browser, extension, vspec = new_session(server)
+    forged = forge_request_body(
+        browser.page.form_values(),
+        beneficiary="MULE-ACCT-666",
+        amount="9500.00",
+        confirm="on",
+        session_id=vspec.session_id,
+    )
+    decision = extension.end_session(forged)
+    print(f"  vWitness: certified={decision.certified} — {decision.reason}")
+    assert not decision.certified
+    print(f"  server on bare request: {server.accept_uncertified(forged).reason}")
+
+    print("=== honest control run ===")
+    machine, browser, extension, vspec = new_session(server)
+    honest_fill(browser)
+    body = dict(browser.page.form_values(), session_id=vspec.session_id)
+    decision = extension.end_session(body)
+    verdict = server.verify(decision.request)
+    print(f"  vWitness: certified={decision.certified}; server: {verdict.reason}")
+    assert decision.certified and verdict.ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Voting scenario: the paper's Fig. 2 clickjacking attacks.
+
+A "Strike Mandate Vote" page with Yes/No radio options and a confirm
+button.  The attacker swaps only the displayed option labels so the voter
+selects the opposite of their intent (the paper's Attack 1), or overlays
+the confirmation area (Attack 2).  Both are caught by display validation;
+the honest vote certifies.
+
+Run:  python examples/voting_clickjacking.py
+"""
+
+from repro.attacks.tamper import overlay_rectangle, swap_text_on_display
+from repro.core.session import install_vwitness
+from repro.crypto import CertificateAuthority
+from repro.server import WebServer
+from repro.web import (
+    Browser,
+    Button,
+    HonestUser,
+    Machine,
+    Page,
+    RadioGroup,
+    TextBlock,
+)
+from repro.web.extension import BrowserExtension
+from repro.web import layout as lay
+
+
+def make_ballot() -> WebServer:
+    ca = CertificateAuthority()
+    server = WebServer(ca)
+    server.register_page(
+        "ballot",
+        Page(
+            title="Strike Mandate Vote",
+            width=640,
+            elements=[
+                TextBlock("Do you support the proposed strike mandate?", 14),
+                RadioGroup("vote", ["Yes", "No"]),
+                Button("Confirm vote", action="submit"),
+            ],
+        ),
+    )
+    return server
+
+
+def new_session(server):
+    machine = Machine(640, 400)
+    browser = Browser(machine, server.serve_page("ballot"))
+    vwitness = install_vwitness(machine, server.ca, batched=True)
+    extension = BrowserExtension(browser, server, vwitness)
+    vspec = extension.acquire_vspecs("ballot")
+    browser.paint()
+    extension.begin_session()
+    return machine, browser, extension, vspec
+
+
+def main() -> None:
+    server = make_ballot()
+
+    print("=== Attack 1: option labels swapped on the display ===")
+    machine, browser, extension, vspec = new_session(server)
+    group = browser.page.find_input("vote")
+    # Malware swaps the rendered labels: the row that submits "Yes" now
+    # *displays* "No" and vice versa (only displayed text is altered).
+    label_x = group.rect.x + lay.RADIO_SIZE + 8
+    swap_text_on_display(machine, label_x, group.rect.y + 3, "No ", size=13)
+    swap_text_on_display(machine, label_x, group.rect.y + lay.ROW_HEIGHT + 3, "Yes", size=13)
+    user = HonestUser(browser)
+    # The voter wants "No", reads the (tampered) labels, clicks row 0.
+    machine.clock.advance(800)
+    user.choose_radio("vote", "Yes")  # what the click actually selects
+    body = dict(browser.page.form_values(), session_id=vspec.session_id)
+    decision = extension.end_session(body)
+    print(f"  submitted vote would be: {body['vote']!r} (voter intended 'No')")
+    print(f"  vWitness: certified={decision.certified} — {decision.reason}")
+    assert not decision.certified
+
+    print("=== Attack 2: confirmation area overlaid ===")
+    machine, browser, extension, vspec = new_session(server)
+    button = next(e for e in browser.page.elements if getattr(e, "label", "") == "Confirm vote")
+    overlay_rectangle(
+        machine, button.rect.x, button.rect.y, button.rect.w + 60, button.rect.h,
+        color=248.0, text="Close window",
+    )
+    machine.clock.advance(1200)
+    body = dict(browser.page.form_values(), session_id=vspec.session_id)
+    decision = extension.end_session(body)
+    print(f"  vWitness: certified={decision.certified} — {decision.reason}")
+    assert not decision.certified
+
+    print("=== honest vote ===")
+    machine, browser, extension, vspec = new_session(server)
+    user = HonestUser(browser)
+    user.choose_radio("vote", "No")
+    body = dict(browser.page.form_values(), session_id=vspec.session_id)
+    decision = extension.end_session(body)
+    verdict = server.verify(decision.request)
+    print(f"  vote={body['vote']!r}; vWitness certified={decision.certified}; "
+          f"server: {verdict.reason}")
+    assert decision.certified and verdict.ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Adversarial example attacks and robustness evaluation (paper §V-B).
+
+Implements the six attacks of Table III — FGM, BIM, MOM (momentum
+iterative), CW2, APGD and FAB — in both L-infinity and L2 flavours, as
+white-box attacks against either a multi-class :class:`Sequential`
+classifier (the reference models) or a two-input binary
+:class:`MatcherModel` (the vWitness verifiers).
+
+All attacks are *targeted* the way the paper describes: against vWitness
+the only useful direction is flipping a non-matching (tampered) input into
+a "match" verdict, so attacks maximize the match probability of a
+false pair.  Generated examples are rounded to the nearest of 256 pixel
+levels ("to make them valid images").
+"""
+
+from repro.adversarial.attacks import (
+    ATTACK_NAMES,
+    AttackConfig,
+    apgd,
+    bim,
+    cw_l2,
+    fab,
+    fgm,
+    mom,
+    run_attack,
+)
+from repro.adversarial.evaluate import (
+    EPSILONS_L2,
+    EPSILONS_LINF,
+    RobustnessReport,
+    attacked_accuracy_classifier,
+    attacked_accuracy_matcher,
+    robustness_grid,
+)
+
+__all__ = [
+    "ATTACK_NAMES",
+    "AttackConfig",
+    "fgm",
+    "bim",
+    "mom",
+    "cw_l2",
+    "apgd",
+    "fab",
+    "run_attack",
+    "EPSILONS_LINF",
+    "EPSILONS_L2",
+    "RobustnessReport",
+    "attacked_accuracy_matcher",
+    "attacked_accuracy_classifier",
+    "robustness_grid",
+]

@@ -1,0 +1,73 @@
+"""vWitness-specific adversarial defenses (paper §V-B).
+
+The paper proposes four defenses that exploit vWitness's structure rather
+than generic adversarial training:
+
+1. **Binary matching against VSPEC ground truth** — built into
+   :class:`~repro.nn.model.MatcherModel`: only the false->true direction is
+   useful to an attacker, halving the attack surface.
+2. **Single-font specialization** — train one verifier per server-chosen
+   font (:func:`single_font_model`), shrinking the benign input manifold.
+3. **Font-characteristic specialization** — serif/sans-serif specific
+   models (:func:`font_type_model`).
+4. **High detection threshold** — :func:`hardened` wraps any matcher with
+   a 0.99 threshold, forcing attacks to manufacture high-confidence
+   matches.
+
+This module also provides the *multi-character amplification* estimate the
+paper argues in §V-B: a page-level attack must flip several unit inputs at
+once, so unit-level robustness compounds exponentially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import MatcherModel
+from repro.nn.zoo import get_text_model
+
+
+def single_font_model(font_index: int) -> MatcherModel:
+    """A text verifier specialized to one registry font (Table III t3)."""
+    return get_text_model(f"font-{font_index}")
+
+
+def font_type_model(font_type: str) -> MatcherModel:
+    """A serif- or sans-serif-specialized text verifier (rows t4/t5)."""
+    if font_type not in ("serif", "sans"):
+        raise ValueError(f"font_type must be 'serif' or 'sans', got {font_type!r}")
+    return get_text_model(font_type)
+
+
+def hardened(model: MatcherModel, threshold: float = 0.99) -> MatcherModel:
+    """High-detection-threshold wrapper (Table III t6, same weights)."""
+    return model.with_threshold(threshold)
+
+
+def multi_unit_attack_success(unit_success_rate: float, units: int) -> float:
+    """Probability that an attack flips ``units`` independent unit inputs.
+
+    The paper notes a real tampering "will likely need to alter more than
+    one unit input, which exponentially reduces the probability of a
+    successful attack"; this computes that compound probability.
+    """
+    if not 0.0 <= unit_success_rate <= 1.0:
+        raise ValueError(f"success rate must be in [0,1], got {unit_success_rate}")
+    if units <= 0:
+        raise ValueError(f"units must be positive, got {units}")
+    return float(unit_success_rate**units)
+
+
+def perturbation_visibility(x0: np.ndarray, x_adv: np.ndarray) -> dict:
+    """Perceptibility statistics of an adversarial perturbation.
+
+    The paper argues perturbations on typeset text are user-noticeable;
+    this quantifies them (max |delta|, L2, fraction of pixels touched) for
+    the Table IV qualitative exhibit.
+    """
+    delta = np.abs(np.asarray(x_adv, dtype=float) - np.asarray(x0, dtype=float))
+    return {
+        "max": float(delta.max(initial=0.0)),
+        "l2": float(np.sqrt(np.sum(delta**2))),
+        "changed_fraction": float(np.mean(delta > 1.0 / 255.0)),
+    }

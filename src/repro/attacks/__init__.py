@@ -1,0 +1,41 @@
+"""Attack implementations for the paper's threat model (Table I, §V).
+
+All attacks run with OS-level privilege inside the guest: they can drive
+the browser, rewrite the framebuffer directly, subvert the extension and
+replay old messages — but they cannot touch the hypervisor, intercept
+dom0's sampling, or fabricate hardware interrupts.
+
+* :mod:`repro.attacks.tamper` — UI tampering: text swaps, overlays,
+  clickjacking-style redressing (Fig. 2 of the paper).
+* :mod:`repro.attacks.forgery` — request forgery/tampering and dishonest
+  extension hints.
+* :mod:`repro.attacks.toctou` — display flipping timed against sampling.
+* :mod:`repro.attacks.replay` — session/VSPEC replay.
+* :mod:`repro.attacks.pof_forgery` — forged/duplicated POF cues.
+"""
+
+from repro.attacks.tamper import (
+    overlay_rectangle,
+    redress_ui,
+    swap_text_on_display,
+    tamper_image_region,
+)
+from repro.attacks.forgery import DishonestExtension, forge_request_body, tamper_request_field
+from repro.attacks.toctou import DisplayFlipper
+from repro.attacks.replay import ReplayAttacker
+from repro.attacks.pof_forgery import draw_fake_caret, draw_fake_focus_outline, draw_second_outline
+
+__all__ = [
+    "swap_text_on_display",
+    "overlay_rectangle",
+    "redress_ui",
+    "tamper_image_region",
+    "forge_request_body",
+    "tamper_request_field",
+    "DishonestExtension",
+    "DisplayFlipper",
+    "ReplayAttacker",
+    "draw_fake_focus_outline",
+    "draw_fake_caret",
+    "draw_second_outline",
+]

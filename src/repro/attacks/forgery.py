@@ -1,0 +1,81 @@
+"""Request forgery/tampering and dishonest-extension attacks (Table I)."""
+
+from __future__ import annotations
+
+from repro.web.browser import Browser
+from repro.web.extension import BrowserExtension, InputHint
+
+
+def forge_request_body(page_values: dict, **overrides) -> dict:
+    """Malware-constructed request: the page's values with attacker edits.
+
+    This is Scranos-style request forgery — the body is indistinguishable
+    from a legitimate one at the network level; only the missing/failed
+    vWitness certification gives it away.
+    """
+    body = dict(page_values)
+    body.update(overrides)
+    return body
+
+
+def tamper_request_field(body: dict, fieldname: str, new_value) -> dict:
+    """In-flight request tampering (e.g. cryptocurrency address rewrite)."""
+    if fieldname not in body:
+        raise KeyError(f"request has no field {fieldname!r}")
+    out = dict(body)
+    out[fieldname] = new_value
+    return out
+
+
+class DishonestExtension(BrowserExtension):
+    """An extension under malware control (paper §V-A).
+
+    Supports the attack repertoire the paper analyzes: lying about the
+    window width, forging input hints for values the user never entered,
+    hinting wrong positions, delaying ``begin_session`` and submitting
+    attacker-modified bodies.
+    """
+
+    def __init__(self, browser: Browser, server, vwitness) -> None:
+        super().__init__(browser, server, vwitness)
+        self.width_lie: int | None = None
+        self.suppress_hints = False
+        self.value_overrides: dict = {}
+
+    def reported_width(self) -> int:
+        if self.width_lie is not None:
+            return self.width_lie
+        return super().reported_width()
+
+    def forge_hint(self, input_name: str, value: str, rect: tuple | None = None) -> None:
+        """Hint an input update that never happened on the UI."""
+        if rect is None:
+            try:
+                element = self.browser.page.find_input(input_name)
+                rect = element.rect.as_tuple() if element.rect else (0, 0, 1, 1)
+            except KeyError:
+                rect = (0, 0, 1, 1)
+        self.vwitness.receive_hint(
+            InputHint(
+                timestamp=self.browser.machine.clock.now(),
+                input_name=input_name,
+                rect=rect,
+                value=value,
+            )
+        )
+
+    def _on_input_changed(self, element, old_value, new_value) -> None:
+        if self.suppress_hints:
+            return
+        if element.name in self.value_overrides:
+            new_value = self.value_overrides[element.name]
+        super()._on_input_changed(element, old_value, new_value)
+
+
+def background_submit(browser: Browser, vwitness, body: dict):
+    """Submit without the user: page logic driven directly by malware.
+
+    No hardware I/O accompanies this submission, and the display never
+    showed the values — both independently fatal to certification.
+    """
+    return vwitness.end_session(body)

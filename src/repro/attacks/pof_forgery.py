@@ -1,0 +1,43 @@
+"""Forged point-of-focus cues (paper §III-C2 / §IV-A).
+
+An attacker may draw extra POFs to confuse vWitness about where the user
+is typing — e.g. "the user thinks she is interacting with field A, but
+vWitness is validating inputs from field B".  The consistency rules
+(instance counts, same-field, mutual exclusivity) are the defense.
+"""
+
+from __future__ import annotations
+
+from repro.vision.components import Rect
+from repro.web.hypervisor import Machine
+from repro.web.render import DEFAULT_POF, POFStyle
+
+
+def draw_fake_focus_outline(
+    machine: Machine, rect: Rect, style: POFStyle = DEFAULT_POF
+) -> None:
+    """Paint a focus ring around an arbitrary rectangle."""
+    fb = machine.framebuffer_handle()
+    ring = rect.expanded(style.outline_margin)
+    fb.draw_border(ring.x, ring.y, ring.w, ring.h, style.outline_intensity, style.outline_thickness)
+
+
+def draw_fake_caret(machine: Machine, x: int, y: int, height: int = 20, style: POFStyle = DEFAULT_POF) -> None:
+    """Paint a caret where no input is happening."""
+    fb = machine.framebuffer_handle()
+    fb.draw_vline(x, y, height, style.caret_intensity, style.caret_width)
+
+
+def draw_second_outline(machine: Machine, rect_a: Rect, rect_b: Rect, style: POFStyle = DEFAULT_POF) -> None:
+    """The paper's dual-POF confusion attack: two fields appear focused."""
+    draw_fake_focus_outline(machine, rect_a, style)
+    draw_fake_focus_outline(machine, rect_b, style)
+
+
+def draw_caret_and_highlight(
+    machine: Machine, caret_x: int, caret_y: int, highlight: Rect, style: POFStyle = DEFAULT_POF
+) -> None:
+    """Violate mutual exclusivity: caret and selection at the same time."""
+    draw_fake_caret(machine, caret_x, caret_y, style=style)
+    fb = machine.framebuffer_handle()
+    fb.fill_rect(highlight.x, highlight.y, highlight.w, highlight.h, style.highlight_intensity)

@@ -1,0 +1,38 @@
+"""Replay attacks on certified requests and VSPECs (paper §V-A)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.crypto.signing import CertifiedRequest
+
+
+class ReplayAttacker:
+    """Captures certified requests and replays them later.
+
+    The signature is valid (it really was signed by vWitness), so the
+    defense is entirely the session-ID freshness check: each VSPEC's
+    nonce is accepted exactly once.
+    """
+
+    def __init__(self) -> None:
+        self.captured: list = []
+
+    def capture(self, request: CertifiedRequest) -> None:
+        self.captured.append(request)
+
+    def replay_last(self) -> CertifiedRequest:
+        if not self.captured:
+            raise RuntimeError("nothing captured to replay")
+        return self.captured[-1]
+
+    def replay_with_body_swap(self, **overrides) -> CertifiedRequest:
+        """Replay with a modified body (breaks the signature — detectable)."""
+        original = self.replay_last()
+        body = dict(original.body)
+        body.update(overrides)
+        return replace(original, body=body)
+
+    def replay_with_stale_vspec(self, stale_digest: str) -> CertifiedRequest:
+        """Re-bind the request to an old VSPEC digest (breaks the signature)."""
+        return replace(self.replay_last(), vspec_digest=stale_digest)

@@ -1,0 +1,98 @@
+"""UI tampering attacks (paper Fig. 2, Table I row 3).
+
+Privileged malware can paint anything into the framebuffer.  These
+helpers implement the classic shapes: swapping displayed text (the paper's
+"only the displayed text are altered" example), overlaying opaque decoys,
+and full click-redressing where a benign-looking screen hides the real
+page.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.raster.stacks import RenderStack, reference_stack
+from repro.raster.text import render_text_line
+from repro.vision.image import Image
+from repro.web.hypervisor import Machine
+
+
+def swap_text_on_display(
+    machine: Machine,
+    x: int,
+    y: int,
+    new_text: str,
+    size: int = 16,
+    stack: RenderStack | None = None,
+    background: float = 255.0,
+) -> None:
+    """Overwrite a text region with different text (e.g. "No" -> "Yes").
+
+    Renders the replacement with the client's own stack so the forgery is
+    pixel-plausible — the attack the CNN text verifier must catch
+    semantically, not via rendering artifacts.
+    """
+    stack = stack or reference_stack()
+    line = render_text_line(new_text, size=size, stack=stack, background=background)
+    fb = machine.framebuffer_handle()
+    w = min(line.width, fb.width - x)
+    h = min(line.height, fb.height - y)
+    if w <= 0 or h <= 0:
+        raise ValueError(f"tamper region ({x},{y}) outside the display")
+    fb.fill_rect(x, y, w, h, background)
+    fb.paste(line.crop(0, 0, w, h), x, y)
+
+
+def overlay_rectangle(machine: Machine, x: int, y: int, w: int, h: int, color: float = 255.0, text: str = "") -> None:
+    """Paint an opaque rectangle (optionally labelled) over the UI.
+
+    The clickjacking building block: hide a sensitive element behind an
+    innocuous-looking surface.
+    """
+    fb = machine.framebuffer_handle()
+    fb.fill_rect(x, y, w, h, color)
+    if text:
+        line = render_text_line(text, size=14, background=color)
+        tw = min(line.width, w - 4)
+        th = min(line.height, h - 4)
+        if tw > 0 and th > 0:
+            fb.paste(line.crop(0, 0, tw, th), x + (w - tw) // 2, y + (h - th) // 2)
+
+
+def redress_ui(machine: Machine, decoy: Image) -> None:
+    """Replace the whole display with a decoy screen (full redressing)."""
+    fb = machine.framebuffer_handle()
+    if decoy.shape != fb.shape:
+        raise ValueError(f"decoy {decoy.shape} must match display {fb.shape}")
+    fb.pixels[...] = decoy.pixels
+
+
+def tamper_image_region(machine: Machine, x: int, y: int, region: Image) -> None:
+    """Replace an image element's pixels (e.g. swap a trusted logo)."""
+    fb = machine.framebuffer_handle()
+    fb.paste(region, x, y)
+
+
+def inject_text_into_image(machine: Machine, x: int, y: int, w: int, h: int, text: str) -> None:
+    """Blend text into an existing image region (the Clickbench FN case)."""
+    fb = machine.framebuffer_handle()
+    char_size = max(8, min(h - 2, (w - 2) // max(len(text), 1)))
+    line = render_text_line(text, size=char_size, background=255.0)
+    tw = min(line.width, w)
+    th = min(line.height, h)
+    region = fb.pixels[y : y + th, x : x + tw]
+    fb.pixels[y : y + th, x : x + tw] = region * (line.pixels[:th, :tw] / 255.0)
+
+
+def shift_viewport_content(machine: Machine, dy: int, fill: float = 255.0) -> None:
+    """Scroll the framebuffer content without the browser knowing.
+
+    Misaligns what the user sees from what the page believes is shown —
+    caught by viewport/element validation.
+    """
+    fb = machine.framebuffer_handle()
+    fb.pixels[...] = np.roll(fb.pixels, dy, axis=0)
+    if dy > 0:
+        fb.pixels[:dy, :] = fill
+    elif dy < 0:
+        fb.pixels[dy:, :] = fill

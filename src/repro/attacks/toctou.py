@@ -1,0 +1,67 @@
+"""Time-of-check to time-of-use display flipping (paper §III-C, §V-A).
+
+The attacker shows the tampered UI to the user but tries to restore the
+honest UI whenever vWitness samples.  Against *periodic* sampling the
+attacker wins by synchronizing; against the paper's randomized sampling
+the flip is caught with probability proportional to how long the tampered
+content stays up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.web.hypervisor import Machine
+
+
+class DisplayFlipper:
+    """Alternates the framebuffer between honest and tampered content.
+
+    The attacker flips on a fixed period (it cannot observe dom0's
+    sampling schedule).  ``drive(total_ms)`` advances the virtual clock in
+    small steps, swapping content on the attacker's schedule; any vWitness
+    sample that lands in a tampered window sees the tampering.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        honest_pixels: np.ndarray,
+        tampered_pixels: np.ndarray,
+        period_ms: float = 400.0,
+        tampered_fraction: float = 0.5,
+        offset_ms: float = 0.0,
+    ) -> None:
+        if honest_pixels.shape != tampered_pixels.shape:
+            raise ValueError("honest and tampered frames must share a shape")
+        if not 0.0 < tampered_fraction < 1.0:
+            raise ValueError(f"tampered_fraction must be in (0,1), got {tampered_fraction}")
+        self.machine = machine
+        self.honest = honest_pixels
+        self.tampered = tampered_pixels
+        self.period_ms = period_ms
+        self.tampered_fraction = tampered_fraction
+        self.offset_ms = offset_ms
+
+    def content_at(self, t_ms: float) -> np.ndarray:
+        phase = ((t_ms + self.offset_ms) % self.period_ms) / self.period_ms
+        return self.tampered if phase < self.tampered_fraction else self.honest
+
+    def drive(self, total_ms: float, step_ms: float = 10.0) -> None:
+        """Run the flipping attack for ``total_ms`` of virtual time.
+
+        The framebuffer is updated *before* each clock advance, so any
+        sampling triggered by the advance observes the attacker's current
+        content — the attacker gets the strongest possible timing.
+        """
+        elapsed = 0.0
+        fb = self.machine.framebuffer_handle()
+        while elapsed < total_ms:
+            now = self.machine.clock.now()
+            fb.pixels[...] = self.content_at(now + step_ms)
+            self.machine.clock.advance(step_ms)
+            elapsed += step_ms
+
+    def evasion_probability(self) -> float:
+        """P(one uniform random sample misses the tampered content)."""
+        return 1.0 - self.tampered_fraction

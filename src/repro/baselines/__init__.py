@@ -1,0 +1,30 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.pixelcmp` — pixel-by-pixel display comparison
+  (VButton's approach [5]): exact up to a small tolerance, so benign
+  rendering variation triggers false alarms.
+* :mod:`repro.baselines.imagehash` — robust image hash comparison [21].
+* :mod:`repro.baselines.teework` — element-support models of the
+  TEE-based clients (Fidelius, ProtectION) for the Table X compatibility
+  comparison.
+"""
+
+from repro.baselines.pixelcmp import PixelCompareValidator
+from repro.baselines.imagehash import ImageHashValidator
+from repro.baselines.teework import (
+    FIDELIUS_SUPPORTED,
+    PROTECTION_SUPPORTED,
+    VWITNESS_SUPPORTED,
+    compatible_forms,
+    system_support_table,
+)
+
+__all__ = [
+    "PixelCompareValidator",
+    "ImageHashValidator",
+    "FIDELIUS_SUPPORTED",
+    "PROTECTION_SUPPORTED",
+    "VWITNESS_SUPPORTED",
+    "compatible_forms",
+    "system_support_table",
+]

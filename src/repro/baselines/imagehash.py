@@ -1,0 +1,33 @@
+"""Image-hash display validation — the perceptual-hash baseline [21].
+
+Robust hashes tolerate *some* benign variation but trade detection for
+it: a hash distance threshold loose enough to accept cross-stack renders
+also accepts small malicious edits (a swapped word moves few hash bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.hashing import difference_hash, hamming_distance
+
+
+class ImageHashValidator:
+    """Accepts a region iff the dHash distance is within a threshold."""
+
+    def __init__(self, hash_size: int = 8, max_distance: int = 6) -> None:
+        if hash_size < 4:
+            raise ValueError(f"hash size too small: {hash_size}")
+        self.hash_size = hash_size
+        self.max_distance = max_distance
+        self.invocations = 0
+
+    def verify_region(self, observed, expected, background: float = 255.0) -> bool:
+        self.invocations += 1
+        observed = np.asarray(observed, dtype=float)
+        expected = np.asarray(expected, dtype=float)
+        if observed.shape != expected.shape:
+            return False
+        d_obs = difference_hash(observed, self.hash_size)
+        d_exp = difference_hash(expected, self.hash_size)
+        return hamming_distance(d_obs, d_exp) <= self.max_distance

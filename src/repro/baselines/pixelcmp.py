@@ -1,0 +1,34 @@
+"""Pixel-by-pixel display validation — the naive baseline (paper §III-C1).
+
+"vWitness could naively perform a pixel-by-pixel comparison of the
+observed element with that in the VSPEC, but this would result in many
+false alarms due to benign rendering variations."  This validator exists
+to measure exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PixelCompareValidator:
+    """Accepts a region iff (almost) every pixel matches within tolerance."""
+
+    def __init__(self, tolerance: float = 8.0, max_bad_fraction: float = 0.001) -> None:
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+        self.tolerance = tolerance
+        self.max_bad_fraction = max_bad_fraction
+        self.invocations = 0
+
+    def verify_region(self, observed, expected, background: float = 255.0) -> bool:
+        self.invocations += 1
+        observed = np.asarray(observed, dtype=float)
+        expected = np.asarray(expected, dtype=float)
+        if observed.shape != expected.shape:
+            return False
+        bad = np.abs(observed - expected) > self.tolerance
+        return float(bad.mean()) <= self.max_bad_fraction
+
+    def verify_tiles(self, tiles, chars) -> np.ndarray:  # pragma: no cover - interface parity
+        raise NotImplementedError("pixel comparison has no text-model analogue")

@@ -1,0 +1,51 @@
+"""Element-support models of the TEE-based prior work (Table X).
+
+Fidelius [17] implements a minimal trusted renderer supporting textboxes
+and keyboard input only — no mouse, so no buttons, checkboxes, radios or
+selects.  ProtectION [6] adds trusted mouse I/O and a few widgets but
+still renders only a small HTML subset.  vWitness supports everything it
+can *see and predict*: all standard widgets, excluding file inputs
+(invisible interaction), videos (excessive dynamism), external iframes
+(unpredictable content) and canvas-drawn custom widgets (no tag-to-type
+mapping).
+"""
+
+from __future__ import annotations
+
+FIDELIUS_SUPPORTED = {"text", "text-input"}
+
+PROTECTION_SUPPORTED = {"text", "text-input", "button", "checkbox"}
+
+VWITNESS_SUPPORTED = {
+    "text",
+    "image",
+    "text-input",
+    "checkbox",
+    "radio",
+    "select",
+    "button",
+    "scrollable",
+}
+
+SYSTEMS = {
+    "Fidelius": FIDELIUS_SUPPORTED,
+    "ProtectION": PROTECTION_SUPPORTED,
+    "vWitness": VWITNESS_SUPPORTED,
+}
+
+
+def compatible_forms(corpus: list, supported_kinds: set, threshold: float = 0.9) -> int:
+    """Forms with at least ``threshold`` of elements supported (Table X)."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0,1], got {threshold}")
+    return sum(1 for form in corpus if form.supported_fraction(supported_kinds) >= threshold)
+
+
+def system_support_table(corpus: list, threshold: float = 0.9) -> dict:
+    """System -> (compatible count, fraction) over the corpus."""
+    total = len(corpus)
+    table = {}
+    for name, kinds in SYSTEMS.items():
+        count = compatible_forms(corpus, kinds, threshold)
+        table[name] = (count, count / total if total else 0.0)
+    return table

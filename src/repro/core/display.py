@@ -1,0 +1,426 @@
+"""Display validation (paper §III-C1).
+
+Three steps per sampled frame: (1) determine the visible view port by
+matching the frame against the VSPEC's expected appearance, (2) find the
+UI elements within the view port, (3) validate each element's rendering
+with the CNN verifiers.  Regions with no elements must match the page
+background.  Stateful inputs are validated against the appearance of the
+currently *tracked* state, and POF pixels are subtracted first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pof import POFObservation, mask_pofs
+from repro.core.verifiers import ImageVerifier, TextVerifier, structural_match
+from repro.raster.text import char_advance
+from repro.vision.components import Rect
+from repro.vision.match import best_vertical_offset
+from repro.vspec.spec import CharCell, ManifestEntry, VSpec
+from repro.web.render import DEFAULT_POF, POFStyle
+
+#: Minimum NCC score for viewport identification; below this the frame
+#: does not look like any window of the expected page at all.
+VIEWPORT_SCORE_FLOOR = 0.35
+
+
+@dataclass(frozen=True)
+class ElementFailure:
+    """One element that failed validation."""
+
+    kind: str
+    rect: tuple
+    reason: str
+
+
+@dataclass
+class DisplayResult:
+    """Outcome of validating one sampled frame."""
+
+    ok: bool
+    offset_y: int = 0
+    viewport_score: float = 0.0
+    failures: list = field(default_factory=list)
+    text_invocations: int = 0
+    image_invocations: int = 0
+    entries_checked: int = 0
+    skipped_unchanged: bool = False
+
+
+class DisplayValidator:
+    """Validates sampled frames against one VSPEC."""
+
+    def __init__(
+        self,
+        vspec: VSpec,
+        text_verifier: TextVerifier,
+        image_verifier: ImageVerifier,
+        pof_style: POFStyle = DEFAULT_POF,
+        check_background: bool = True,
+    ) -> None:
+        self.vspec = vspec
+        self.text_verifier = text_verifier
+        self.image_verifier = image_verifier
+        self.pof_style = pof_style
+        self.check_background = check_background
+        self._padded_expected: np.ndarray | None = None
+
+    # -- viewport -----------------------------------------------------------
+
+    def locate_viewport(self, frame_pixels: np.ndarray):
+        """(offset_y, score) of the frame within the expected appearance."""
+        if frame_pixels.shape[1] != self.vspec.width:
+            raise ValueError(
+                f"frame width {frame_pixels.shape[1]} != VSPEC width {self.vspec.width} "
+                "(dishonest extension width?)"
+            )
+        expected = self.vspec.expected
+        if frame_pixels.shape[0] > self.vspec.height:
+            # Page shorter than the client viewport: the browser shows
+            # background below the page end, so the search target is the
+            # expected appearance padded with background rows.
+            if (
+                self._padded_expected is None
+                or self._padded_expected.shape[0] < frame_pixels.shape[0]
+            ):
+                pad_rows = frame_pixels.shape[0] - self.vspec.height
+                self._padded_expected = np.vstack(
+                    [expected, np.full((pad_rows, self.vspec.width), self.vspec.background)]
+                )
+            expected = self._padded_expected
+        match = best_vertical_offset(frame_pixels, expected, stride=4)
+        return match.offset, match.score
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(
+        self,
+        frame_pixels: np.ndarray,
+        tracked_inputs: dict | None = None,
+        pof_obs: POFObservation | None = None,
+        changed_rects: list | None = None,
+        viewport: tuple | None = None,
+    ) -> DisplayResult:
+        """Validate one frame.
+
+        Args:
+            tracked_inputs: the interaction tracker's current name->value
+                map (stateful elements are expected to display it).
+            pof_obs: POFs already extracted from this frame (their pixels
+                are masked before content verification).
+            changed_rects: frame-coordinate rectangles from differential
+                detection; only entries intersecting them are re-verified.
+                ``None`` means verify everything visible.
+            viewport: optional precomputed ``(offset, score)`` from
+                :meth:`locate_viewport` (avoids locating twice per frame).
+        """
+        tracked_inputs = tracked_inputs or {}
+        t0_text = self.text_verifier.invocations
+        t0_image = self.image_verifier.invocations
+        result = DisplayResult(ok=True)
+
+        offset, score = viewport if viewport is not None else self.locate_viewport(frame_pixels)
+        result.offset_y = offset
+        result.viewport_score = score
+        if score < VIEWPORT_SCORE_FLOOR:
+            result.ok = False
+            result.failures.append(
+                ElementFailure("viewport", (0, offset, 0, 0), f"no viewport match (score={score:.2f})")
+            )
+            return result
+
+        frame_h = frame_pixels.shape[0]
+        viewport = Rect(0, offset, self.vspec.width, frame_h)
+
+        clean = frame_pixels
+        if pof_obs is not None and pof_obs.present:
+            clean = mask_pofs(frame_pixels, pof_obs, self.pof_style)
+
+        entries = self.vspec.visible_entries(viewport)
+        if changed_rects is not None:
+            page_changed = [r.translated(0, offset) for r in changed_rects]
+            entries = [
+                e for e in entries if any(e.rect.expanded(6).intersects(r) for r in page_changed)
+            ]
+            if not changed_rects:
+                result.skipped_unchanged = True
+
+        for entry in entries:
+            self._validate_entry(entry, clean, offset, viewport, tracked_inputs, result)
+        result.entries_checked = len(entries)
+
+        if self.check_background and changed_rects is None:
+            self._validate_background(clean, offset, viewport, result)
+
+        result.text_invocations = self.text_verifier.invocations - t0_text
+        result.image_invocations = self.image_verifier.invocations - t0_image
+        return result
+
+    # -- per-entry dispatch ----------------------------------------------------
+
+    def _validate_entry(
+        self,
+        entry: ManifestEntry,
+        frame_pixels: np.ndarray,
+        offset: int,
+        viewport: Rect,
+        tracked_inputs: dict,
+        result: DisplayResult,
+    ) -> None:
+        if entry.kind == "text":
+            # Only fully visible cells are judged; half-scrolled glyphs are
+            # validated once the viewport settles (paper: everything the
+            # user can *see* is checked — a clipped glyph is checked as
+            # part of the next frame it is fully visible in).
+            visible_cells = [c for c in entry.chars if viewport.contains(c.rect)]
+            verdicts = self.text_verifier.verify_cells(
+                frame_pixels, visible_cells, offset_x=0, offset_y=offset,
+                background=self.vspec.background,
+            )
+            for cell, verdict in zip(visible_cells, verdicts):
+                if not verdict:
+                    result.ok = False
+                    result.failures.append(
+                        ElementFailure("text", cell.rect.as_tuple(), f"character {cell.char!r} mismatch")
+                    )
+        elif entry.kind == "image":
+            region = self._observed_region(frame_pixels, entry.rect, offset, viewport)
+            if region is None:
+                return  # only partially visible; skip until fully shown
+            expected = self.vspec.expected_region(entry.rect)
+            if not self.image_verifier.verify_region(region, expected, self.vspec.background):
+                result.ok = False
+                result.failures.append(
+                    ElementFailure(entry.kind, entry.rect.as_tuple(), "region mismatch")
+                )
+        elif entry.kind == "button":
+            # Button chrome is UI structure, not content imagery; the label
+            # text has its own text entry in the manifest.
+            region = self._observed_region(frame_pixels, entry.rect, offset, viewport)
+            if region is None:
+                return
+            expected = self.vspec.expected_region(entry.rect)
+            if not structural_match(region, expected):
+                result.ok = False
+                result.failures.append(
+                    ElementFailure(entry.kind, entry.rect.as_tuple(), "button chrome mismatch")
+                )
+        elif entry.kind == "input":
+            self._validate_text_input(entry, frame_pixels, offset, viewport, tracked_inputs, result)
+        elif entry.kind in ("checkbox", "radio", "select"):
+            state = str(tracked_inputs.get(entry.input_name, entry.initial_value))
+            if state not in entry.state_appearances:
+                result.ok = False
+                result.failures.append(
+                    ElementFailure(entry.kind, entry.rect.as_tuple(), f"no appearance for state {state!r}")
+                )
+                return
+            region = self._observed_region(frame_pixels, entry.rect, offset, viewport)
+            if region is None:
+                return
+            expected = entry.state_appearances[state]
+            if not structural_match(region, expected):
+                result.ok = False
+                result.failures.append(
+                    ElementFailure(
+                        entry.kind, entry.rect.as_tuple(), f"does not display state {state!r}"
+                    )
+                )
+                return
+            if entry.kind == "select":
+                # The selected option's text is dynamic content: verify the
+                # characters with the text model on top of the chrome match.
+                self._verify_select_text(entry, state, frame_pixels, offset, result)
+        elif entry.kind in ("scroll-v", "scroll-h"):
+            self._validate_scrollable(entry, frame_pixels, offset, viewport, result)
+        else:  # pragma: no cover - manifest kinds are closed
+            raise ValueError(f"unknown entry kind {entry.kind!r}")
+
+    def _verify_select_text(
+        self, entry: ManifestEntry, state: str, frame_pixels: np.ndarray, offset: int, result: DisplayResult
+    ) -> None:
+        """Verify the displayed option string of a select box (14px text)."""
+        advance = char_advance(14)
+        cells = [
+            CharCell(entry.rect.x + 6 + i * advance, entry.rect.y + 8, advance, 14, ch)
+            for i, ch in enumerate(state)
+            if ch != " "
+        ]
+        verdicts = self.text_verifier.verify_cells(
+            frame_pixels, cells, offset_x=0, offset_y=offset, background=252.0
+        )
+        for cell, verdict in zip(cells, verdicts):
+            if not verdict:
+                result.ok = False
+                result.failures.append(
+                    ElementFailure(
+                        "select",
+                        cell.rect.as_tuple(),
+                        f"{entry.input_name}: option char {cell.char!r} mismatch",
+                    )
+                )
+
+    def _observed_region(
+        self, frame_pixels: np.ndarray, rect: Rect, offset: int, viewport: Rect
+    ) -> np.ndarray | None:
+        """Crop an element's region from the frame; None unless fully visible."""
+        if not viewport.contains(rect):
+            return None
+        fy = rect.y - offset
+        return frame_pixels[fy : fy + rect.h, rect.x : rect.x2]
+
+    def _validate_text_input(
+        self,
+        entry: ManifestEntry,
+        frame_pixels: np.ndarray,
+        offset: int,
+        viewport: Rect,
+        tracked_inputs: dict,
+        result: DisplayResult,
+    ) -> None:
+        """A free-text input must display exactly the tracked value."""
+        if not viewport.contains(entry.rect):
+            return
+        value = str(tracked_inputs.get(entry.input_name, entry.initial_value))
+        box = entry.rect
+        advance = char_advance(entry.text_size)
+        origin_x = box.x + 6  # INPUT_PAD_X
+        origin_y = box.y + (box.h - entry.text_size) // 2
+        cells = [
+            CharCell(origin_x + i * advance, origin_y, advance, entry.text_size, ch)
+            for i, ch in enumerate(value)
+            if ch != " " and origin_x + (i + 1) * advance < box.x2
+        ]
+        verdicts = self.text_verifier.verify_cells(
+            frame_pixels, cells, offset_x=0, offset_y=offset, background=252.0
+        )
+        for cell, verdict in zip(cells, verdicts):
+            if not verdict:
+                result.ok = False
+                result.failures.append(
+                    ElementFailure(
+                        "input",
+                        cell.rect.as_tuple(),
+                        f"{entry.input_name}: displayed char != tracked {cell.char!r}",
+                    )
+                )
+        # Beyond the value, the field must be empty (no extra content).
+        tail_x = origin_x + len(value) * advance + 2
+        if tail_x < box.x2 - 2:
+            fy0 = box.y - offset + 2
+            tail = frame_pixels[fy0 : box.y2 - offset - 2, tail_x : box.x2 - 2]
+            if tail.size and float(np.mean(tail < 200.0)) > 0.005:
+                result.ok = False
+                result.failures.append(
+                    ElementFailure(
+                        "input",
+                        box.as_tuple(),
+                        f"{entry.input_name}: unexpected content beyond tracked value",
+                    )
+                )
+
+    def _validate_scrollable(
+        self,
+        entry: ManifestEntry,
+        frame_pixels: np.ndarray,
+        offset: int,
+        viewport: Rect,
+        result: DisplayResult,
+    ) -> None:
+        """Nested-VSPEC validation of an independently scrollable element."""
+        nested = self.vspec.nested.get(entry.nested_id)
+        if nested is None:
+            result.ok = False
+            result.failures.append(
+                ElementFailure(entry.kind, entry.rect.as_tuple(), "missing nested VSPEC")
+            )
+            return
+        if not viewport.contains(entry.rect):
+            return
+        fy = entry.rect.y - offset
+        interior = frame_pixels[fy + 1 : fy + entry.rect.h - 1, entry.rect.x + 1 : entry.rect.x2 - 1].copy()
+        # List-selection shading is element state, not content: normalize it.
+        selection_band = np.abs(interior - self.pof_style.list_selection_intensity) <= 6.0
+        interior[selection_band] = 252.0
+
+        expected = nested.expected
+        pad_w = expected.shape[1] - interior.shape[1]
+        if pad_w < 0:
+            result.ok = False
+            result.failures.append(
+                ElementFailure(entry.kind, entry.rect.as_tuple(), "observed wider than nested spec")
+            )
+            return
+        # Align widths (border crop makes the interior 2px narrower).
+        expected_view = expected[:, 1 : 1 + interior.shape[1]] if pad_w else expected
+        match = best_vertical_offset(interior, expected_view, stride=2)
+        if match.score < VIEWPORT_SCORE_FLOOR:
+            result.ok = False
+            result.failures.append(
+                ElementFailure(
+                    entry.kind, entry.rect.as_tuple(), f"nested viewport unmatched (score={match.score:.2f})"
+                )
+            )
+            return
+        nested_viewport = Rect(0, match.offset, interior.shape[1], interior.shape[0])
+        for sub in nested.entries:
+            if sub.kind != "text" or not sub.rect.intersects(nested_viewport):
+                continue
+            cells = [c for c in sub.chars if nested_viewport.contains(c.rect)]
+            adjusted = [
+                CharCell(c.x - 1, c.y, c.w, c.h, c.char) for c in cells
+            ]  # interior crop removed the 1px border column
+            verdicts = self.text_verifier.verify_tiles(
+                [
+                    _nested_tile(interior, c, match.offset)
+                    for c in adjusted
+                ],
+                [c.char for c in adjusted],
+            )
+            for cell, verdict in zip(adjusted, verdicts):
+                if not verdict:
+                    result.ok = False
+                    result.failures.append(
+                        ElementFailure(
+                            "scroll-text",
+                            cell.rect.as_tuple(),
+                            f"list row character {cell.char!r} mismatch",
+                        )
+                    )
+
+    def _validate_background(
+        self, frame_pixels: np.ndarray, offset: int, viewport: Rect, result: DisplayResult
+    ) -> None:
+        """Regions without UI elements must match the background color."""
+        mask = np.ones(frame_pixels.shape, dtype=bool)
+        for entry in self.vspec.visible_entries(viewport):
+            grown = entry.rect.expanded(8)
+            y0 = max(grown.y - offset, 0)
+            y1 = min(grown.y2 - offset, frame_pixels.shape[0])
+            x0 = max(grown.x, 0)
+            x1 = min(grown.x2, frame_pixels.shape[1])
+            if y1 > y0 and x1 > x0:
+                mask[y0:y1, x0:x1] = False
+        if not mask.any():
+            return
+        deviation = np.abs(frame_pixels[mask] - self.vspec.background)
+        bad_fraction = float(np.mean(deviation > 25.0))
+        if bad_fraction > 0.002:
+            result.ok = False
+            result.failures.append(
+                ElementFailure(
+                    "background",
+                    viewport.as_tuple(),
+                    f"{bad_fraction * 100:.2f}% of background pixels off-color",
+                )
+            )
+
+
+def _nested_tile(interior: np.ndarray, cell: CharCell, nested_offset: int) -> np.ndarray:
+    """Glyph tile extraction inside a scrollable's interior raster."""
+    from repro.core.verifiers import glyph_tile_from_frame
+
+    return glyph_tile_from_frame(interior, cell, offset_x=0, offset_y=nested_offset, background=252.0)

@@ -1,0 +1,199 @@
+"""Point-of-focus extraction and consistency checks (paper §III-C2, §IV-A).
+
+vWitness locates POFs purely from pixel information: the focus outline
+(a mid-gray ring around the focused field), the input caret (a thin dark
+vertical bar), and the multi-character selection highlight (a light band
+behind text).  Because the untrusted client renders these, an attacker can
+forge them — the consistency rules catch forgeries:
+
+1. **Number of instances** — at most one of each POF kind on a frame.
+2. **Same-field logic** — outline, highlight and caret must all reside in
+   the same input field.
+3. **Mutual exclusivity** — caret and selection highlight never coexist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.vision.components import Rect, connected_components, find_rectangles
+from repro.web.render import DEFAULT_POF, POFStyle
+
+#: Intensity tolerance when matching POF bands (absorbs stack noise).
+BAND_TOL = 10.0
+
+
+@dataclass
+class POFObservation:
+    """All POF instances found on one frame (frame coordinates)."""
+
+    outlines: list = field(default_factory=list)
+    carets: list = field(default_factory=list)
+    highlights: list = field(default_factory=list)
+
+    @property
+    def present(self) -> bool:
+        return bool(self.outlines or self.carets or self.highlights)
+
+    def focused_rect(self) -> Rect | None:
+        """The field the user is focused on, if a focus outline exists."""
+        return self.outlines[0] if self.outlines else None
+
+
+def _band_mask(pixels: np.ndarray, intensity: float, tol: float = BAND_TOL) -> np.ndarray:
+    return np.abs(pixels - intensity) <= tol
+
+
+def _bright_neighbours(frame_pixels: np.ndarray, rect: Rect, threshold: float = 150.0) -> bool:
+    """True when the columns flanking ``rect`` are bright (background-ish).
+
+    A real caret stands alone against the field background; the vertical
+    edge of a dark glyph stroke has ink on one side.  This test is what
+    keeps glyph anti-aliasing ramps from masquerading as carets.
+    """
+    h, w = frame_pixels.shape
+    left = frame_pixels[rect.y : rect.y2, max(rect.x - 2, 0) : rect.x]
+    right = frame_pixels[rect.y : rect.y2, rect.x2 : min(rect.x2 + 2, w)]
+    if left.size == 0 or right.size == 0:
+        return False
+    return float(left.mean()) > threshold and float(right.mean()) > threshold
+
+
+def extract_pofs(
+    frame_pixels: np.ndarray,
+    style: POFStyle = DEFAULT_POF,
+    input_rects: list | None = None,
+) -> POFObservation:
+    """Locate focus outlines, carets and selection highlights in a frame.
+
+    ``input_rects`` (frame coordinates) restricts caret/highlight search to
+    expected input fields — vWitness only interprets POFs in fields, and a
+    cue drawn anywhere else is simply not a POF (forged ones inside fields
+    are handled by the consistency rules).
+    """
+    obs = POFObservation()
+
+    # Focus outline: a hollow rectangle in the outline intensity band,
+    # larger than any glyph (fields are tens of pixels tall and wide).
+    outline_mask = _band_mask(frame_pixels, style.outline_intensity)
+    obs.outlines = find_rectangles(
+        outline_mask, min_width=30, min_height=16, max_fill=0.5, min_border_cover=0.7
+    )
+
+    def in_search_area(rect: Rect) -> bool:
+        if input_rects is None:
+            return True
+        return any(field.expanded(4).intersects(rect) for field in input_rects)
+
+    # Selection highlight first: a solid light band big enough to back
+    # at least one character.
+    highlight_mask = _band_mask(frame_pixels, style.highlight_intensity, tol=6.0)
+    for rect in connected_components(highlight_mask):
+        if rect.w >= 6 and rect.h >= 8 and in_search_area(rect):
+            sub = highlight_mask[rect.y : rect.y2, rect.x : rect.x2]
+            if sub.mean() > 0.5:
+                obs.highlights.append(rect)
+
+    # Caret: a thin, tall, nearly solid vertical bar in the caret band,
+    # free-standing against the bright field background.  Candidates
+    # inside a selection highlight are text strokes over the highlight
+    # (thin glyph stems dim to caret-band intensities there), not carets —
+    # browsers hide the caret while a selection is showing.
+    caret_mask = _band_mask(frame_pixels, style.caret_intensity)
+    for rect in connected_components(caret_mask):
+        if rect.w <= style.caret_width + 2 and rect.h >= 10 and in_search_area(rect):
+            if any(h.expanded(2).intersects(rect) for h in obs.highlights):
+                continue
+            sub = caret_mask[rect.y : rect.y2, rect.x : rect.x2]
+            if sub.mean() > 0.85 and _bright_neighbours(frame_pixels, rect, threshold=225.0):
+                obs.carets.append(rect)
+
+    return obs
+
+
+def check_pof_consistency(obs: POFObservation, input_rects: list) -> list:
+    """Apply the three consistency rules; returns violation strings.
+
+    ``input_rects`` are the frame-coordinate rectangles of the VSPEC's
+    input elements — every POF must lie within some expected input field
+    ("observed input elements must fall in the bounding rectangle of
+    expected input elements").
+    """
+    violations = []
+
+    if len(obs.outlines) > 1:
+        violations.append(f"{len(obs.outlines)} focus outlines present (max 1)")
+    if len(obs.carets) > 1:
+        violations.append(f"{len(obs.carets)} carets present (max 1)")
+    if len(obs.highlights) > 1:
+        violations.append(f"{len(obs.highlights)} selection highlights present (max 1)")
+
+    if obs.carets and obs.highlights:
+        violations.append("caret and selection highlight present simultaneously")
+
+    def owner_of_outline(rect: Rect) -> Rect | None:
+        # A focus outline wraps the whole focusable element (field plus
+        # label), so ownership is by intersection — and an outline that
+        # touches more than one declared field is itself suspicious.
+        owners = [f for f in input_rects if f.expanded(8).intersects(rect)]
+        return owners[0] if len(owners) == 1 else None
+
+    def owner_of_inner(rect: Rect) -> Rect | None:
+        # Carets and highlights live *inside* the field.
+        for input_rect in input_rects:
+            if input_rect.expanded(6).contains(rect):
+                return input_rect
+        return None
+
+    fields = set()
+    for rect in obs.outlines:
+        owner = owner_of_outline(rect)
+        if owner is None:
+            violations.append(
+                f"outline at {rect.as_tuple()} does not wrap exactly one expected input field"
+            )
+        else:
+            fields.add(owner.as_tuple())
+    for kind, rects in (("caret", obs.carets), ("highlight", obs.highlights)):
+        for rect in rects:
+            owner = owner_of_inner(rect)
+            if owner is None:
+                violations.append(f"{kind} at {rect.as_tuple()} outside all expected input fields")
+            else:
+                fields.add(owner.as_tuple())
+    if len(fields) > 1:
+        violations.append(f"POFs span {len(fields)} different fields (same-field rule)")
+
+    return violations
+
+
+def mask_pofs(frame_pixels: np.ndarray, obs: POFObservation, style: POFStyle = DEFAULT_POF, field_background: float = 252.0, page_background: float = 255.0) -> np.ndarray:
+    """Remove POF pixels so content verification sees clean element pixels.
+
+    vWitness knows exactly where the POFs are (it just extracted them), so
+    it can subtract them before invoking the CNN verifiers: outline pixels
+    revert to the page background, caret and highlight pixels to the field
+    background.
+    """
+    out = frame_pixels.copy()
+    for rect in obs.outlines:
+        # Only the ring itself is POF pixels: wipe the border band of the
+        # bounding box, not its interior — element content inside the
+        # focused region (e.g. radio option labels) may legitimately have
+        # pixels in the outline intensity band (glyph anti-aliasing).
+        margin = style.outline_thickness + 1
+        region = out[rect.y : rect.y2, rect.x : rect.x2]
+        band = np.abs(region - style.outline_intensity) <= BAND_TOL
+        ring = np.ones_like(band)
+        if rect.h > 2 * margin and rect.w > 2 * margin:
+            ring[margin:-margin, margin:-margin] = False
+        region[band & ring] = page_background
+    for rect in obs.carets:
+        out[rect.y : rect.y2, rect.x : rect.x2] = field_background
+    for rect in obs.highlights:
+        region = out[rect.y : rect.y2, rect.x : rect.x2]
+        band = np.abs(region - style.highlight_intensity) <= 6.0
+        region[band] = field_background
+    return out

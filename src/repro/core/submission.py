@@ -1,0 +1,70 @@
+"""Submission validation and request certification (paper §III-C3).
+
+When the page submits, vWitness executes the VSPEC's validation function
+with the inputs *it* observed and the page-constructed request.  Only if
+the function succeeds — and the session recorded no violations — does
+vWitness unseal its signing key and certify the request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import MeasuredState, SealedSigningKey, SealError
+from repro.crypto.signing import CertifiedRequest, sign_request
+from repro.vspec.serialize import vspec_digest
+from repro.vspec.spec import VSpec
+from repro.vspec.validation import ValidationError, run_validation
+
+
+@dataclass(frozen=True)
+class CertificationDecision:
+    """vWitness's verdict on a submission."""
+
+    certified: bool
+    reason: str
+    request: CertifiedRequest | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.certified
+
+
+class SubmissionValidator:
+    """Runs the validation function and signs accepted requests."""
+
+    def __init__(
+        self,
+        sealed_key: SealedSigningKey,
+        measured_state: MeasuredState,
+        certificate,
+    ) -> None:
+        self.sealed_key = sealed_key
+        self.measured_state = measured_state
+        self.certificate = certificate
+
+    def certify(
+        self,
+        vspec: VSpec,
+        request_body: dict,
+        observed_inputs: dict,
+        violations: list,
+        display_ok: bool,
+    ) -> CertificationDecision:
+        """Certify a request, or refuse with the failing condition."""
+        if violations:
+            first = violations[0]
+            return CertificationDecision(
+                False, f"interaction violations recorded (first: {first.rule}: {first.detail})"
+            )
+        if not display_ok:
+            return CertificationDecision(False, "display validation failed during the session")
+        try:
+            run_validation(vspec, observed_inputs, request_body)
+        except ValidationError as exc:
+            return CertificationDecision(False, f"validation function failed: {exc}")
+        try:
+            private_key = self.sealed_key.unseal(self.measured_state)
+        except SealError as exc:
+            return CertificationDecision(False, f"key unsealing failed: {exc}")
+        request = sign_request(private_key, request_body, vspec_digest(vspec), self.certificate)
+        return CertificationDecision(True, "interaction integrity certified", request)

@@ -1,0 +1,287 @@
+"""CNN verifier wrappers: unit-input extraction, caching, batching.
+
+The *text verifier* consumes one rendered character tile plus the expected
+character; the *image verifier* consumes a 32x32 observed/expected region
+pair (paper Table II).  Both support:
+
+* **sequential** mode — one model forward per unit input (the paper's
+  CPU setup), and
+* **batched** mode — all unit inputs of a call in one vectorized forward
+  (the GPU-accelerated setup; batching is where the speedup comes from).
+
+Each wrapper counts model invocations (the unit of Table VI) and caches
+verdicts keyed by a digest of the unit input (paper §IV-A Caching).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.data import CHAR_TO_INDEX, collapse_char
+from repro.nn.model import MatcherModel
+from repro.nn.tensorops import one_hot
+from repro.vision.hashing import region_digest
+from repro.vision.image import Image
+from repro.vision.ops import resize_bilinear
+from repro.vspec.spec import CharCell
+
+#: Model input side length.
+TILE = 32
+
+#: NCC floor for structural (non-CNN) region matching of UI chrome.
+STRUCTURAL_NCC_FLOOR = 0.80
+
+
+#: Maximum mean absolute residual (intensity levels) after affine
+#: intensity alignment for structural matching.
+STRUCTURAL_MAD_CEILING = 10.0
+
+
+def structural_match(
+    observed: np.ndarray,
+    expected: np.ndarray,
+    threshold: float = STRUCTURAL_NCC_FLOOR,
+    mad_ceiling: float = STRUCTURAL_MAD_CEILING,
+) -> bool:
+    """Match UI chrome regions (buttons, widget states) structurally.
+
+    The paper encodes visual input states as "a well-defined appearance";
+    matching them needs tolerance to rendering-stack intensity/gamma
+    shifts but not to content changes.  Two complementary criteria:
+
+    * zero-normalized cross-correlation >= ``threshold`` — affine-
+      intensity-invariant structure agreement, and
+    * mean absolute residual after least-squares affine intensity
+      alignment <= ``mad_ceiling`` — catches *localized* content changes
+      (a checkmark appearing in a mostly-border-dominated widget) that
+      barely move a global correlation score.
+
+    The CNN image model stays reserved for content images (icons, photos,
+    screen regions), its training domain.
+    """
+    from repro.vision.match import normalized_cross_correlation
+
+    observed = np.asarray(observed, dtype=float)
+    expected = np.asarray(expected, dtype=float)
+    if observed.shape != expected.shape:
+        return False
+    if normalized_cross_correlation(observed, expected) < threshold:
+        return False
+    obs_std = observed.std()
+    if obs_std < 1e-9:
+        aligned = np.full_like(observed, expected.mean())
+    else:
+        aligned = (observed - observed.mean()) * (expected.std() / obs_std) + expected.mean()
+    return float(np.mean(np.abs(aligned - expected))) <= mad_ceiling
+
+
+def glyph_tile_from_frame(frame_pixels: np.ndarray, cell: CharCell, offset_x: int, offset_y: int, background: float = 255.0) -> np.ndarray:
+    """Extract the square glyph region for a manifest character cell.
+
+    Mirrors :func:`repro.raster.text.render_text_line` geometry: glyph
+    tiles are squares of side ``cell.h`` centred in the advance-wide cell.
+    ``offset_*`` translate page coordinates into frame coordinates (the
+    viewport scroll).  Returns a 32x32 float tile.
+    """
+    size = cell.h
+    advance = cell.w
+    if advance >= size:
+        x0 = cell.x + (advance - size) // 2
+        pad_l = 0
+    else:
+        # The renderer cropped the glyph tile horizontally; reconstruct the
+        # square by padding with background.
+        x0 = cell.x
+        pad_l = (size - advance) // 2
+    fy = cell.y - offset_y
+    fx = x0 - offset_x
+    frame = Image(frame_pixels)
+    if pad_l:
+        inner = frame.crop_clipped(fx, fy, advance, size, fill=background)
+        square = np.full((size, size), background)
+        square[:, pad_l : pad_l + advance] = inner.pixels
+    else:
+        square = frame.crop_clipped(fx, fy, size, size, fill=background).pixels
+    if size != TILE:
+        square = resize_bilinear(square, TILE, TILE)
+    return square
+
+
+def split_region_into_tiles(region: np.ndarray, background: float = 255.0) -> list:
+    """Split a region into 32x32 tiles (edge tiles padded with background).
+
+    Returns ``(tile, (row, col))`` pairs; regions smaller than one tile
+    yield a single padded tile.  This is the unit-input decomposition the
+    image verifier is invoked on (paper: "a 32-by-32 sub-region").
+    """
+    h, w = region.shape
+    tiles = []
+    rows = max(1, (h + TILE - 1) // TILE)
+    cols = max(1, (w + TILE - 1) // TILE)
+    for r in range(rows):
+        for c in range(cols):
+            tile = np.full((TILE, TILE), background)
+            y0, x0 = r * TILE, c * TILE
+            y1, x1 = min(y0 + TILE, h), min(x0 + TILE, w)
+            if y1 > y0 and x1 > x0:
+                tile[: y1 - y0, : x1 - x0] = region[y0:y1, x0:x1]
+            tiles.append((tile, (r, c)))
+    return tiles
+
+
+class TextVerifier:
+    """Text model wrapper with caching, batching and invocation counting."""
+
+    def __init__(self, model: MatcherModel, batched: bool = False, cache=None) -> None:
+        self.model = model
+        self.batched = batched
+        self.cache = cache
+        self.invocations = 0
+
+    def reset_counters(self) -> None:
+        self.invocations = 0
+
+    def _expected_onehot(self, chars: list) -> np.ndarray:
+        indices = [CHAR_TO_INDEX[collapse_char(c)] for c in chars]
+        return one_hot(indices, len(CHAR_TO_INDEX)).astype(np.float32)
+
+    def verify_tiles(self, tiles: list, chars: list) -> np.ndarray:
+        """Match verdicts for (tile, expected char) pairs."""
+        if len(tiles) != len(chars):
+            raise ValueError(f"tiles/chars misaligned: {len(tiles)} vs {len(chars)}")
+        if not tiles:
+            return np.zeros(0, dtype=bool)
+        results = np.zeros(len(tiles), dtype=bool)
+        pending_idx = []
+        keys = []
+        for i, (tile, char) in enumerate(zip(tiles, chars)):
+            key = None
+            if self.cache is not None:
+                key = f"text:{region_digest(tile)}:{collapse_char(char)}"
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    continue
+            pending_idx.append(i)
+            keys.append(key)
+        if pending_idx:
+            obs = np.stack([np.asarray(tiles[i], dtype=np.float32) / 255.0 for i in pending_idx])[
+                :, None, :, :
+            ]
+            exp = self._expected_onehot([chars[i] for i in pending_idx])
+            if self.batched:
+                verdicts = self.model.predict(obs, exp)
+                self.invocations += len(pending_idx)
+            else:
+                verdicts = np.zeros(len(pending_idx), dtype=bool)
+                for j in range(len(pending_idx)):
+                    verdicts[j] = bool(self.model.predict(obs[j : j + 1], exp[j : j + 1])[0])
+                    self.invocations += 1
+            for j, i in enumerate(pending_idx):
+                results[i] = verdicts[j]
+                if self.cache is not None and keys[j] is not None:
+                    self.cache.put(keys[j], bool(verdicts[j]))
+        return results
+
+    #: Alignment search offsets for cells that fail at the nominal crop.
+    #: Viewport detection is integer-precise while rendering stacks place
+    #: glyphs with sub-pixel phase, so a failing cell is re-examined at
+    #: one-pixel shifts before being reported as tampered.  An attacker
+    #: gains nothing: every retry still has to match the expected char.
+    RETRY_OFFSETS = (
+        (1, 0), (-1, 0), (0, 1), (0, -1),
+        (1, 1), (-1, -1), (1, -1), (-1, 1),
+        (2, 0), (-2, 0), (0, 2), (0, -2),
+    )
+
+    def verify_cells(
+        self,
+        frame_pixels: np.ndarray,
+        cells: list,
+        offset_x: int = 0,
+        offset_y: int = 0,
+        background: float = 255.0,
+    ) -> np.ndarray:
+        """Verify manifest character cells against a sampled frame."""
+        tiles = [
+            glyph_tile_from_frame(frame_pixels, cell, offset_x, offset_y, background)
+            for cell in cells
+        ]
+        verdicts = self.verify_tiles(tiles, [c.char for c in cells])
+        failing = [i for i, v in enumerate(verdicts) if not v]
+        for dx, dy in self.RETRY_OFFSETS:
+            if not failing:
+                break
+            retry_tiles = [
+                glyph_tile_from_frame(
+                    frame_pixels, cells[i], offset_x + dx, offset_y + dy, background
+                )
+                for i in failing
+            ]
+            retry = self.verify_tiles(retry_tiles, [cells[i].char for i in failing])
+            still = []
+            for j, i in enumerate(failing):
+                if retry[j]:
+                    verdicts[i] = True
+                else:
+                    still.append(i)
+            failing = still
+        return verdicts
+
+
+class ImageVerifier:
+    """Graphics model wrapper: 32x32 observed/expected region matching."""
+
+    def __init__(self, model: MatcherModel, batched: bool = False, cache=None) -> None:
+        self.model = model
+        self.batched = batched
+        self.cache = cache
+        self.invocations = 0
+
+    def reset_counters(self) -> None:
+        self.invocations = 0
+
+    def verify_region(self, observed: np.ndarray, expected: np.ndarray, background: float = 255.0) -> bool:
+        """Match an observed region against its expected appearance.
+
+        Both rasters are tiled into 32x32 unit inputs; the region matches
+        only if every tile pair matches.
+        """
+        observed = np.asarray(observed, dtype=float)
+        expected = np.asarray(expected, dtype=float)
+        if observed.shape != expected.shape:
+            return False
+        obs_tiles = split_region_into_tiles(observed, background)
+        exp_tiles = split_region_into_tiles(expected, background)
+        pairs = []
+        pending = []
+        keys = []
+        verdict_parts = []
+        for (ot, _), (et, _) in zip(obs_tiles, exp_tiles):
+            if self.cache is not None:
+                key = f"img:{region_digest(ot)}:{region_digest(et)}"
+                hit = self.cache.get(key)
+                if hit is not None:
+                    verdict_parts.append(bool(hit))
+                    continue
+                keys.append(key)
+            else:
+                keys.append(None)
+            pending.append((ot, et))
+        del pairs
+        if pending:
+            obs = np.stack([p[0] for p in pending]).astype(np.float32)[:, None, :, :] / 255.0
+            exp = np.stack([p[1] for p in pending]).astype(np.float32)[:, None, :, :] / 255.0
+            if self.batched:
+                verdicts = self.model.predict(obs, exp)
+                self.invocations += len(pending)
+            else:
+                verdicts = np.zeros(len(pending), dtype=bool)
+                for j in range(len(pending)):
+                    verdicts[j] = bool(self.model.predict(obs[j : j + 1], exp[j : j + 1])[0])
+                    self.invocations += 1
+            for j, verdict in enumerate(verdicts):
+                verdict_parts.append(bool(verdict))
+                if self.cache is not None and keys[j] is not None:
+                    self.cache.put(keys[j], bool(verdict))
+        return all(verdict_parts) if verdict_parts else True

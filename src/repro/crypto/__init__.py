@@ -1,0 +1,33 @@
+"""Keys, sealing, certificates and request signatures (paper §III-A/§V-A).
+
+Built on Ed25519 from the ``cryptography`` package (the prototype's
+WolfCrypt substitute).  The sealing model follows the paper's measured-boot
+assumption: the client's signing key unseals only when the measured
+software state (vWitness code + hypervisor) matches the state it was
+sealed to, so malware that modifies the trusted stack cannot obtain it.
+"""
+
+from repro.crypto.keys import MeasuredState, SealedSigningKey, SealError, generate_signing_key
+from repro.crypto.ca import Certificate, CertificateAuthority, CertificateError
+from repro.crypto.signing import (
+    CertifiedRequest,
+    SignatureError,
+    canonical_body,
+    sign_request,
+    verify_request,
+)
+
+__all__ = [
+    "MeasuredState",
+    "SealedSigningKey",
+    "SealError",
+    "generate_signing_key",
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "CertifiedRequest",
+    "canonical_body",
+    "sign_request",
+    "verify_request",
+    "SignatureError",
+]

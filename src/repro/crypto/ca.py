@@ -1,0 +1,62 @@
+"""A minimal certificate authority for client certificates (``C_pub``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from cryptography.exceptions import InvalidSignature
+from cryptography.hazmat.primitives.asymmetric.ed25519 import (
+    Ed25519PrivateKey,
+    Ed25519PublicKey,
+)
+
+from repro.crypto.keys import public_bytes
+
+
+class CertificateError(RuntimeError):
+    """A certificate failed verification."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A CA-signed binding of a subject to a public key."""
+
+    subject: str
+    subject_public: bytes  # raw Ed25519 public key bytes
+    issuer: str
+    signature: bytes
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed encoding."""
+        return b"|".join(
+            [b"cert-v1", self.subject.encode("utf-8"), self.subject_public, self.issuer.encode("utf-8")]
+        )
+
+    def public_key(self) -> Ed25519PublicKey:
+        return Ed25519PublicKey.from_public_bytes(self.subject_public)
+
+
+class CertificateAuthority:
+    """A well-known CA that certifies client vWitness keys (setup step 2)."""
+
+    def __init__(self, name: str = "vwitness-root-ca") -> None:
+        self.name = name
+        self._key = Ed25519PrivateKey.generate()
+        self.public_key = self._key.public_key()
+
+    def issue(self, subject: str, subject_public_key: Ed25519PublicKey) -> Certificate:
+        raw = public_bytes(subject_public_key)
+        unsigned = Certificate(subject=subject, subject_public=raw, issuer=self.name, signature=b"")
+        signature = self._key.sign(unsigned.tbs_bytes())
+        return Certificate(subject=subject, subject_public=raw, issuer=self.name, signature=signature)
+
+    def verify(self, certificate: Certificate) -> None:
+        """Check issuer identity and CA signature; raises on failure."""
+        if certificate.issuer != self.name:
+            raise CertificateError(
+                f"certificate issued by {certificate.issuer!r}, expected {self.name!r}"
+            )
+        try:
+            self.public_key.verify(certificate.signature, certificate.tbs_bytes())
+        except InvalidSignature as exc:
+            raise CertificateError("certificate signature does not verify") from exc

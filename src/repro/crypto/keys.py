@@ -1,0 +1,110 @@
+"""Signing keys sealed to a measured software state.
+
+The client setup (paper §III-A) seals vWitness's private key ``K_pri`` to
+the correct execution state: "Successful unsealing of this key thereafter
+indicates that the correct vWitness software stack is running, and
+prevents the exposure of K_pri to any principal other than vWitness."
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from cryptography.hazmat.primitives.asymmetric.ed25519 import (
+    Ed25519PrivateKey,
+    Ed25519PublicKey,
+)
+from cryptography.hazmat.primitives.serialization import (
+    Encoding,
+    NoEncryption,
+    PrivateFormat,
+    PublicFormat,
+)
+
+
+class SealError(RuntimeError):
+    """Unsealing was attempted from a software state the key is not sealed to."""
+
+
+@dataclass(frozen=True)
+class MeasuredState:
+    """A measurement of the trusted software stack.
+
+    ``components`` maps component names (e.g. ``"hypervisor"``,
+    ``"vwitness-core"``, ``"text-model"``) to their content bytes; the
+    state digest chains the component digests in name order, mirroring a
+    TPM PCR extend sequence.
+    """
+
+    components: tuple  # tuple of (name, bytes) pairs, canonical order
+
+    @classmethod
+    def measure(cls, components: dict) -> "MeasuredState":
+        ordered = tuple(sorted((str(k), bytes(v)) for k, v in components.items()))
+        return cls(components=ordered)
+
+    def digest(self) -> bytes:
+        acc = b"\x00" * 32
+        for name, blob in self.components:
+            h = hashlib.sha256()
+            h.update(acc)
+            h.update(name.encode("utf-8"))
+            h.update(hashlib.sha256(blob).digest())
+            acc = h.digest()
+        return acc
+
+    def with_tampered(self, name: str, new_blob: bytes) -> "MeasuredState":
+        """A state where one component was modified (for attack tests)."""
+        components = dict(self.components)
+        if name not in components:
+            raise KeyError(f"no component {name!r} in measured state")
+        components[name] = new_blob
+        return MeasuredState.measure(components)
+
+
+def generate_signing_key() -> Ed25519PrivateKey:
+    """A fresh Ed25519 client signing key (``K_pri``)."""
+    return Ed25519PrivateKey.generate()
+
+
+def public_bytes(key: Ed25519PublicKey) -> bytes:
+    return key.public_bytes(Encoding.Raw, PublicFormat.Raw)
+
+
+class SealedSigningKey:
+    """``K_pri`` sealed to a measured state.
+
+    The simulation stores the key bytes XOR-wrapped with a KDF of the
+    sealing state digest — enough to guarantee the *behavioural* property
+    the protocol needs: unsealing under any other state yields garbage
+    that fails key reconstruction, and the object never exposes the raw
+    key without a matching state.
+    """
+
+    def __init__(self, private_key: Ed25519PrivateKey, state: MeasuredState) -> None:
+        raw = private_key.private_bytes(Encoding.Raw, PrivateFormat.Raw, NoEncryption())
+        pad = self._kdf(state.digest(), len(raw))
+        self._wrapped = bytes(a ^ b for a, b in zip(raw, pad))
+        self._check = hashlib.sha256(b"seal-check" + raw).digest()
+        self.public_key = private_key.public_key()
+
+    @staticmethod
+    def _kdf(seed: bytes, length: int) -> bytes:
+        out = b""
+        counter = 0
+        while len(out) < length:
+            out += hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
+            counter += 1
+        return out[:length]
+
+    def unseal(self, state: MeasuredState) -> Ed25519PrivateKey:
+        """Recover ``K_pri`` — only under the sealed-to software state."""
+        pad = self._kdf(state.digest(), len(self._wrapped))
+        candidate = bytes(a ^ b for a, b in zip(self._wrapped, pad))
+        if hashlib.sha256(b"seal-check" + candidate).digest() != self._check:
+            raise SealError(
+                "measured software state does not match the sealing state; "
+                "refusing to release the signing key"
+            )
+        return Ed25519PrivateKey.from_private_bytes(candidate)

@@ -1,0 +1,74 @@
+"""Certified-request signatures (paper §III-B steps 4-5).
+
+A certified request binds together (1) the request body, (2) the VSPEC
+digest used for validation — which includes the session ID nonce — under
+the client's sealed signing key.  The server verifies the certificate
+chain, the signature and the VSPEC echo (§III-B server-side steps 1-3).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from cryptography.exceptions import InvalidSignature
+from cryptography.hazmat.primitives.asymmetric.ed25519 import Ed25519PrivateKey
+
+from repro.crypto.ca import Certificate, CertificateAuthority
+
+
+class SignatureError(RuntimeError):
+    """A certified request failed signature verification."""
+
+
+def canonical_body(body: dict) -> bytes:
+    """Deterministic request-body encoding (sorted-key JSON)."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _signed_payload(body: dict, vspec_digest: str) -> bytes:
+    return b"|".join([b"vwitness-request-v1", canonical_body(body), vspec_digest.encode("ascii")])
+
+
+@dataclass(frozen=True)
+class CertifiedRequest:
+    """What the extension forwards to the server (step 5).
+
+    The body is sent unchanged; only the signature, the VSPEC digest and
+    the client certificate are added — preserving the paper's privacy
+    property (nothing about the rest of the screen leaks).
+    """
+
+    body: dict
+    vspec_digest: str
+    signature: bytes
+    certificate: Certificate
+
+
+def sign_request(
+    private_key: Ed25519PrivateKey,
+    body: dict,
+    vspec_digest: str,
+    certificate: Certificate,
+) -> CertifiedRequest:
+    """Produce a certified request under the unsealed client key."""
+    signature = private_key.sign(_signed_payload(body, vspec_digest))
+    return CertifiedRequest(
+        body=dict(body), vspec_digest=vspec_digest, signature=signature, certificate=certificate
+    )
+
+
+def verify_request(request: CertifiedRequest, ca: CertificateAuthority) -> None:
+    """Server-side steps 1-2: certificate chain, then request signature.
+
+    Raises :class:`~repro.crypto.ca.CertificateError` or
+    :class:`SignatureError`; VSPEC-echo and freshness checks are the web
+    server's job (it knows what it issued).
+    """
+    ca.verify(request.certificate)
+    try:
+        request.certificate.public_key().verify(
+            request.signature, _signed_payload(request.body, request.vspec_digest)
+        )
+    except InvalidSignature as exc:
+        raise SignatureError("request signature does not verify") from exc

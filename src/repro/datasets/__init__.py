@@ -1,0 +1,25 @@
+"""Evaluation datasets (paper §VI).
+
+* :mod:`repro.datasets.forms` — Jotform-style form generator (the paper's
+  100-form accuracy set) and WPForms-style templates.
+* :mod:`repro.datasets.clickbench` — synthetic Clickbench: screenshot
+  pairs of UI-tampering attacks validated with whole-screen pseudo-VSPECs.
+* :mod:`repro.datasets.corpus` — the 2585-form compatibility corpus with
+  realistic element-type mixes (Table X).
+"""
+
+from repro.datasets.forms import jotform_page, wpforms_template, WPFORMS_TEMPLATE_COUNT
+from repro.datasets.clickbench import ClickbenchSample, clickbench_dataset
+from repro.datasets.corpus import FormCensus, full_corpus, jotform_census, wpforms_census
+
+__all__ = [
+    "jotform_page",
+    "wpforms_template",
+    "WPFORMS_TEMPLATE_COUNT",
+    "ClickbenchSample",
+    "clickbench_dataset",
+    "FormCensus",
+    "full_corpus",
+    "jotform_census",
+    "wpforms_census",
+]

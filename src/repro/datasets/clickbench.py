@@ -1,0 +1,148 @@
+"""Synthetic Clickbench: UI-tampering screenshot pairs (paper §VI-A).
+
+Clickbench [24] is a corpus of simulated clickjacking screenshots; the
+paper evaluates vWitness on 40 usable pairs with a *pseudo-VSPEC* that
+"classif[ies] the whole screenshot as a single image invoking vWitness's
+image model only".  We synthesize pairs with the same attack taxonomy:
+
+* ``overlay``   — an opaque decoy covers a sensitive element,
+* ``text-swap`` — displayed text is replaced (Fig. 2's attacks),
+* ``redress``   — a benign-looking decoy screen hides the page,
+* ``text-in-image`` — text injected *inside* an image region (the
+  paper's single false negative, caught only by the text model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.tamper import inject_text_into_image, overlay_rectangle, swap_text_on_display
+from repro.raster.stacks import stack_registry
+from repro.vision.image import Image
+from repro.web.browser import Browser
+from repro.web.elements import Button, ImageElement, Page, TextBlock
+from repro.web.hypervisor import Machine
+
+#: The paper's usable sample count (40 pairs, 39 distinct attack pairs).
+DEFAULT_SAMPLES = 40
+
+_ATTACKS = ("overlay", "text-swap", "redress", "text-in-image")
+
+
+@dataclass
+class ClickbenchSample:
+    """One benchmark pair: expected appearance vs (tampered) display."""
+
+    name: str
+    attack: str  # one of _ATTACKS, or "benign"
+    expected: np.ndarray  # reference full-screen appearance
+    displayed: np.ndarray  # what the (possibly tampered) client shows
+    tampered: bool
+
+
+def _app_page(seed: int, width: int) -> Page:
+    """An app-like screen: text, imagery and action buttons."""
+    rng = np.random.default_rng(seed)
+    headlines = [
+        "Subscribe to channel", "Confirm payment", "Install plugin",
+        "Allow notifications", "Share your location", "Grant permission",
+    ]
+    bodies = [
+        "Tap confirm to proceed with the action shown below.",
+        "Review the details carefully before continuing.",
+        "This action can not be undone once submitted.",
+    ]
+    elements = [
+        ImageElement("logo", int(rng.integers(1, 500)), width=160, height=40),
+        TextBlock(headlines[int(rng.integers(len(headlines)))], 18),
+        TextBlock(bodies[int(rng.integers(len(bodies)))], 14),
+        ImageElement("patch", int(rng.integers(1, 10_000)), width=96, height=96),
+        Button("Confirm", action="none"),
+        Button("Cancel", action="none"),
+    ]
+    return Page(title=f"App screen {seed}", elements=elements, width=width)
+
+
+def _render_to_machine(page: Page, stack, width: int, height: int) -> Machine:
+    machine = Machine(width, height)
+    browser = Browser(machine, page, stack=stack)
+    browser.paint()
+    return machine
+
+
+def clickbench_dataset(
+    count: int = DEFAULT_SAMPLES,
+    width: int = 480,
+    height: int = 600,
+    seed: int = 2023,
+) -> list:
+    """Generate the synthetic Clickbench pair set.
+
+    ``count - 1`` tampered pairs cycling through the attack taxonomy plus
+    one benign pair (rendered on a different stack — the TN probe).
+    """
+    if count < 2:
+        raise ValueError(f"need at least 2 samples, got {count}")
+    rng = np.random.default_rng(seed)
+    stacks = stack_registry()
+    samples = []
+    for i in range(count):
+        page = _app_page(seed + i, width)
+        reference = _render_to_machine(page, None, width, height)
+        expected = reference.sample_framebuffer().pixels
+
+        client_stack = stacks[int(rng.integers(len(stacks)))]
+        client_page = _app_page(seed + i, width)  # fresh element state
+        machine = _render_to_machine(client_page, client_stack, width, height)
+
+        if i == count - 1:
+            samples.append(
+                ClickbenchSample(
+                    name=f"cb-{i:02d}", attack="benign", expected=expected,
+                    displayed=machine.sample_framebuffer().pixels, tampered=False,
+                )
+            )
+            continue
+
+        attack = _ATTACKS[i % len(_ATTACKS)]
+        confirm = next(e for e in client_page.elements if getattr(e, "label", "") == "Confirm")
+        image = next(e for e in client_page.elements if isinstance(e, ImageElement) and e.kind == "patch")
+        if attack == "overlay":
+            overlay_rectangle(
+                machine, confirm.rect.x, confirm.rect.y, confirm.rect.w + 40, confirm.rect.h,
+                color=248.0, text="Play video",
+            )
+        elif attack == "text-swap":
+            swap_text_on_display(
+                machine, confirm.rect.x + 12, confirm.rect.y + (confirm.rect.h - 14) // 2,
+                "Cancel!", size=14, stack=client_stack, background=225.0,
+            )
+        elif attack == "redress":
+            decoy = Image.blank(width, height, 252.0)
+            inner = _app_page(seed + 7000 + i, width)
+            decoy_machine = _render_to_machine(inner, client_stack, width, height)
+            decoy.pixels[...] = decoy_machine.sample_framebuffer().pixels
+            machine.framebuffer_handle().pixels[...] = decoy.pixels
+        elif attack == "text-in-image":
+            inject_text_into_image(
+                machine, image.rect.x + 4, image.rect.y + 30, image.rect.w - 8, 30, "FREE $$",
+            )
+        samples.append(
+            ClickbenchSample(
+                name=f"cb-{i:02d}", attack=attack, expected=expected,
+                displayed=machine.sample_framebuffer().pixels, tampered=True,
+            )
+        )
+    return samples
+
+
+def validate_sample(sample: ClickbenchSample, image_verifier, text_verifier=None) -> bool:
+    """Whole-screen pseudo-VSPEC validation: True = accepted as benign.
+
+    Mirrors the paper's setup: the screenshot is one image element.  When
+    ``text_verifier`` is given, it is *not* used — the paper invokes the
+    text model only in the follow-up analysis of the false negative.
+    """
+    return image_verifier.verify_region(sample.displayed, sample.expected, background=255.0)

@@ -1,0 +1,192 @@
+"""Form generators: Jotform-style pages and WPForms-style templates.
+
+The paper's accuracy and performance evaluations use 100 forms sampled
+from Jotform ("representative samples of many common forms, used on over
+10 million websites"), rendered across different stacks.  This generator
+produces forms with the same ingredient mix: contact fields, payment
+fields, choices, consents and submit buttons — everything in vWitness's
+supported element set so that VSPECs can be built for them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.web.elements import (
+    Button,
+    Checkbox,
+    ImageElement,
+    Page,
+    RadioGroup,
+    ScrollableList,
+    SelectBox,
+    TextBlock,
+    TextInput,
+)
+
+#: Realistic field ingredients: (field name, label).
+_TEXT_FIELDS = [
+    ("first_name", "First name"),
+    ("last_name", "Last name"),
+    ("email", "Email address"),
+    ("phone", "Phone number"),
+    ("address", "Street address"),
+    ("city", "City"),
+    ("zip", "Postal code"),
+    ("company", "Company"),
+    ("amount", "Amount"),
+    ("account", "Account number"),
+    ("order_ref", "Order reference"),
+    ("date", "Preferred date"),
+]
+
+_SELECTS = [
+    ("country", ["Canada", "USA", "UK", "Germany", "Japan"]),
+    ("department", ["Sales", "Support", "Billing"]),
+    ("quantity", ["1", "2", "3", "4", "5"]),
+    ("plan", ["Basic", "Plus", "Premium"]),
+]
+
+_RADIOS = [
+    ("contact_method", ["Email", "Phone"]),
+    ("urgency", ["Low", "Normal", "High"]),
+    ("satisfaction", ["Poor", "Fair", "Good"]),
+    ("shipping", ["Standard", "Express"]),
+]
+
+_CHECKBOXES = [
+    ("subscribe", "Subscribe to the newsletter"),
+    ("terms", "I agree to the terms"),
+    ("privacy", "I accept the privacy policy"),
+    ("copy_me", "Send me a copy"),
+]
+
+_LISTS = [
+    ("topic", ["Billing", "Technical", "Account", "Sales", "Feedback", "Other"]),
+    ("timezone", ["UTC-8", "UTC-5", "UTC", "UTC+1", "UTC+8", "UTC+9"]),
+]
+
+_TITLES = [
+    "Contact Us", "Payment Details", "Event Registration", "Service Request",
+    "Feedback Survey", "Appointment Booking", "Account Update", "Order Form",
+    "Support Ticket", "Donation Form", "Volunteer Signup", "Quote Request",
+]
+
+_INTROS = [
+    "Please fill in the fields below.",
+    "We will respond within two business days.",
+    "All fields are required unless noted.",
+    "Your information is kept confidential.",
+]
+
+
+def jotform_page(seed: int, width: int = 640) -> Page:
+    """A deterministic Jotform-style page for ``seed``."""
+    rng = np.random.default_rng(seed)
+    elements: list = []
+
+    if rng.uniform() < 0.5:
+        elements.append(ImageElement("logo", int(rng.integers(1, 1000)), width=140, height=36))
+    elements.append(TextBlock(_INTROS[int(rng.integers(len(_INTROS)))], 14))
+
+    text_count = int(rng.integers(2, 6))
+    picked = rng.choice(len(_TEXT_FIELDS), size=text_count, replace=False)
+    for idx in picked:
+        name, label = _TEXT_FIELDS[int(idx)]
+        elements.append(TextInput(name, label=label, max_length=24))
+
+    if rng.uniform() < 0.55:
+        name, options = _SELECTS[int(rng.integers(len(_SELECTS)))]
+        elements.append(SelectBox(name, options))
+    if rng.uniform() < 0.45:
+        name, options = _RADIOS[int(rng.integers(len(_RADIOS)))]
+        elements.append(RadioGroup(name, options))
+    if rng.uniform() < 0.6:
+        name, label = _CHECKBOXES[int(rng.integers(len(_CHECKBOXES)))]
+        elements.append(Checkbox(name, label))
+    if rng.uniform() < 0.15:
+        name, items = _LISTS[int(rng.integers(len(_LISTS)))]
+        elements.append(ScrollableList(name, items, visible_rows=3))
+    if rng.uniform() < 0.3:
+        icon_pool = ["lock", "envelope", "person", "star"]
+        elements.append(
+            ImageElement("icon", icon_pool[int(rng.integers(len(icon_pool)))], width=32, height=32)
+        )
+
+    elements.append(Button("Submit", action="submit"))
+    title = _TITLES[int(rng.integers(len(_TITLES)))]
+    return Page(title=f"{title} #{seed}", elements=elements, width=width)
+
+
+#: Number of WPForms templates the paper crawled.
+WPFORMS_TEMPLATE_COUNT = 109
+
+_WP_KINDS = ["contact", "survey", "registration", "order", "booking", "newsletter"]
+
+
+def wpforms_template(index: int, width: int = 640) -> Page:
+    """One of the 109 WPForms-style templates (deterministic by index)."""
+    if not 0 <= index < WPFORMS_TEMPLATE_COUNT:
+        raise ValueError(f"template index {index} out of range")
+    kind = _WP_KINDS[index % len(_WP_KINDS)]
+    rng = np.random.default_rng(90_000 + index)
+    elements: list = [TextBlock(f"Template: {kind} form", 14)]
+    base_fields = {
+        "contact": ["first_name", "email", "phone"],
+        "survey": ["first_name", "email"],
+        "registration": ["first_name", "last_name", "email", "company"],
+        "order": ["first_name", "email", "address", "amount"],
+        "booking": ["first_name", "phone", "date"],
+        "newsletter": ["email"],
+    }[kind]
+    labels = dict(_TEXT_FIELDS)
+    for name in base_fields:
+        elements.append(TextInput(name, label=labels.get(name, name.title()), max_length=24))
+    if kind in ("survey",):
+        name, options = _RADIOS[int(rng.integers(len(_RADIOS)))]
+        elements.append(RadioGroup(name, options))
+    if kind in ("order", "booking", "registration"):
+        name, options = _SELECTS[int(rng.integers(len(_SELECTS)))]
+        elements.append(SelectBox(name, options))
+    if kind in ("newsletter", "contact", "registration"):
+        name, label = _CHECKBOXES[int(rng.integers(len(_CHECKBOXES)))]
+        elements.append(Checkbox(name, label))
+    elements.append(Button("Submit", action="submit"))
+    return Page(title=f"WPForms {kind} #{index}", elements=elements, width=width)
+
+
+def sample_user_entries(page: Page, seed: int) -> dict:
+    """Plausible values an honest user would enter into ``page``.
+
+    Keys are field names; values match the element type (strings for text
+    inputs, option labels for choices, 'on' for checkboxes).
+    """
+    rng = np.random.default_rng(seed + 5_000_000)
+    values: dict = {}
+    pools = {
+        "first_name": ["Ana", "Bob", "Chen", "Dee"],
+        "last_name": ["Smith", "Lopez", "Kim"],
+        "email": ["ana@example.com", "bob@mail.org"],
+        "phone": ["555-0100", "555-0199"],
+        "address": ["12 Oak St", "99 Pine Ave"],
+        "city": ["Toronto", "Ottawa"],
+        "zip": ["M5S 1A1", "10001"],
+        "company": ["Acme Inc", "Initech"],
+        "amount": ["125.00", "80"],
+        "account": ["AC-221144", "AC-787878"],
+        "order_ref": ["ORD-5521", "ORD-0042"],
+        "date": ["2026-07-01", "2026-08-15"],
+    }
+    for element in page.elements:
+        if isinstance(element, TextInput):
+            pool = pools.get(element.name, ["value"])
+            values[element.name] = pool[int(rng.integers(len(pool)))]
+        elif isinstance(element, SelectBox):
+            values[element.name] = element.options[int(rng.integers(len(element.options)))]
+        elif isinstance(element, RadioGroup):
+            values[element.name] = element.options[int(rng.integers(len(element.options)))]
+        elif isinstance(element, Checkbox):
+            values[element.name] = "on"
+        elif isinstance(element, ScrollableList):
+            values[element.name] = element.items[int(rng.integers(len(element.items)))]
+    return values

@@ -1,0 +1,358 @@
+"""Training-corpus generation (the paper's §IV-A data collection).
+
+Text corpus: "94 characters ... using 231 unique fonts, three styles ...
+three renderers ... on two platforms", expanded by enlarging/shifting,
+intensity changes and random bit flips, balanced with false pairs that
+assign another character to each image.
+
+Image corpus: icons (Material stand-ins) and natural patches (CIFAR
+stand-ins) across rendering stacks, with text-injected negatives so that
+"unexpected text in the images will be detected".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensorops import one_hot
+from repro.raster.fonts import STYLES, FontFace
+from repro.raster.glyphs import CHARSET
+from repro.raster.icons import icon_names, icon_with_text, natural_patch, render_icon, rotate_icon_90
+from repro.raster.stacks import RenderStack, reference_stack
+from repro.raster.text import render_char_tile
+from repro.vision.image import Image
+from repro.vision.ops import resize_bilinear
+
+#: Page text sizes the verifier sees in the wild.  Tiles rendered at these
+#: sizes are upscaled to the model's 32x32 input, so training must cover
+#: the same upscaling blur the display validator produces.
+RENDER_SIZES = (13, 14, 16, 18, 24, 32)
+
+#: Index of each charset character (the text model's expected-input space).
+CHAR_TO_INDEX = {c: i for i, c in enumerate(CHARSET)}
+
+#: Visually ambiguous character groups used for collapsed-label training
+#: (paper §IV-A: "optionally trained text models with collapsed expected
+#: text (i.e. 's' and 'S')").
+COLLAPSED_GROUPS = [
+    "sS", "cC", "oO0", "xX", "zZ", "vV", "wW", "uU", "kK", "pP",
+    "il1|I!", "j;", ":.", "`'", "-_~",
+]
+
+_COLLAPSE_MAP = {}
+for _group in COLLAPSED_GROUPS:
+    for _ch in _group:
+        _COLLAPSE_MAP[_ch] = _group[0]
+
+
+def collapse_char(char: str) -> str:
+    """Canonical representative of a character's ambiguity group."""
+    return _COLLAPSE_MAP.get(char, char)
+
+
+def chars_conflict(a: str, b: str) -> bool:
+    """True when two characters are visually interchangeable when collapsed."""
+    return collapse_char(a) == collapse_char(b)
+
+
+def _augment(tile: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One random expansion of a glyph tile (shift/intensity/bit flips)."""
+    out = tile.copy()
+    # Shift: roll by up to 2 pixels with background fill.
+    dx, dy = rng.integers(-2, 3, size=2)
+    if dx or dy:
+        bg = float(np.median(out))
+        out = np.roll(out, (dy, dx), axis=(0, 1))
+        if dy > 0:
+            out[:dy, :] = bg
+        elif dy < 0:
+            out[dy:, :] = bg
+        if dx > 0:
+            out[:, :dx] = bg
+        elif dx < 0:
+            out[:, dx:] = bg
+    # Intensity change plus sensor/compositor noise: rendered pages pass
+    # through two dither stages (glyph-level and canvas-level), so tiles
+    # sampled from real frames are noisier than isolated glyph renders.
+    out = np.clip(out * rng.uniform(0.9, 1.1) + rng.normal(0.0, 1.3, out.shape), 0.0, 255.0)
+    # Random bit flips: a small set of pixels inverted.
+    n_flips = int(rng.integers(0, 6))
+    if n_flips:
+        ys = rng.integers(0, out.shape[0], n_flips)
+        xs = rng.integers(0, out.shape[1], n_flips)
+        out[ys, xs] = 255.0 - out[ys, xs]
+    return out
+
+
+def _simulate_cell_crop(tile: np.ndarray, size: int) -> np.ndarray:
+    """Reproduce the renderer's cell cropping on a square glyph tile.
+
+    Page text cells are ``char_advance(size)`` wide; when the advance is
+    narrower than the glyph square, the renderer crops the tile's sides
+    and the display validator pads them back with background.  Training
+    tiles must go through the same lossy round-trip.
+    """
+    from repro.raster.text import char_advance
+
+    advance = char_advance(size)
+    if advance >= size:
+        return tile
+    margin = (size - advance) // 2
+    out = np.full_like(tile, float(np.median(tile[0])))
+    out[:, margin : margin + advance] = tile[:, margin : margin + advance]
+    return out
+
+
+def _negative_char(char: str, rng: np.random.Generator, collapsed: bool) -> str:
+    """A different character to pair as a false label."""
+    while True:
+        other = CHARSET[int(rng.integers(len(CHARSET)))]
+        if other == char:
+            continue
+        if collapsed and chars_conflict(other, char):
+            continue
+        return other
+
+
+def text_dataset(
+    fonts: list,
+    stacks: list | None = None,
+    styles: tuple = STYLES,
+    chars: str = CHARSET,
+    expansions: int = 1,
+    collapsed_labels: bool = True,
+    seed: int = 0,
+) -> tuple:
+    """Balanced text-matcher corpus.
+
+    Returns ``(observed, expected, labels)`` where ``observed`` is
+    ``(N, 1, 32, 32)`` in [0, 1], ``expected`` is a ``(N, 94)`` one-hot of
+    the expected character and ``labels`` are match bits.  Each rendered
+    tile contributes one positive (paired with its true character) and one
+    negative (paired with a different character), yielding the paper's
+    "perfectly balanced training set".
+    """
+    if not fonts:
+        raise ValueError("text_dataset needs at least one font")
+    stacks = stacks or [reference_stack()]
+    rng = np.random.default_rng(seed)
+    tiles = []
+    pos_chars = []
+    combo_index = 0
+    for font in fonts:
+        for style in styles:
+            face = font.styled(style)
+            for stack in stacks:
+                combo_index += 1
+                for char_index, char in enumerate(chars):
+                    # Cycle sizes deterministically so every character is
+                    # seen at every render size across the font/stack grid
+                    # (random sampling leaves (char, size) holes that show
+                    # up as deterministic unit-input false negatives).
+                    size = int(RENDER_SIZES[(combo_index + char_index) % len(RENDER_SIZES)])
+                    tile = render_char_tile(char, size=size, font=face, stack=stack).pixels
+                    tile = _simulate_cell_crop(tile, size)
+                    if size != 32:
+                        tile = resize_bilinear(tile, 32, 32)
+                    tiles.append(tile)
+                    pos_chars.append(char)
+                    for _ in range(expansions):
+                        tiles.append(_augment(tile, rng))
+                        pos_chars.append(char)
+    observed = []
+    expected_idx = []
+    labels = []
+    for tile, char in zip(tiles, pos_chars):
+        expected_true = collapse_char(char) if collapsed_labels else char
+        observed.append(tile)
+        expected_idx.append(CHAR_TO_INDEX[expected_true])
+        labels.append(1.0)
+        neg = _negative_char(char, rng, collapsed_labels)
+        observed.append(tile)
+        expected_idx.append(CHAR_TO_INDEX[collapse_char(neg) if collapsed_labels else neg])
+        labels.append(0.0)
+    obs = (np.stack(observed)[:, None, :, :] / 255.0).astype(np.float32)
+    exp = one_hot(expected_idx, len(CHARSET)).astype(np.float32)
+    return obs, exp, np.asarray(labels, dtype=np.float32)
+
+
+def ui_fragment(seed: int, stack: RenderStack | None = None, size: int = 32) -> np.ndarray:
+    """A deterministic 32x32 UI fragment (borders, fills, text, glyphs).
+
+    The graphics model must judge arbitrary screen regions — the
+    Clickbench evaluation treats whole screenshots as one image — so its
+    corpus needs tiles that look like *interface* (button edges, field
+    borders, label fragments), not just icons and photos.  The fragment's
+    structure is a function of ``seed``; the rendering varies with the
+    stack, giving cross-stack positive pairs.
+    """
+    from repro.raster.text import render_text_line
+
+    stack = stack or reference_stack()
+    rng = np.random.default_rng(seed)
+    img = Image.blank(size, size, stack.background)
+    kind = int(rng.integers(4))
+    if kind == 0:
+        # A field/button corner: border plus fill.
+        fill = float(rng.uniform(215, 253))
+        x = int(rng.integers(0, size // 2))
+        y = int(rng.integers(0, size // 2))
+        w = int(rng.integers(size // 2, size - x))
+        h = int(rng.integers(size // 2, size - y))
+        img.fill_rect(x, y, w, h, fill)
+        img.draw_border(x, y, w, h, 90.0, 1)
+    elif kind == 1:
+        # A label fragment.
+        text = "".join(CHARSET[int(rng.integers(len(CHARSET)))] for _ in range(3))
+        line = render_text_line(text, size=int(rng.integers(12, 17)), stack=stack)
+        w = min(line.width, size - 2)
+        h = min(line.height, size - 2)
+        img.paste(Image(line.pixels[:h, :w]), 1, int(rng.integers(0, size - h)))
+    elif kind == 2:
+        # Horizontal rules / separators.
+        for _ in range(int(rng.integers(1, 4))):
+            y = int(rng.integers(2, size - 2))
+            img.draw_hline(0, y, size, float(rng.uniform(60, 150)), 1)
+    else:
+        # Border-meets-text: the densest kind of form chrome.
+        img.draw_border(0, 0, size, size, 90.0, 1)
+        text = "".join(CHARSET[int(rng.integers(len(CHARSET)))] for _ in range(2))
+        line = render_text_line(text, size=14, stack=stack)
+        w = min(line.width, size - 4)
+        img.paste(Image(line.pixels[:14, :w]), 2, int(rng.integers(2, size - 16)))
+    return stack.apply_noise(img.pixels, salt=seed)
+
+
+def _image_pool(n_icons: int, n_patches: int, stack: RenderStack, seed: int) -> list:
+    """(key, tile) pairs for icons and natural patches under one stack."""
+    names = icon_names()
+    pool = []
+    for i in range(min(n_icons, len(names))):
+        pool.append((f"icon:{names[i]}", render_icon(names[i], stack=stack).pixels))
+    rng = np.random.default_rng(seed)
+    for _ in range(n_patches):
+        patch_seed = int(rng.integers(1, 2**31))
+        pool.append((f"patch:{patch_seed}", natural_patch(patch_seed, stack=stack).pixels))
+    for _ in range(n_patches):
+        frag_seed = int(rng.integers(1, 2**31))
+        pool.append((f"ui:{frag_seed}", ui_fragment(frag_seed, stack=stack)))
+    return pool
+
+
+def image_dataset(
+    stacks: list | None = None,
+    n_icons: int = 12,
+    n_patches: int = 24,
+    seed: int = 0,
+) -> tuple:
+    """Balanced graphics-matcher corpus.
+
+    Returns ``(observed, expected, labels)`` with both rasters shaped
+    ``(N, 1, 32, 32)`` in [0, 1].  ``expected`` is always the reference-
+    stack render (the VSPEC ground truth); ``observed`` is either the same
+    content under a different stack (positive) or one of three negative
+    types: different content, rotated content, or content with injected
+    text (the paper's dedicated text-in-image negatives).
+    """
+    stacks = stacks or [reference_stack()]
+    rng = np.random.default_rng(seed)
+    ref = reference_stack()
+    ref_pool = dict(_image_pool(n_icons, n_patches, ref, seed))
+    keys = list(ref_pool)
+    observed, expected, labels = [], [], []
+    words = ["OK", "NO", "pay", "yes", "87"]
+    # Identity positives: the expected render *is* what is displayed
+    # (e.g. client and server share a stack) — trivially benign.
+    for key in keys:
+        observed.append(ref_pool[key])
+        expected.append(ref_pool[key])
+        labels.append(1.0)
+    for stack in stacks:
+        stack_pool = _image_pool(n_icons, n_patches, stack, seed)
+        for key, tile in stack_pool:
+            exp_tile = ref_pool[key]
+            # Positive: same content, different rendering stack.
+            observed.append(tile)
+            expected.append(exp_tile)
+            labels.append(1.0)
+            # Extra positive: the same stack render against itself.
+            observed.append(tile)
+            expected.append(tile)
+            labels.append(1.0)
+            # Negative 1: different content.
+            other = keys[int(rng.integers(len(keys)))]
+            if other == key:
+                other = keys[(keys.index(key) + 1) % len(keys)]
+            observed.append(ref_pool[other])
+            expected.append(exp_tile)
+            labels.append(0.0)
+            # Negative 2: rotated content (structure preserved, layout not).
+            observed.append(rotate_icon_90(Image(tile)).pixels)
+            expected.append(exp_tile)
+            labels.append(0.0)
+            # Negative 3: injected text (or an overlay for UI fragments).
+            word = words[int(rng.integers(len(words)))]
+            if key.startswith("icon:"):
+                tampered = icon_with_text(key.split(":", 1)[1], word, stack=stack).pixels
+            elif key.startswith("patch:"):
+                tampered = icon_with_text(int(key.split(":", 1)[1]), word, stack=stack).pixels
+            else:
+                overlaid = Image(tile.copy())
+                ox = int(rng.integers(0, 16))
+                oy = int(rng.integers(0, 16))
+                overlaid.fill_rect(ox, oy, 14, 12, float(rng.uniform(0, 200)))
+                tampered = overlaid.pixels
+            observed.append(tampered)
+            expected.append(exp_tile)
+            labels.append(0.0)
+    obs = (np.stack(observed)[:, None, :, :] / 255.0).astype(np.float32)
+    exp = (np.stack(expected)[:, None, :, :] / 255.0).astype(np.float32)
+    return obs, exp, np.asarray(labels, dtype=np.float32)
+
+
+def reference_text_dataset(
+    fonts: list,
+    stacks: list | None = None,
+    styles: tuple = ("normal",),
+    chars: str = CHARSET,
+    seed: int = 0,
+) -> tuple:
+    """Multi-class corpus for the reference text classifier (§V-B t1).
+
+    Returns ``(x, labels)`` with labels indexing into :data:`CHARSET` —
+    the "MNIST classifier" analogue whose robustness vWitness is compared
+    against.
+    """
+    stacks = stacks or [reference_stack()]
+    rng = np.random.default_rng(seed)
+    xs, ys = [], []
+    for font in fonts:
+        for style in styles:
+            face = font.styled(style)
+            for stack in stacks:
+                for char in chars:
+                    tile = render_char_tile(char, size=32, font=face, stack=stack).pixels
+                    xs.append(tile)
+                    ys.append(CHAR_TO_INDEX[char])
+                    xs.append(_augment(tile, rng))
+                    ys.append(CHAR_TO_INDEX[char])
+    return (np.stack(xs)[:, None, :, :] / 255.0).astype(np.float32), np.asarray(ys, dtype=int)
+
+
+def reference_image_dataset(stacks: list | None = None, per_class: int = 6, seed: int = 0) -> tuple:
+    """Multi-class corpus for the reference image classifier (§V-B g1).
+
+    Ten icon classes rendered across stacks — the "CIFAR-10 classifier"
+    analogue.
+    """
+    stacks = stacks or [reference_stack()]
+    names = icon_names()[:10]
+    rng = np.random.default_rng(seed)
+    xs, ys = [], []
+    for label, name in enumerate(names):
+        for stack in stacks:
+            for _ in range(per_class):
+                tile = render_icon(name, stack=stack).pixels
+                xs.append(_augment(tile, rng))
+                ys.append(label)
+    return (np.stack(xs)[:, None, :, :] / 255.0).astype(np.float32), np.asarray(ys, dtype=int)

@@ -1,0 +1,100 @@
+"""Losses and activations on logits (numerically stable forms)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Stable logistic function."""
+    out = np.empty_like(z, dtype=float)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise softmax of ``(N, K)`` logits."""
+    shifted = z - z.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def bce_loss_with_logits(logits: np.ndarray, targets: np.ndarray) -> tuple:
+    """Binary cross-entropy on logits.
+
+    Args:
+        logits: ``(N,)`` or ``(N, 1)`` raw scores.
+        targets: same shape, values in {0, 1} (floats accepted).
+
+    Returns:
+        ``(loss, grad)`` — mean loss and gradient w.r.t. the logits with
+        the same shape as ``logits``.
+    """
+    z = np.asarray(logits, dtype=float)
+    t = np.asarray(targets, dtype=float).reshape(z.shape)
+    # log(1 + exp(-|z|)) + max(z, 0) - z*t  is the stable BCE form.
+    loss = np.mean(np.log1p(np.exp(-np.abs(z))) + np.maximum(z, 0.0) - z * t)
+    grad = (sigmoid(z) - t) / z.size
+    return float(loss), grad
+
+
+def ce_loss_with_logits(logits: np.ndarray, labels: np.ndarray) -> tuple:
+    """Softmax cross-entropy on ``(N, K)`` logits with integer labels.
+
+    Returns ``(loss, grad)`` with ``grad`` shaped like ``logits``.
+    """
+    z = np.asarray(logits, dtype=float)
+    y = np.asarray(labels, dtype=int)
+    if z.ndim != 2:
+        raise ValueError(f"expected (N, K) logits, got shape {z.shape}")
+    if y.shape != (z.shape[0],):
+        raise ValueError(f"labels shape {y.shape} does not match batch {z.shape[0]}")
+    probs = softmax(z)
+    n = z.shape[0]
+    picked = np.clip(probs[np.arange(n), y], 1e-12, None)
+    loss = float(-np.mean(np.log(picked)))
+    grad = probs.copy()
+    grad[np.arange(n), y] -= 1.0
+    return loss, grad / n
+
+
+def margin_loss(logits: np.ndarray, target_class: np.ndarray, kappa: float = 0.0) -> tuple:
+    """Carlini-Wagner style margin: ``max(max_other - target, -kappa)``.
+
+    Minimizing this pushes the target class above every other class by at
+    least ``kappa``.  Returns ``(per_sample_loss, grad_wrt_logits)``.
+    """
+    z = np.asarray(logits, dtype=float)
+    y = np.asarray(target_class, dtype=int)
+    n, k = z.shape
+    target_logit = z[np.arange(n), y]
+    masked = z.copy()
+    masked[np.arange(n), y] = -np.inf
+    other_idx = masked.argmax(axis=1)
+    other_logit = z[np.arange(n), other_idx]
+    margin = other_logit - target_logit
+    active = margin > -kappa
+    grad = np.zeros_like(z)
+    rows = np.arange(n)[active]
+    grad[rows, other_idx[active]] += 1.0
+    grad[rows, y[active]] -= 1.0
+    # Raw margins are returned (sign and depth both matter to attacks);
+    # the clamp at -kappa only gates the gradient.
+    return margin, grad
+
+
+def binary_margin_loss(logits: np.ndarray, target: np.ndarray, kappa: float = 0.0) -> tuple:
+    """CW margin for the single-logit binary matchers.
+
+    ``target`` 1 means "push the logit positive (match)", 0 the opposite.
+    """
+    z = np.asarray(logits, dtype=float).reshape(-1)
+    t = np.asarray(target, dtype=float).reshape(-1)
+    signs = np.where(t > 0.5, -1.0, 1.0)  # minimize -z for target 1
+    margin = signs * z
+    active = margin > -kappa
+    grad = np.where(active, signs, 0.0).reshape(np.asarray(logits).shape)
+    return margin, grad

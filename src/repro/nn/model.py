@@ -1,0 +1,216 @@
+"""Model containers: ``Sequential`` chains and the two-input ``MatcherModel``.
+
+``MatcherModel`` is the topology both vWitness verifiers share (paper
+Table II): a CNN feature extractor over the *observed* raster, a second
+branch encoding the *expected* ground truth (a character one-hot for the
+text model, another CNN over the expected raster for the graphics model),
+and a dense head over the concatenated features producing one match logit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import sigmoid, softmax
+
+
+class Sequential(Layer):
+    """A chain of layers applied in order."""
+
+    def __init__(self, layers: list) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def params(self) -> dict:
+        out = {}
+        for i, layer in enumerate(self.layers):
+            for name, arr in layer.params().items():
+                out[f"{i}.{name}"] = arr
+        return out
+
+    def grads(self) -> dict:
+        out = {}
+        for i, layer in enumerate(self.layers):
+            for name, arr in layer.grads().items():
+                out[f"{i}.{name}"] = arr
+        return out
+
+    # Convenience for classifier use -------------------------------------
+
+    def predict_logits(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return softmax(self.forward(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x).argmax(axis=1)
+
+
+class MatcherModel:
+    """Two-input binary matcher (the vWitness verifier topology).
+
+    Args:
+        observed_branch: feature extractor over the observed raster input.
+        expected_branch: encoder of the expected ground truth (one-hot for
+            text, raster CNN for graphics).
+        head: dense layers mapping concatenated features to one logit.
+        threshold: detection threshold on the match probability; the paper
+            hardens models by raising this to 0.99 (Table III row t6).
+    """
+
+    def __init__(
+        self,
+        observed_branch: Sequential,
+        expected_branch: Sequential,
+        head: Sequential,
+        threshold: float = 0.5,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0,1), got {threshold}")
+        self.observed_branch = observed_branch
+        self.expected_branch = expected_branch
+        self.head = head
+        self.threshold = threshold
+        self._obs_features: np.ndarray | None = None
+        self._exp_features: np.ndarray | None = None
+
+    # -- forward/backward --------------------------------------------------
+
+    def forward(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
+        """Match logits ``(N, 1)`` for observed/expected input pairs."""
+        fo = self.observed_branch.forward(observed)
+        fe = self.expected_branch.forward(expected)
+        if fo.shape[0] != fe.shape[0]:
+            raise ValueError(f"batch mismatch: {fo.shape[0]} vs {fe.shape[0]}")
+        self._obs_features = fo
+        self._exp_features = fe
+        return self.head.forward(np.concatenate([fo, fe], axis=1))
+
+    def backward(self, grad_logits: np.ndarray) -> tuple:
+        """Backprop to both inputs; returns ``(d_observed, d_expected)``."""
+        if self._obs_features is None or self._exp_features is None:
+            raise RuntimeError("backward called before forward")
+        grad_cat = self.head.backward(grad_logits)
+        no = self._obs_features.shape[1]
+        d_obs = self.observed_branch.backward(grad_cat[:, :no])
+        d_exp = self.expected_branch.backward(grad_cat[:, no:])
+        return d_obs, d_exp
+
+    def input_gradient(self, observed, expected, grad_logits) -> np.ndarray:
+        """Gradient of a scalar-through-logits loss w.r.t. the observed raster."""
+        self.forward(observed, expected)
+        d_obs, _d_exp = self.backward(grad_logits)
+        return d_obs
+
+    # -- inference -----------------------------------------------------------
+
+    def match_probability(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
+        """P(observed is a benign rendering of expected), shape ``(N,)``."""
+        return sigmoid(self.forward(observed, expected)).reshape(-1)
+
+    def predict(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
+        """Boolean match decision at the configured threshold."""
+        return self.match_probability(observed, expected) >= self.threshold
+
+    def with_threshold(self, threshold: float) -> "MatcherModel":
+        """A view of this model with a different detection threshold.
+
+        Shares parameters with the original — raising the threshold is a
+        pure inference-time hardening (paper §V-B "High Detection
+        Threshold").
+        """
+        clone = MatcherModel(
+            self.observed_branch, self.expected_branch, self.head, threshold=threshold
+        )
+        return clone
+
+    # -- parameters ------------------------------------------------------------
+
+    def params(self) -> dict:
+        out = {}
+        for prefix, part in (
+            ("obs", self.observed_branch),
+            ("exp", self.expected_branch),
+            ("head", self.head),
+        ):
+            for name, arr in part.params().items():
+                out[f"{prefix}.{name}"] = arr
+        return out
+
+    def grads(self) -> dict:
+        out = {}
+        for prefix, part in (
+            ("obs", self.observed_branch),
+            ("exp", self.expected_branch),
+            ("head", self.head),
+        ):
+            for name, arr in part.grads().items():
+                out[f"{prefix}.{name}"] = arr
+        return out
+
+    @property
+    def num_params(self) -> int:
+        return int(sum(p.size for p in self.params().values()))
+
+
+class ChannelPairMatcher:
+    """Binary matcher over channel-stacked (observed, expected) rasters.
+
+    The graphics verifier compares two same-shape rasters.  Feeding them
+    as the two input channels of one CNN lets the first convolution see
+    both simultaneously — per-pixel comparison becomes a linear filter,
+    so "is this a benign variation of that?" is learnable with very little
+    capacity.  The interface mirrors :class:`MatcherModel`, including the
+    input gradient needed by adversarial attacks.
+    """
+
+    def __init__(self, network: Sequential, threshold: float = 0.5) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0,1), got {threshold}")
+        self.network = network
+        self.threshold = threshold
+
+    def forward(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
+        if observed.shape != expected.shape:
+            raise ValueError(f"raster shapes differ: {observed.shape} vs {expected.shape}")
+        if observed.ndim != 4 or observed.shape[1] != 1:
+            raise ValueError(f"expected (N, 1, H, W) rasters, got {observed.shape}")
+        stacked = np.concatenate([observed, expected], axis=1)
+        return self.network.forward(stacked)
+
+    def backward(self, grad_logits: np.ndarray) -> tuple:
+        d_stacked = self.network.backward(grad_logits)
+        return d_stacked[:, :1], d_stacked[:, 1:]
+
+    def match_probability(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
+        return sigmoid(self.forward(observed, expected)).reshape(-1)
+
+    def predict(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
+        return self.match_probability(observed, expected) >= self.threshold
+
+    def with_threshold(self, threshold: float) -> "ChannelPairMatcher":
+        """A parameter-sharing view with a different detection threshold."""
+        return ChannelPairMatcher(self.network, threshold=threshold)
+
+    def params(self) -> dict:
+        return self.network.params()
+
+    def grads(self) -> dict:
+        return self.network.grads()
+
+    @property
+    def num_params(self) -> int:
+        return int(sum(p.size for p in self.params().values()))

@@ -1,0 +1,87 @@
+"""Optimizers updating model parameters in place."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer over a params/grads provider (a model or layer)."""
+
+    def __init__(self, target) -> None:
+        self.target = target
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, target, lr: float = 0.01, momentum: float = 0.9) -> None:
+        super().__init__(target)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict = {}
+
+    def step(self) -> None:
+        params = self.target.params()
+        grads = self.target.grads()
+        for name, p in params.items():
+            g = grads.get(name)
+            if g is None:
+                continue
+            v = self._velocity.get(name)
+            if v is None:
+                v = np.zeros_like(p)
+            v *= self.momentum
+            v -= self.lr * g
+            self._velocity[name] = v
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (the paper's Keras default optimizer)."""
+
+    def __init__(
+        self,
+        target,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(target)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict = {}
+        self._v: dict = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        params = self.target.params()
+        grads = self.target.grads()
+        b1, b2 = self.beta1, self.beta2
+        for name, p in params.items():
+            g = grads.get(name)
+            if g is None:
+                continue
+            m = self._m.get(name)
+            v = self._v.get(name)
+            if m is None:
+                m = np.zeros_like(p)
+                v = np.zeros_like(p)
+            m = b1 * m + (1 - b1) * g
+            v = b2 * v + (1 - b2) * (g * g)
+            self._m[name] = m
+            self._v[name] = v
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,46 @@
+"""Model parameter persistence.
+
+Architectures are rebuilt from code (the zoo's named builders); only the
+parameter arrays are stored, as an ``.npz`` keyed by the same names that
+``params()`` exposes.  This mirrors how the paper ships Keras H5 /
+TensorFlow Lite weight files alongside known architectures.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def save_model(model, path: str) -> None:
+    """Write a model's parameters to ``path`` (``.npz``)."""
+    params = model.params()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **params)
+
+
+def load_model(model, path: str):
+    """Load parameters saved by :func:`save_model` into ``model`` (in place).
+
+    The model must have been built with the same architecture; any shape
+    mismatch raises ``ValueError`` rather than silently truncating.
+    """
+    with np.load(path) as data:
+        params = model.params()
+        missing = set(params) - set(data.files)
+        extra = set(data.files) - set(params)
+        if missing or extra:
+            raise ValueError(
+                f"parameter name mismatch loading {path}: missing={sorted(missing)} "
+                f"extra={sorted(extra)}"
+            )
+        for name, arr in params.items():
+            stored = data[name]
+            if stored.shape != arr.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: file {stored.shape} vs model {arr.shape}"
+                )
+            arr[...] = stored
+    return model

@@ -1,0 +1,76 @@
+"""im2col/col2im and friends — the workhorse behind Conv2D.
+
+Tensors are channel-first: images are ``(N, C, H, W)`` float64 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution collapses dimension: size={size} kernel={kernel} stride={stride} pad={pad}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into ``(N*H2*W2, C*k*k)`` patch rows."""
+    n, c, h, w = x.shape
+    h2 = conv_output_size(h, kernel, stride, pad)
+    w2 = conv_output_size(w, kernel, stride, pad)
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (N, C, H2, W2, k, k)
+    col = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * h2 * w2, c * kernel * kernel)
+    return np.ascontiguousarray(col)
+
+
+def col2im(
+    col: np.ndarray,
+    x_shape: tuple,
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold patch-row gradients back into an input gradient (im2col adjoint)."""
+    n, c, h, w = x_shape
+    h2 = conv_output_size(h, kernel, stride, pad)
+    w2 = conv_output_size(w, kernel, stride, pad)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    x_pad = np.zeros((n, c, hp, wp), dtype=col.dtype)
+    patches = col.reshape(n, h2, w2, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kernel):
+        for j in range(kernel):
+            x_pad[:, :, i : i + stride * h2 : stride, j : j + stride * w2 : stride] += patches[
+                :, :, :, :, i, j
+            ]
+    if pad:
+        return x_pad[:, :, pad : hp - pad, pad : wp - pad]
+    return x_pad
+
+
+def one_hot(indices, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels into ``(N, num_classes)`` floats."""
+    idx = np.asarray(indices, dtype=int)
+    if idx.ndim != 1:
+        raise ValueError(f"one_hot expects a 1-D index array, got shape {idx.shape}")
+    if idx.size and (idx.min() < 0 or idx.max() >= num_classes):
+        raise ValueError(f"label out of range [0, {num_classes}): {idx.min()}..{idx.max()}")
+    out = np.zeros((idx.shape[0], num_classes))
+    out[np.arange(idx.shape[0]), idx] = 1.0
+    return out
+
+
+def batch_iter(n: int, batch_size: int, rng: np.random.Generator | None = None):
+    """Yield index batches covering ``range(n)``, shuffled when ``rng`` given."""
+    order = np.arange(n)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]

@@ -1,0 +1,44 @@
+"""Text/icon rasterization substrate (browser rendering-stack substitute).
+
+The paper trains its verifiers on characters rendered by real browser
+engines (Gecko/Blink/WebKit) across OSes and 231 fonts.  Offline, we
+substitute a from-scratch rasterizer with the same *variation structure*:
+
+* :mod:`repro.raster.glyphs` — vector stroke definitions for the 94
+  printable ASCII characters and an anti-aliased stroke rasterizer.
+* :mod:`repro.raster.fonts` — a parametric font model (serif/sans, weight,
+  width, slant) and a deterministic registry of 231 synthetic fonts.
+* :mod:`repro.raster.stacks` — rendering-stack variation (anti-aliasing,
+  gamma, subpixel phase, hinting, intensity), with named stacks emulating
+  browser/OS combinations.
+* :mod:`repro.raster.text` — line/paragraph layout on top of glyph tiles.
+* :mod:`repro.raster.icons` — procedural icons and natural-texture patches
+  standing in for the Material-icon and CIFAR-10 image corpora.
+"""
+
+from repro.raster.glyphs import CHARSET, glyph_strokes, render_glyph
+from repro.raster.fonts import FontFace, FontStyle, default_font, font_registry
+from repro.raster.stacks import RenderStack, reference_stack, stack_registry, make_random_stack
+from repro.raster.text import measure_text, render_text_line, char_advance
+from repro.raster.icons import icon_names, natural_patch, render_icon, icon_with_text
+
+__all__ = [
+    "CHARSET",
+    "glyph_strokes",
+    "render_glyph",
+    "FontFace",
+    "FontStyle",
+    "default_font",
+    "font_registry",
+    "RenderStack",
+    "reference_stack",
+    "stack_registry",
+    "make_random_stack",
+    "render_text_line",
+    "measure_text",
+    "char_advance",
+    "icon_names",
+    "render_icon",
+    "natural_patch",
+    "icon_with_text",
+]

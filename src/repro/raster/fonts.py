@@ -1,0 +1,100 @@
+"""Parametric font model and the 231-font registry.
+
+The paper's text-verifier training set uses 231 unique fonts in three
+styles (normal, bold, italic).  We synthesize a deterministic registry of
+231 :class:`FontFace` objects spanning serif/sans-serif families with
+varying weight, width and slant — the same axes real font catalogues vary
+along (font characteristics per the paper's §V-B references).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+#: The three styles the paper trains with.
+STYLES = ("normal", "bold", "italic")
+
+
+@dataclass(frozen=True)
+class FontFace:
+    """A synthetic font: a point in (serif, weight, width, slant) space.
+
+    Attributes:
+        name: registry name, e.g. ``"sans-041"``.
+        serif: whether strokes get serif terminals.
+        weight: stroke-width multiplier (1.0 = regular, ~1.5 = bold).
+        width: horizontal scale of glyphs (condensed < 1.0 < extended).
+        slant: horizontal shear (positive leans right, italics ~0.18).
+    """
+
+    name: str
+    serif: bool
+    weight: float
+    width: float
+    slant: float
+
+    def styled(self, style: str) -> "FontFace":
+        """Apply one of the paper's three styles to this face."""
+        if style == "normal":
+            return self
+        if style == "bold":
+            return replace(self, name=f"{self.name}-bold", weight=self.weight * 1.45)
+        if style == "italic":
+            return replace(self, name=f"{self.name}-italic", slant=self.slant + 0.18)
+        raise ValueError(f"unknown style {style!r}; expected one of {STYLES}")
+
+    def render_params(self) -> dict:
+        """Keyword arguments for :func:`repro.raster.glyphs.render_glyph`."""
+        return {
+            "weight": self.weight,
+            "slant": self.slant,
+            "width": self.width,
+            "serif": self.serif,
+        }
+
+
+#: Alias used in type hints/docs — a (face, style) pair.
+FontStyle = tuple
+
+
+def default_font() -> FontFace:
+    """The face used when a page does not specify one (a plain sans)."""
+    return FontFace(name="sans-default", serif=False, weight=1.0, width=1.0, slant=0.0)
+
+
+def _make_face(index: int, serif: bool, rng: np.random.Generator) -> FontFace:
+    family = "serif" if serif else "sans"
+    return FontFace(
+        name=f"{family}-{index:03d}",
+        serif=serif,
+        weight=float(rng.uniform(0.8, 1.25)),
+        width=float(rng.uniform(0.85, 1.15)),
+        slant=float(rng.uniform(-0.03, 0.03)),
+    )
+
+
+def font_registry(count: int = 231, seed: int = 1987) -> list:
+    """A deterministic list of ``count`` distinct synthetic font faces.
+
+    Roughly half the registry is serif — enough of both types to train the
+    per-type specialized models of Table III rows t4/t5.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    rng = np.random.default_rng(seed)
+    faces = []
+    for i in range(count):
+        faces.append(_make_face(i, serif=(i % 2 == 1), rng=rng))
+    return faces
+
+
+def serif_fonts(count: int = 10, seed: int = 1987) -> list:
+    """The first ``count`` serif faces from the registry (Table III t5)."""
+    return [f for f in font_registry(seed=seed) if f.serif][:count]
+
+
+def sans_serif_fonts(count: int = 10, seed: int = 1987) -> list:
+    """The first ``count`` sans-serif faces from the registry (Table III t4)."""
+    return [f for f in font_registry(seed=seed) if not f.serif][:count]

@@ -1,0 +1,386 @@
+"""Vector glyph definitions and the anti-aliased stroke rasterizer.
+
+Every one of the 94 printable ASCII characters (the paper's 10 digits, 52
+letters and 32 symbols) is described as a set of strokes — polylines in a
+unit em-square with ``x`` rightwards and ``y`` downwards.  Rasterization
+computes an exact distance field to the stroke skeleton, so the same glyph
+can be rendered at any size, weight (stroke width), slant and anti-aliasing
+level.  That parameter space is what produces *benign rendering variation*:
+the same character drawn by two "rendering stacks" differs at the pixel
+level but keeps its stroke topology, exactly the property the CNN verifier
+must learn to accept while rejecting different characters or overlays.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from repro.vision.image import DTYPE, Image
+
+#: All characters with glyphs: printable ASCII 33..126 (94 characters).
+CHARSET = "".join(chr(c) for c in range(33, 127))
+
+# Vertical metrics in em units (y grows downward).
+TOP = 0.12  # cap height
+XH = 0.42  # x-height (top of lowercase)
+BASE = 0.85  # baseline
+DESC = 1.02  # descender depth
+MID = (TOP + BASE) / 2.0  # optical middle of capitals
+LMID = (XH + BASE) / 2.0  # optical middle of lowercase
+
+
+def _arc(cx, cy, rx, ry, deg0, deg1, n=14):
+    """Polyline approximation of an elliptical arc.
+
+    Angles are degrees with 0=right, 90=down, 180=left, 270=up (screen
+    coordinates).  ``deg1`` may exceed 360 or be below ``deg0``; the sweep
+    simply follows the sign.
+    """
+    ts = np.linspace(math.radians(deg0), math.radians(deg1), n)
+    return [(cx + rx * math.cos(t), cy + ry * math.sin(t)) for t in ts]
+
+
+def _dot(x, y):
+    """A stroke so short it rasterizes as a round dot."""
+    return [(x, y - 0.015), (x, y + 0.015)]
+
+
+_S_CAP = [
+    (0.76, 0.24), (0.62, 0.14), (0.38, 0.14), (0.24, 0.26), (0.30, 0.40),
+    (0.50, 0.47), (0.70, 0.55), (0.77, 0.67), (0.66, 0.82), (0.40, 0.84),
+    (0.24, 0.74),
+]
+
+_S_LOW = [
+    (0.71, 0.48), (0.56, 0.41), (0.36, 0.42), (0.27, 0.51), (0.36, 0.60),
+    (0.55, 0.64), (0.69, 0.70), (0.71, 0.78), (0.56, 0.85), (0.36, 0.84),
+    (0.25, 0.77),
+]
+
+
+def _build_glyph_table() -> dict:
+    """Stroke table for all 94 characters.  Each value is a list of strokes;
+    each stroke a list of (x, y) points in the unit em-square."""
+    g: dict = {}
+
+    # ---- digits ---------------------------------------------------------
+    g["0"] = [_arc(0.5, MID, 0.30, 0.37, 0, 360, 20)]
+    g["1"] = [[(0.32, 0.30), (0.52, TOP), (0.52, BASE)], [(0.32, BASE), (0.72, BASE)]]
+    g["2"] = [_arc(0.5, 0.32, 0.28, 0.20, 185, 355, 10) + [(0.73, 0.45), (0.22, BASE), (0.80, BASE)]]
+    g["3"] = [
+        _arc(0.46, 0.305, 0.27, 0.185, 215, 440, 12),
+        _arc(0.46, 0.665, 0.29, 0.195, 280, 505, 12),
+    ]
+    g["4"] = [[(0.68, BASE), (0.68, TOP), (0.22, 0.62), (0.85, 0.62)]]
+    g["5"] = [
+        [(0.76, TOP), (0.28, TOP), (0.25, 0.46), (0.48, 0.42)]
+        + _arc(0.48, 0.63, 0.30, 0.21, 270, 490, 12)
+    ]
+    g["6"] = [
+        _arc(0.52, 0.64, 0.28, 0.21, 0, 360, 16),
+        [(0.70, 0.16), (0.40, 0.38), (0.27, 0.60)],
+    ]
+    g["7"] = [[(0.2, TOP), (0.8, TOP), (0.42, BASE)]]
+    g["8"] = [
+        _arc(0.5, 0.305, 0.245, 0.185, 0, 360, 16),
+        _arc(0.5, 0.665, 0.285, 0.195, 0, 360, 16),
+    ]
+    g["9"] = [
+        _arc(0.48, 0.33, 0.28, 0.21, 0, 360, 16),
+        [(0.73, 0.37), (0.60, 0.6), (0.30, 0.82)],
+    ]
+
+    # ---- uppercase ------------------------------------------------------
+    g["A"] = [[(0.12, BASE), (0.5, TOP), (0.88, BASE)], [(0.28, 0.58), (0.72, 0.58)]]
+    g["B"] = [
+        [(0.18, TOP), (0.18, BASE)],
+        [(0.18, TOP), (0.54, TOP)] + _arc(0.54, (TOP + MID) / 2, 0.24, (MID - TOP) / 2, 270, 450, 10) + [(0.18, MID)],
+        [(0.18, MID), (0.57, MID)] + _arc(0.57, (MID + BASE) / 2, 0.26, (BASE - MID) / 2, 270, 450, 10) + [(0.18, BASE)],
+    ]
+    g["C"] = [_arc(0.56, MID, 0.36, 0.37, 55, 305, 16)]
+    g["D"] = [
+        [(0.18, TOP), (0.18, BASE)],
+        [(0.18, TOP), (0.48, TOP)] + _arc(0.48, MID, 0.34, 0.365, 270, 450, 14) + [(0.18, BASE)],
+    ]
+    g["E"] = [[(0.80, TOP), (0.18, TOP), (0.18, BASE), (0.80, BASE)], [(0.18, MID), (0.68, MID)]]
+    g["F"] = [[(0.80, TOP), (0.18, TOP), (0.18, BASE)], [(0.18, MID), (0.65, MID)]]
+    g["G"] = [_arc(0.54, MID, 0.35, 0.37, 50, 310, 16), [(0.58, 0.55), (0.89, 0.55), (0.89, 0.76)]]
+    g["H"] = [[(0.15, TOP), (0.15, BASE)], [(0.85, TOP), (0.85, BASE)], [(0.15, MID), (0.85, MID)]]
+    g["I"] = [[(0.5, TOP), (0.5, BASE)], [(0.3, TOP), (0.7, TOP)], [(0.3, BASE), (0.7, BASE)]]
+    g["J"] = [[(0.74, TOP), (0.74, 0.68)] + _arc(0.51, 0.68, 0.23, 0.17, 0, 140, 8), [(0.52, TOP), (0.95, TOP)]]
+    g["K"] = [[(0.18, TOP), (0.18, BASE)], [(0.80, TOP), (0.18, 0.55)], [(0.40, 0.42), (0.85, BASE)]]
+    g["L"] = [[(0.20, TOP), (0.20, BASE), (0.80, BASE)]]
+    g["M"] = [[(0.12, BASE), (0.12, TOP), (0.5, 0.60), (0.88, TOP), (0.88, BASE)]]
+    g["N"] = [[(0.15, BASE), (0.15, TOP), (0.85, BASE), (0.85, TOP)]]
+    g["O"] = [_arc(0.5, MID, 0.35, 0.37, 0, 360, 20)]
+    g["P"] = [
+        [(0.18, TOP), (0.18, BASE)],
+        [(0.18, TOP), (0.54, TOP)] + _arc(0.54, 0.30, 0.26, 0.18, 270, 450, 10) + [(0.18, 0.48)],
+    ]
+    g["Q"] = [_arc(0.5, MID, 0.35, 0.37, 0, 360, 20), [(0.58, 0.63), (0.88, 0.95)]]
+    g["R"] = [
+        [(0.18, TOP), (0.18, BASE)],
+        [(0.18, TOP), (0.54, TOP)] + _arc(0.54, 0.30, 0.26, 0.18, 270, 450, 10) + [(0.18, 0.48)],
+        [(0.46, 0.48), (0.85, BASE)],
+    ]
+    g["S"] = [list(_S_CAP)]
+    g["T"] = [[(0.10, TOP), (0.90, TOP)], [(0.5, TOP), (0.5, BASE)]]
+    g["U"] = [[(0.15, TOP), (0.15, 0.62)] + _arc(0.5, 0.62, 0.35, 0.225, 180, 0, 12) + [(0.85, TOP)]]
+    g["V"] = [[(0.12, TOP), (0.5, BASE), (0.88, TOP)]]
+    g["W"] = [[(0.08, TOP), (0.30, BASE), (0.50, 0.35), (0.70, BASE), (0.92, TOP)]]
+    g["X"] = [[(0.15, TOP), (0.85, BASE)], [(0.85, TOP), (0.15, BASE)]]
+    g["Y"] = [[(0.12, TOP), (0.5, 0.50)], [(0.88, TOP), (0.5, 0.50)], [(0.5, 0.50), (0.5, BASE)]]
+    g["Z"] = [[(0.15, TOP), (0.85, TOP), (0.15, BASE), (0.85, BASE)]]
+
+    # ---- lowercase ------------------------------------------------------
+    g["a"] = [_arc(0.47, LMID, 0.27, 0.215, 0, 360, 16), [(0.74, XH), (0.74, BASE)]]
+    g["b"] = [[(0.20, TOP), (0.20, BASE)], _arc(0.51, LMID, 0.29, 0.215, 0, 360, 16)]
+    g["c"] = [_arc(0.54, LMID, 0.30, 0.215, 60, 300, 12)]
+    g["d"] = [[(0.80, TOP), (0.80, BASE)], _arc(0.49, LMID, 0.29, 0.215, 0, 360, 16)]
+    g["e"] = [_arc(0.5, LMID, 0.29, 0.215, 35, 360, 16), [(0.22, 0.60), (0.78, 0.60)]]
+    g["f"] = [[(0.72, 0.17), (0.56, 0.12), (0.46, 0.22), (0.46, BASE)], [(0.26, XH), (0.68, XH)]]
+    g["g"] = [
+        _arc(0.48, 0.615, 0.27, 0.195, 0, 360, 16),
+        [(0.75, XH), (0.75, 0.92)] + _arc(0.50, 0.92, 0.25, 0.14, 0, 140, 8),
+    ]
+    g["h"] = [
+        [(0.20, TOP), (0.20, BASE)],
+        [(0.20, 0.60)] + _arc(0.49, 0.60, 0.29, 0.17, 180, 360, 10) + [(0.78, BASE)],
+    ]
+    g["i"] = [[(0.5, XH), (0.5, BASE)], _dot(0.5, 0.28)]
+    g["j"] = [[(0.56, XH), (0.56, 0.92)] + _arc(0.36, 0.92, 0.20, 0.13, 0, 130, 8), _dot(0.56, 0.28)]
+    g["k"] = [[(0.20, TOP), (0.20, BASE)], [(0.72, XH), (0.20, 0.62)], [(0.40, 0.55), (0.76, BASE)]]
+    g["l"] = [[(0.5, TOP), (0.5, BASE)]]
+    g["m"] = [
+        [(0.14, BASE), (0.14, XH)],
+        [(0.14, 0.56)] + _arc(0.32, 0.56, 0.18, 0.13, 180, 360, 8) + [(0.50, BASE)],
+        [(0.50, 0.56)] + _arc(0.68, 0.56, 0.18, 0.13, 180, 360, 8) + [(0.86, BASE)],
+    ]
+    g["n"] = [
+        [(0.20, BASE), (0.20, XH)],
+        [(0.20, 0.60)] + _arc(0.49, 0.60, 0.29, 0.17, 180, 360, 10) + [(0.78, BASE)],
+    ]
+    g["o"] = [_arc(0.5, LMID, 0.29, 0.215, 0, 360, 18)]
+    g["p"] = [[(0.20, XH), (0.20, DESC)], _arc(0.52, LMID, 0.29, 0.215, 0, 360, 16)]
+    g["q"] = [[(0.80, XH), (0.80, DESC)], _arc(0.48, LMID, 0.29, 0.215, 0, 360, 16)]
+    g["r"] = [[(0.24, XH), (0.24, BASE)], [(0.24, 0.58)] + _arc(0.50, 0.58, 0.26, 0.16, 180, 320, 8)]
+    g["s"] = [list(_S_LOW)]
+    g["t"] = [[(0.48, 0.20), (0.48, 0.76), (0.58, 0.85), (0.74, 0.82)], [(0.26, XH), (0.72, XH)]]
+    g["u"] = [[(0.20, XH), (0.20, 0.69)] + _arc(0.5, 0.69, 0.30, 0.16, 180, 0, 10), [(0.80, XH), (0.80, BASE)]]
+    g["v"] = [[(0.20, XH), (0.5, BASE), (0.80, XH)]]
+    g["w"] = [[(0.13, XH), (0.32, BASE), (0.50, 0.55), (0.68, BASE), (0.87, XH)]]
+    g["x"] = [[(0.22, XH), (0.78, BASE)], [(0.78, XH), (0.22, BASE)]]
+    g["y"] = [[(0.20, XH), (0.50, BASE)], [(0.80, XH), (0.38, DESC)]]
+    g["z"] = [[(0.22, XH), (0.78, XH), (0.22, BASE), (0.78, BASE)]]
+
+    # ---- symbols --------------------------------------------------------
+    g["!"] = [[(0.5, TOP), (0.5, 0.62)], _dot(0.5, 0.82)]
+    g['"'] = [[(0.40, TOP), (0.40, 0.28)], [(0.60, TOP), (0.60, 0.28)]]
+    g["#"] = [
+        [(0.40, 0.20), (0.32, 0.80)],
+        [(0.66, 0.20), (0.58, 0.80)],
+        [(0.20, 0.42), (0.82, 0.42)],
+        [(0.18, 0.62), (0.80, 0.62)],
+    ]
+    g["$"] = [list(_S_CAP), [(0.50, 0.06), (0.50, 0.93)]]
+    g["%"] = [
+        _arc(0.28, 0.28, 0.14, 0.13, 0, 360, 10),
+        _arc(0.72, 0.70, 0.14, 0.13, 0, 360, 10),
+        [(0.80, 0.14), (0.20, 0.86)],
+    ]
+    g["&"] = [
+        [(0.78, 0.82), (0.32, 0.36), (0.32, 0.22), (0.45, 0.13), (0.58, 0.22), (0.57, 0.34),
+         (0.24, 0.56), (0.21, 0.70), (0.33, 0.84), (0.55, 0.82), (0.70, 0.62)],
+        [(0.62, 0.62), (0.85, 0.84)],
+    ]
+    g["'"] = [[(0.5, TOP), (0.5, 0.28)]]
+    g["("] = [_arc(0.78, 0.50, 0.34, 0.44, 115, 245, 10)]
+    g[")"] = [_arc(0.22, 0.50, 0.34, 0.44, 295, 425, 10)]
+    g["*"] = [
+        [(0.5, 0.14), (0.5, 0.56)],
+        [(0.31, 0.22), (0.69, 0.48)],
+        [(0.69, 0.22), (0.31, 0.48)],
+    ]
+    g["+"] = [[(0.5, 0.30), (0.5, 0.70)], [(0.30, 0.50), (0.70, 0.50)]]
+    g[","] = [[(0.53, 0.78), (0.51, 0.86), (0.42, 0.96)]]
+    g["-"] = [[(0.30, 0.52), (0.70, 0.52)]]
+    g["."] = [_dot(0.5, 0.82)]
+    g["/"] = [[(0.70, 0.12), (0.30, 0.90)]]
+    g[":"] = [_dot(0.5, 0.44), _dot(0.5, 0.78)]
+    g[";"] = [_dot(0.5, 0.44), [(0.53, 0.72), (0.51, 0.80), (0.42, 0.92)]]
+    g["<"] = [[(0.75, 0.25), (0.25, 0.50), (0.75, 0.75)]]
+    g["="] = [[(0.28, 0.42), (0.72, 0.42)], [(0.28, 0.60), (0.72, 0.60)]]
+    g[">"] = [[(0.25, 0.25), (0.75, 0.50), (0.25, 0.75)]]
+    g["?"] = [_arc(0.5, 0.30, 0.25, 0.18, 180, 450, 10) + [(0.5, 0.62)], _dot(0.5, 0.82)]
+    g["@"] = [
+        _arc(0.5, 0.52, 0.38, 0.38, 25, 335, 16),
+        _arc(0.52, 0.50, 0.15, 0.15, 0, 360, 10),
+        [(0.67, 0.50), (0.67, 0.64)],
+    ]
+    g["["] = [[(0.62, 0.10), (0.40, 0.10), (0.40, 0.92), (0.62, 0.92)]]
+    g["\\"] = [[(0.30, 0.12), (0.70, 0.90)]]
+    g["]"] = [[(0.38, 0.10), (0.60, 0.10), (0.60, 0.92), (0.38, 0.92)]]
+    g["^"] = [[(0.30, 0.36), (0.50, 0.14), (0.70, 0.36)]]
+    g["_"] = [[(0.15, 0.96), (0.85, 0.96)]]
+    g["`"] = [[(0.42, 0.12), (0.58, 0.26)]]
+    g["{"] = [
+        [(0.66, 0.10), (0.53, 0.14), (0.49, 0.25), (0.49, 0.42), (0.38, 0.50),
+         (0.49, 0.58), (0.49, 0.78), (0.53, 0.88), (0.66, 0.92)]
+    ]
+    g["|"] = [[(0.5, 0.08), (0.5, 0.95)]]
+    g["}"] = [
+        [(0.34, 0.10), (0.47, 0.14), (0.51, 0.25), (0.51, 0.42), (0.62, 0.50),
+         (0.51, 0.58), (0.51, 0.78), (0.47, 0.88), (0.34, 0.92)]
+    ]
+    g["~"] = [[(0.22, 0.53), (0.34, 0.44), (0.50, 0.50), (0.66, 0.56), (0.78, 0.47)]]
+
+    missing = [c for c in CHARSET if c not in g]
+    if missing:  # pragma: no cover - table completeness guard
+        raise AssertionError(f"glyph table missing characters: {missing!r}")
+    return g
+
+
+_GLYPHS = _build_glyph_table()
+
+
+def glyph_strokes(char: str) -> list:
+    """The stroke list for ``char`` (raises ``KeyError`` for non-printables)."""
+    if char == " ":
+        return []
+    return _GLYPHS[char]
+
+
+def _near_vertical(p, q, tol: float = 0.45) -> bool:
+    dx = abs(q[0] - p[0])
+    dy = abs(q[1] - p[1])
+    return dy > 1e-6 and dx <= tol * dy
+
+
+def _serif_strokes(strokes: list, length: float) -> list:
+    """Serif decorations: small horizontal bars at near-vertical stroke ends."""
+    serifs = []
+    for stroke in strokes:
+        if len(stroke) < 2:
+            continue
+        for end, other in ((stroke[0], stroke[1]), (stroke[-1], stroke[-2])):
+            if _near_vertical(other, end):
+                x, y = end
+                serifs.append([(x - length, y), (x + length, y)])
+    return serifs
+
+
+def _segment_coverage(xs, ys, p, q, half_width, aa):
+    """Per-pixel ink coverage contributed by segment p->q (vectorized)."""
+    px, py = p
+    qx, qy = q
+    vx, vy = qx - px, qy - py
+    seg_len2 = vx * vx + vy * vy
+    if seg_len2 < 1e-12:
+        dist = np.hypot(xs - px, ys - py)
+    else:
+        t = ((xs - px) * vx + (ys - py) * vy) / seg_len2
+        t = np.clip(t, 0.0, 1.0)
+        dist = np.hypot(xs - (px + t * vx), ys - (py + t * vy))
+    return np.clip(0.5 + (half_width - dist) / (2.0 * aa), 0.0, 1.0)
+
+
+def rasterize_strokes(
+    strokes: list,
+    size: int,
+    half_width: float,
+    aa: float = 0.6,
+    dx: float = 0.0,
+    dy: float = 0.0,
+) -> np.ndarray:
+    """Rasterize em-square strokes into a ``size`` x ``size`` coverage map.
+
+    ``half_width`` and ``aa`` (anti-alias transition width) are in pixels;
+    ``dx``/``dy`` apply a subpixel phase shift.  Returns ink coverage in
+    [0, 1] (1 = full ink).
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    coords = np.arange(size, dtype=DTYPE) + 0.5
+    ys, xs = np.meshgrid(coords, coords, indexing="ij")
+    cov = np.zeros((size, size), dtype=DTYPE)
+    scale = float(size)
+    for stroke in strokes:
+        pts = [((x * scale) + dx, (y * scale) + dy) for x, y in stroke]
+        for p, q in zip(pts[:-1], pts[1:]):
+            cov = np.maximum(cov, _segment_coverage(xs, ys, p, q, half_width, aa))
+    return cov
+
+
+@lru_cache(maxsize=16384)
+def _glyph_coverage_cached(char, size, weight_key, slant_key, width_key, serif, dx_key, dy_key, aa_key):
+    """Cached coverage rendering (keys are quantized floats for hashability)."""
+    weight = weight_key / 1000.0
+    slant = slant_key / 1000.0
+    width = width_key / 1000.0
+    dx = dx_key / 1000.0
+    dy = dy_key / 1000.0
+    aa = aa_key / 1000.0
+    strokes = [list(s) for s in glyph_strokes(char)]
+    if serif:
+        strokes.extend(_serif_strokes(strokes, length=0.07 * width))
+    transformed = []
+    for stroke in strokes:
+        transformed.append(
+            [((x - 0.5) * width + 0.5 + slant * (0.5 - y), y) for x, y in stroke]
+        )
+    half_width = max(0.35, weight * size / 16.0)
+    return rasterize_strokes(transformed, size, half_width, aa=aa, dx=dx, dy=dy)
+
+
+def render_glyph(
+    char: str,
+    size: int = 32,
+    weight: float = 1.0,
+    slant: float = 0.0,
+    width: float = 1.0,
+    serif: bool = False,
+    dx: float = 0.0,
+    dy: float = 0.0,
+    aa: float = 0.6,
+    foreground: float = 0.0,
+    background: float = 255.0,
+    gamma: float = 1.0,
+    intensity: float = 1.0,
+) -> Image:
+    """Render one character into a ``size`` x ``size`` grayscale tile.
+
+    The first block of parameters comes from the font face (weight, slant,
+    width, serif), the second from the rendering stack (subpixel ``dx/dy``,
+    anti-aliasing ``aa``, ``gamma``, ink ``intensity``).
+    """
+    if char == " ":
+        return Image.blank(size, size, background)
+    cov = _glyph_coverage_cached(
+        char,
+        int(size),
+        int(round(weight * 1000)),
+        int(round(slant * 1000)),
+        int(round(width * 1000)),
+        bool(serif),
+        int(round(dx * 1000)),
+        int(round(dy * 1000)),
+        int(round(aa * 1000)),
+    )
+    if gamma != 1.0:
+        cov = np.power(cov, gamma)
+    cov = np.clip(cov * intensity, 0.0, 1.0)
+    pixels = background + (foreground - background) * cov
+    return Image(pixels)
+
+
+def glyph_cache_info():
+    """Expose the internal render cache statistics (used by perf tests)."""
+    return _glyph_coverage_cached.cache_info()
+
+
+def clear_glyph_cache() -> None:
+    """Drop all cached glyph coverages (used between benchmark runs)."""
+    _glyph_coverage_cached.cache_clear()

@@ -1,0 +1,115 @@
+"""Rendering-stack variation model.
+
+A *rendering stack* is the client-side combination of browser engine, OS,
+device driver and configuration that the paper identifies as the source of
+benign pixel-level variation (§III-C1: "browsers, OSes, device drivers,
+GPUs, and configuration settings").  We model a stack as a small set of
+raster parameters — anti-aliasing width, gamma, subpixel phase, hinting,
+ink intensity and background level — and provide named stacks emulating
+the paper's Gecko/Blink/WebKit x Windows/macOS grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RenderStack:
+    """Raster parameters for one client rendering environment.
+
+    Attributes:
+        name: e.g. ``"blink-windows"``.
+        aa: anti-alias transition width in pixels (ClearType-ish smoothing).
+        gamma: gamma applied to glyph coverage (font smoothing curves).
+        subpixel_x / subpixel_y: phase offset in [0, 1) pixels; models
+            fractional glyph positioning differences between engines.
+        intensity: ink intensity multiplier (font-weight rendering bias).
+        background: canvas white level (display calibration).
+        hinting: whether glyph origins snap to integer pixels.
+        noise: amplitude of deterministic per-pixel dither (driver noise).
+    """
+
+    name: str
+    aa: float = 0.6
+    gamma: float = 1.0
+    subpixel_x: float = 0.0
+    subpixel_y: float = 0.0
+    intensity: float = 1.0
+    background: float = 255.0
+    hinting: bool = True
+    noise: float = 0.0
+
+    def glyph_params(self) -> dict:
+        """Keyword arguments for :func:`repro.raster.glyphs.render_glyph`."""
+        return {
+            "dx": 0.0 if self.hinting else self.subpixel_x,
+            "dy": 0.0 if self.hinting else self.subpixel_y,
+            "aa": self.aa,
+            "gamma": self.gamma,
+            "intensity": self.intensity,
+            "background": self.background,
+        }
+
+    def apply_noise(self, pixels: np.ndarray, salt: int = 0) -> np.ndarray:
+        """Add the stack's deterministic dither to a rendered raster."""
+        if self.noise <= 0:
+            return pixels
+        rng = np.random.default_rng(abs(hash((self.name, salt))) % (2**32))
+        return np.clip(pixels + rng.normal(0.0, self.noise, pixels.shape), 0.0, 255.0)
+
+
+def reference_stack() -> RenderStack:
+    """The server-side stack used to render VSPEC expected appearances."""
+    return RenderStack(name="server-reference")
+
+
+_NAMED_STACKS = [
+    # Engine x platform grid, loosely modelled on ClearType vs CoreText
+    # behaviour: Windows stacks hint aggressively with higher contrast,
+    # macOS stacks use heavier AA without hinting.
+    RenderStack("gecko-windows", aa=0.55, gamma=0.92, intensity=1.04, hinting=True, noise=0.8),
+    RenderStack("gecko-macos", aa=0.85, gamma=1.10, subpixel_x=0.33, subpixel_y=0.12, hinting=False, noise=0.6),
+    RenderStack("blink-windows", aa=0.50, gamma=0.90, intensity=1.06, hinting=True, noise=1.0),
+    RenderStack("blink-macos", aa=0.80, gamma=1.08, subpixel_x=0.47, subpixel_y=0.21, hinting=False, noise=0.7),
+    RenderStack("webkit-macos", aa=0.95, gamma=1.15, subpixel_x=0.25, subpixel_y=0.30, intensity=0.97, hinting=False, noise=0.5),
+    RenderStack("webkit-windows", aa=0.60, gamma=0.95, intensity=1.02, hinting=True, noise=0.9),
+]
+
+
+def stack_registry() -> list:
+    """The named rendering stacks (engine x platform combinations)."""
+    return list(_NAMED_STACKS)
+
+
+def stack_by_name(name: str) -> RenderStack:
+    """Look up a named stack; raises ``KeyError`` for unknown names."""
+    for stack in _NAMED_STACKS:
+        if stack.name == name:
+            return stack
+    if name == "server-reference":
+        return reference_stack()
+    raise KeyError(f"unknown rendering stack {name!r}")
+
+
+def make_random_stack(seed: int) -> RenderStack:
+    """A randomized-but-deterministic stack (driver/config variation).
+
+    Used to expand the training distribution beyond the six named stacks,
+    mirroring the paper's data augmentation (enlarge/shift, intensity
+    change, random bit flips).
+    """
+    rng = np.random.default_rng(seed)
+    return RenderStack(
+        name=f"random-{seed}",
+        aa=float(rng.uniform(0.45, 1.05)),
+        gamma=float(rng.uniform(0.85, 1.2)),
+        subpixel_x=float(rng.uniform(0.0, 0.9)),
+        subpixel_y=float(rng.uniform(0.0, 0.4)),
+        intensity=float(rng.uniform(0.92, 1.1)),
+        background=float(rng.uniform(248.0, 255.0)),
+        hinting=bool(rng.integers(0, 2)),
+        noise=float(rng.uniform(0.0, 1.5)),
+    )

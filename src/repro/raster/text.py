@@ -1,0 +1,113 @@
+"""Text line layout on top of the glyph rasterizer.
+
+Produces the per-character geometry that VSPEC element manifests record
+(``(x, y, w, h, char)`` tuples, Fig. 3 of the paper) as well as rendered
+line images for page composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.raster.fonts import FontFace, default_font
+from repro.raster.glyphs import render_glyph
+from repro.raster.stacks import RenderStack, reference_stack
+from repro.vision.image import Image
+
+
+@dataclass(frozen=True)
+class PlacedChar:
+    """One laid-out character: its cell rectangle within the line image."""
+
+    char: str
+    x: int
+    y: int
+    w: int
+    h: int
+
+
+def char_advance(size: int, width: float = 1.0) -> int:
+    """Horizontal advance per character cell, in pixels.
+
+    We use a monospaced advance (0.62 em), which keeps VSPEC manifests and
+    client renders aligned without implementing full shaping; proportional
+    spacing is a rendering-stack nicety that does not change any of the
+    validation logic.
+    """
+    return max(4, int(round(size * 0.62 * width)))
+
+
+def measure_text(text: str, size: int, font: FontFace | None = None) -> tuple:
+    """(width, height) in pixels of a laid-out line."""
+    font = font or default_font()
+    advance = char_advance(size, font.width)
+    return (max(1, advance * len(text)), size)
+
+
+def layout_text(text: str, size: int, font: FontFace | None = None) -> list:
+    """Per-character cells for ``text`` at origin (0, 0)."""
+    font = font or default_font()
+    advance = char_advance(size, font.width)
+    return [
+        PlacedChar(char=ch, x=i * advance, y=0, w=advance, h=size)
+        for i, ch in enumerate(text)
+    ]
+
+
+def render_text_line(
+    text: str,
+    size: int = 16,
+    font: FontFace | None = None,
+    stack: RenderStack | None = None,
+    foreground: float = 0.0,
+    background: float | None = None,
+) -> Image:
+    """Render one line of text into an image.
+
+    Each character is rasterized into its advance-wide cell.  Glyph tiles
+    are square (``size`` x ``size``) and centred in the cell; the cell
+    geometry matches :func:`layout_text` exactly, which is what lets the
+    VSPEC generator record per-character ground truth rectangles.
+    """
+    font = font or default_font()
+    stack = stack or reference_stack()
+    bg = stack.background if background is None else background
+    width, height = measure_text(text, size, font)
+    canvas = Image.blank(width, height, bg)
+    advance = char_advance(size, font.width)
+    params = dict(font.render_params())
+    params.update(stack.glyph_params())
+    params["background"] = bg
+    params["foreground"] = foreground
+    for placed in layout_text(text, size, font):
+        if placed.char == " ":
+            continue
+        tile = render_glyph(placed.char, size=size, **params)
+        # Centre the square tile in the (possibly narrower) advance cell.
+        if advance >= size:
+            canvas.paste(tile, placed.x + (advance - size) // 2, placed.y)
+        else:
+            margin = (size - advance) // 2
+            canvas.paste(
+                tile.crop(margin, 0, advance, size), placed.x, placed.y
+            )
+    canvas.pixels = stack.apply_noise(canvas.pixels, salt=len(text))
+    return canvas
+
+
+def render_char_tile(
+    char: str,
+    size: int = 32,
+    font: FontFace | None = None,
+    stack: RenderStack | None = None,
+    foreground: float = 0.0,
+) -> Image:
+    """A single-character tile as consumed by the text verifier (32x32)."""
+    font = font or default_font()
+    stack = stack or reference_stack()
+    params = dict(font.render_params())
+    params.update(stack.glyph_params())
+    params["foreground"] = foreground
+    tile = render_glyph(char, size=size, **params)
+    tile.pixels = stack.apply_noise(tile.pixels, salt=ord(char))
+    return tile

@@ -1,0 +1,24 @@
+"""Server-side vWitness support (paper §III-A, §IV-B).
+
+* :mod:`repro.server.generate` — automatic VSPEC construction: render the
+  page, annotate elements via the HTML tag-to-validation-type mapping,
+  record per-character ground truth and per-state appearances.
+* :mod:`repro.server.compat` — the incompatibility script: strip external
+  iframes, add ``maxlength``, warn on POF-overriding CSS and unsupported
+  elements.
+* :mod:`repro.server.webserver` — VSPEC issuance with fresh session IDs
+  and certified-request verification (signature, VSPEC echo, freshness).
+"""
+
+from repro.server.generate import build_vspec
+from repro.server.compat import CompatReport, apply_compat_fixes, check_compatibility
+from repro.server.webserver import VerificationResult, WebServer
+
+__all__ = [
+    "build_vspec",
+    "apply_compat_fixes",
+    "check_compatibility",
+    "CompatReport",
+    "WebServer",
+    "VerificationResult",
+]

@@ -1,0 +1,117 @@
+"""The incompatibility script (paper §IV-B "Addressing Incompatibilities").
+
+Operates on page HTML exactly as the paper describes: removes external
+iframes (nondeterministic ads content), adds ``maxlength`` to textual
+inputs so values stay visible, scans CSS for POF-overriding keywords, and
+warns about unsupported HTML (file inputs, drag&drop, video).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web import elements as el
+from repro.web.html import parse_form
+
+#: CSS keywords whose presence may override the POF styles vWitness
+#: recognizes (§IV-B).
+POF_CSS_KEYWORDS = ("outline", "caret", ".focus")
+
+#: Default maxlength ensuring a value fits visibly in a standard field.
+DEFAULT_MAXLENGTH = 40
+
+
+@dataclass
+class CompatReport:
+    """Outcome of the compatibility pass over one page."""
+
+    removed_iframes: list = field(default_factory=list)
+    maxlength_added: list = field(default_factory=list)
+    warnings: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.warnings
+
+
+def apply_compat_fixes(page: el.Page, css: str = "") -> CompatReport:
+    """Fix what is fixable in place; warn about the rest."""
+    report = CompatReport()
+
+    kept = []
+    for element in page.elements:
+        if isinstance(element, el.IFrame) and element.external:
+            report.removed_iframes.append(element.src)
+            continue
+        kept.append(element)
+    page.elements = kept
+
+    for element in page.elements:
+        if isinstance(element, el.TextInput) and element.max_length is None:
+            element.max_length = _visible_maxlength(element, page.width)
+            report.maxlength_added.append(element.name)
+
+    for keyword in POF_CSS_KEYWORDS:
+        if keyword in css:
+            report.warnings.append(
+                f"CSS contains {keyword!r}: page may override POF styles vWitness recognizes"
+            )
+
+    for element in page.elements:
+        if isinstance(element, el.FileInput):
+            report.warnings.append(
+                f"file input {element.name!r}: invisible interaction, cannot be validated"
+            )
+        elif isinstance(element, el.VideoElement):
+            report.warnings.append("video element: excessively dynamic, cannot be validated")
+
+    return report
+
+
+def _visible_maxlength(element: el.TextInput, page_width: int) -> int:
+    """Largest value length that stays visible in the rendered box."""
+    from repro.raster.text import char_advance
+    from repro.web import layout as lay
+
+    box_w = page_width - 2 * lay.MARGIN_X - 2 * lay.INPUT_PAD_X
+    return max(1, min(DEFAULT_MAXLENGTH, box_w // char_advance(element.text_size) - 1))
+
+
+def apply_compat_fixes_html(html_source: str) -> tuple:
+    """HTML-level variant: returns (fixed_page_report, parsed_form).
+
+    Used by tests exercising the paper's script at the markup level; the
+    structural fixes happen on the Page object via
+    :func:`apply_compat_fixes`, and this reports what the markup scan sees.
+    """
+    form = parse_form(html_source)
+    report = CompatReport()
+    report.removed_iframes = [t.attrs.get("src", "") for t in form.external_iframes()]
+    for tag in form.inputs():
+        if tag.attrs.get("type", "text") in ("text", None) and "maxlength" not in tag.attrs:
+            report.maxlength_added.append(tag.attrs.get("name", "?"))
+    for keyword in POF_CSS_KEYWORDS:
+        if keyword in form.css:
+            report.warnings.append(f"CSS contains {keyword!r}")
+    for tag in form.find_all("input"):
+        if tag.attrs.get("type") == "file":
+            report.warnings.append(f"file input {tag.attrs.get('name', '?')!r}")
+        if "ondrop" in tag.attrs:
+            report.warnings.append(f"drag&drop input {tag.attrs.get('name', '?')!r}")
+    if form.find_all("video"):
+        report.warnings.append("video element")
+    return report, form
+
+
+def check_compatibility(page: el.Page) -> dict:
+    """Per-element support census (feeds the Table X comparison).
+
+    Returns ``{"supported": n, "total": n, "fraction": f}`` under
+    vWitness's support model: everything except external iframes, file
+    inputs and videos.
+    """
+    total = len(page.elements)
+    if total == 0:
+        return {"supported": 0, "total": 0, "fraction": 1.0}
+    supported = sum(1 for e in page.elements if e.supported_by_vwitness)
+    return {"supported": supported, "total": total, "fraction": supported / total}

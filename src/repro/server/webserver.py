@@ -1,0 +1,117 @@
+"""The protected web server: VSPEC issuance and request verification.
+
+Implements the server side of the workflow (paper §III-B): serving VSPECs
+tailored to the client width with fresh session IDs, and — on receiving a
+certified request — verifying the certificate chain, the signature, the
+VSPEC echo and session freshness (replay defense).
+"""
+
+from __future__ import annotations
+
+import copy
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.ca import CertificateAuthority, CertificateError
+from repro.crypto.signing import CertifiedRequest, SignatureError, verify_request
+from repro.server.generate import build_vspec
+from repro.vspec.serialize import vspec_digest
+from repro.vspec.spec import VSpec
+from repro.web.elements import Page
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """The server's verdict on a certified request."""
+
+    ok: bool
+    reason: str
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+class WebServer:
+    """A server hosting vWitness-protected pages."""
+
+    def __init__(self, ca: CertificateAuthority) -> None:
+        self.ca = ca
+        self._pages: dict = {}
+        self._validations: dict = {}
+        self._issued: dict = {}  # session_id -> vspec digest
+        self._used_sessions: set = set()
+
+    # -- setup ------------------------------------------------------------
+
+    def register_page(self, page_id: str, page: Page, validation=None) -> None:
+        """One-time page registration (VSPEC template built lazily per width).
+
+        The server keeps its own pristine copy: whatever a client later
+        does to its served page cannot leak into issued VSPECs.
+        """
+        if page_id in self._pages:
+            raise ValueError(f"page {page_id!r} already registered")
+        self._pages[page_id] = copy.deepcopy(page)
+        self._validations[page_id] = validation
+
+    def page(self, page_id: str) -> Page:
+        """The server's canonical (pristine) page object."""
+        return self._pages[page_id]
+
+    def serve_page(self, page_id: str) -> Page:
+        """A fresh page copy for a client (what an HTTP response delivers)."""
+        return copy.deepcopy(self._pages[page_id])
+
+    # -- VSPEC issuance --------------------------------------------------------
+
+    def vspec_for(self, page_id: str, client_width: int) -> VSpec:
+        """Issue a fresh-session VSPEC for a client at ``client_width``.
+
+        The expected appearance is a function of the client width; a width
+        the page was not designed for is a client-side incompatibility the
+        extension must resolve (our pages are fixed-width, so a mismatch
+        is rejected here — the viewport detector would fail anyway).
+        """
+        if page_id not in self._pages:
+            raise KeyError(f"unknown page {page_id!r}")
+        page = self._pages[page_id]
+        if client_width != page.width:
+            raise ValueError(
+                f"client width {client_width} unsupported for page {page_id!r} "
+                f"(expected {page.width})"
+            )
+        session_id = secrets.token_hex(16)
+        vspec = build_vspec(
+            page,
+            page_id,
+            validation=self._validations[page_id],
+            session_id=session_id,
+            extra_fields={"session_id": session_id},
+        )
+        self._issued[session_id] = vspec_digest(vspec)
+        return vspec
+
+    # -- request verification -----------------------------------------------------
+
+    def verify(self, request: CertifiedRequest) -> VerificationResult:
+        """Steps 1-3 of the server-side workflow plus freshness."""
+        try:
+            verify_request(request, self.ca)
+        except CertificateError as exc:
+            return VerificationResult(False, f"certificate: {exc}")
+        except SignatureError as exc:
+            return VerificationResult(False, f"signature: {exc}")
+
+        session_id = str(request.body.get("session_id", ""))
+        if session_id not in self._issued:
+            return VerificationResult(False, "unknown session id (no VSPEC issued)")
+        if session_id in self._used_sessions:
+            return VerificationResult(False, "replayed session id")
+        if request.vspec_digest != self._issued[session_id]:
+            return VerificationResult(False, "VSPEC echo does not match the issued VSPEC")
+        self._used_sessions.add(session_id)
+        return VerificationResult(True, "request certified with interaction integrity")
+
+    def accept_uncertified(self, body: dict) -> VerificationResult:
+        """What happens to a bare request: rejected for missing certification."""
+        return VerificationResult(False, "request lacks vWitness certification")

@@ -1,0 +1,71 @@
+"""Frame differencing for differential detection (paper §IV-A).
+
+Because vWitness screenshots frequently, unchanged UI does not need to be
+re-validated: only the regions that changed between two consecutive frames
+are passed to the CNN verifiers.  This module computes those regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vision.components import Rect, connected_components
+from repro.vision.image import as_array
+from repro.vision.ops import dilate
+
+
+@dataclass(frozen=True)
+class DiffRegion:
+    """A changed rectangle plus the magnitude of the change inside it."""
+
+    rect: Rect
+    max_delta: float
+    changed_pixels: int
+
+
+def frame_difference(frame_a, frame_b, threshold: float = 4.0) -> np.ndarray:
+    """Boolean mask of pixels whose intensity changed by more than ``threshold``.
+
+    The threshold absorbs sub-quantization noise (e.g. blending rounding)
+    without hiding real content changes, which move intensities by tens of
+    levels even under anti-aliasing.
+    """
+    a = as_array(frame_a)
+    b = as_array(frame_b)
+    if a.shape != b.shape:
+        raise ValueError(f"frames must share a shape, got {a.shape} vs {b.shape}")
+    return np.abs(a - b) > threshold
+
+
+def changed_regions(
+    frame_a,
+    frame_b,
+    threshold: float = 4.0,
+    merge_radius: int = 3,
+    min_pixels: int = 1,
+) -> list[DiffRegion]:
+    """Rectangles covering everything that changed between two frames.
+
+    Changed pixels are dilated by ``merge_radius`` so that nearby changes
+    (e.g. the glyphs of a word being typed) merge into one region, then
+    connected components give the bounding rectangles.  Returns an empty
+    list when the frames are effectively identical.
+    """
+    mask = frame_difference(frame_a, frame_b, threshold)
+    if not mask.any():
+        return []
+    if merge_radius > 0:
+        mask = dilate(mask, merge_radius)
+    delta = np.abs(as_array(frame_a) - as_array(frame_b))
+    regions = []
+    for rect in connected_components(mask):
+        sub_delta = delta[rect.y : rect.y + rect.h, rect.x : rect.x + rect.w]
+        sub_mask = mask[rect.y : rect.y + rect.h, rect.x : rect.x + rect.w]
+        changed = int(np.count_nonzero(sub_mask & (sub_delta > threshold)))
+        if changed >= min_pixels:
+            regions.append(
+                DiffRegion(rect=rect, max_delta=float(sub_delta.max()), changed_pixels=changed)
+            )
+    return regions

@@ -1,0 +1,73 @@
+"""Digests and perceptual hashes over display regions.
+
+Cryptographic digests key the validation caches (paper §IV-A: "the key is a
+cryptographic digest of the corresponding display region").  Perceptual
+hashes implement the image-hash *baseline* validator [21] that vWitness's
+CNN approach is compared against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.vision.image import as_array, to_uint8
+from repro.vision.ops import resize_bilinear
+
+
+def region_digest(image) -> str:
+    """SHA-256 digest of a display region (cache key).
+
+    The region is quantized to uint8 first so that float representation
+    detail does not leak into the key: two regions that would display
+    identically hash identically.
+    """
+    arr = to_uint8(image)
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode("ascii"))
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def average_hash(image, hash_size: int = 8) -> int:
+    """aHash: threshold a downsampled tile against its mean intensity."""
+    small = resize_bilinear(as_array(image), hash_size, hash_size)
+    bits = (small > small.mean()).ravel()
+    value = 0
+    for bit in bits:
+        value = (value << 1) | int(bit)
+    return value
+
+
+def difference_hash(image, hash_size: int = 8) -> int:
+    """dHash: horizontal gradient signs of a downsampled tile."""
+    small = resize_bilinear(as_array(image), hash_size, hash_size + 1)
+    bits = (small[:, 1:] > small[:, :-1]).ravel()
+    value = 0
+    for bit in bits:
+        value = (value << 1) | int(bit)
+    return value
+
+
+def hamming_distance(hash_a: int, hash_b: int) -> int:
+    """Number of differing bits between two perceptual hashes."""
+    return int(bin(hash_a ^ hash_b).count("1"))
+
+
+def perceptual_match(image_a, image_b, hash_size: int = 8, max_distance: int = 5) -> bool:
+    """The image-hash baseline's match rule: small Hamming distance on dHash."""
+    da = difference_hash(image_a, hash_size)
+    db = difference_hash(image_b, hash_size)
+    return hamming_distance(da, db) <= max_distance
+
+
+def content_fingerprint(image, block: int = 16) -> np.ndarray:
+    """Blockwise mean fingerprint, used by tests to assert gross similarity."""
+    arr = as_array(image)
+    h = (arr.shape[0] // block) * block
+    w = (arr.shape[1] // block) * block
+    if h == 0 or w == 0:
+        return np.asarray([[arr.mean()]])
+    blocks = arr[:h, :w].reshape(h // block, block, w // block, block)
+    return blocks.mean(axis=(1, 3))

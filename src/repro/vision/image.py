@@ -1,0 +1,171 @@
+"""Grayscale image container with bounds-checked region operations.
+
+vWitness manipulates many rectangular regions (element bounding boxes,
+viewport windows, diff regions).  :class:`Image` keeps those operations
+explicit and validated so that a malformed VSPEC rectangle fails loudly
+instead of silently wrapping around numpy indexing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Canonical dtype for all vision processing.
+DTYPE = np.float64
+
+#: Maximum representable intensity.  Images are float arrays in [0, WHITE].
+WHITE = 255.0
+
+
+def as_array(image) -> np.ndarray:
+    """Return the underlying 2-D float array of ``image``.
+
+    Accepts :class:`Image`, 2-D arrays and nested lists.  Raises
+    ``ValueError`` for anything that is not a 2-D raster.
+    """
+    if isinstance(image, Image):
+        return image.pixels
+    arr = np.asarray(image, dtype=DTYPE)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D grayscale raster, got shape {arr.shape}")
+    return arr
+
+
+def to_uint8(image) -> np.ndarray:
+    """Clip to [0, 255] and convert to ``uint8`` (for digests and export)."""
+    arr = as_array(image)
+    return np.clip(np.rint(arr), 0, 255).astype(np.uint8)
+
+
+class Image:
+    """A grayscale raster with explicit, validated geometry.
+
+    Coordinates follow the web convention used throughout the paper's
+    VSPECs: ``x`` grows rightwards (columns), ``y`` grows downwards (rows),
+    and rectangles are ``(x, y, width, height)``.
+    """
+
+    __slots__ = ("pixels",)
+
+    def __init__(self, pixels) -> None:
+        arr = np.asarray(pixels, dtype=DTYPE)
+        if arr.ndim != 2:
+            raise ValueError(f"Image requires a 2-D array, got shape {arr.shape}")
+        self.pixels = arr
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def blank(cls, width: int, height: int, color: float = WHITE) -> "Image":
+        """A solid-color canvas of ``width`` x ``height``."""
+        if width <= 0 or height <= 0:
+            raise ValueError(f"blank image needs positive dims, got {width}x{height}")
+        return cls(np.full((height, width), float(color), dtype=DTYPE))
+
+    @classmethod
+    def from_bitmap(cls, bitmap, on: float = 0.0, off: float = WHITE) -> "Image":
+        """Build an image from a 0/1 bitmap (1 = ink)."""
+        mask = np.asarray(bitmap, dtype=bool)
+        return cls(np.where(mask, float(on), float(off)))
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.pixels.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def shape(self) -> tuple:
+        return self.pixels.shape
+
+    def copy(self) -> "Image":
+        return Image(self.pixels.copy())
+
+    def _check_rect(self, x: int, y: int, w: int, h: int) -> None:
+        if w <= 0 or h <= 0:
+            raise ValueError(f"rectangle must have positive size, got {w}x{h}")
+        if x < 0 or y < 0 or x + w > self.width or y + h > self.height:
+            raise ValueError(
+                f"rectangle ({x},{y},{w},{h}) escapes image {self.width}x{self.height}"
+            )
+
+    def crop(self, x: int, y: int, w: int, h: int) -> "Image":
+        """Return a copy of the region ``(x, y, w, h)``."""
+        self._check_rect(x, y, w, h)
+        return Image(self.pixels[y : y + h, x : x + w].copy())
+
+    def crop_clipped(self, x: int, y: int, w: int, h: int, fill: float = WHITE) -> "Image":
+        """Crop, padding out-of-bounds areas with ``fill`` instead of raising."""
+        out = np.full((h, w), float(fill), dtype=DTYPE)
+        sx0, sy0 = max(x, 0), max(y, 0)
+        sx1, sy1 = min(x + w, self.width), min(y + h, self.height)
+        if sx1 > sx0 and sy1 > sy0:
+            out[sy0 - y : sy1 - y, sx0 - x : sx1 - x] = self.pixels[sy0:sy1, sx0:sx1]
+        return Image(out)
+
+    def paste(self, other, x: int, y: int) -> None:
+        """Overwrite the region at ``(x, y)`` with ``other`` (in place)."""
+        src = as_array(other)
+        h, w = src.shape
+        self._check_rect(x, y, w, h)
+        self.pixels[y : y + h, x : x + w] = src
+
+    def blend(self, other, x: int, y: int, alpha: float) -> None:
+        """Alpha-blend ``other`` onto the region at ``(x, y)`` (in place)."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0,1], got {alpha}")
+        src = as_array(other)
+        h, w = src.shape
+        self._check_rect(x, y, w, h)
+        dst = self.pixels[y : y + h, x : x + w]
+        self.pixels[y : y + h, x : x + w] = (1.0 - alpha) * dst + alpha * src
+
+    def fill_rect(self, x: int, y: int, w: int, h: int, color: float) -> None:
+        """Fill a rectangle with a solid color (in place)."""
+        self._check_rect(x, y, w, h)
+        self.pixels[y : y + h, x : x + w] = float(color)
+
+    def draw_border(self, x: int, y: int, w: int, h: int, color: float, thickness: int = 1) -> None:
+        """Draw a rectangular border just inside ``(x, y, w, h)`` (in place)."""
+        self._check_rect(x, y, w, h)
+        t = min(thickness, w // 2 if w // 2 else 1, h // 2 if h // 2 else 1)
+        t = max(t, 1)
+        self.pixels[y : y + t, x : x + w] = color
+        self.pixels[y + h - t : y + h, x : x + w] = color
+        self.pixels[y : y + h, x : x + t] = color
+        self.pixels[y : y + h, x + w - t : x + w] = color
+
+    def draw_vline(self, x: int, y: int, h: int, color: float, thickness: int = 1) -> None:
+        """Draw a vertical line (used for carets)."""
+        self.fill_rect(x, y, thickness, h, color)
+
+    def draw_hline(self, x: int, y: int, w: int, color: float, thickness: int = 1) -> None:
+        """Draw a horizontal line (used for underlines/separators)."""
+        self.fill_rect(x, y, w, thickness, color)
+
+    def clip(self) -> "Image":
+        """Return a copy with intensities clipped to [0, 255]."""
+        return Image(np.clip(self.pixels, 0.0, WHITE))
+
+    # -- comparisons ---------------------------------------------------------
+
+    def equals(self, other, tolerance: float = 0.0) -> bool:
+        """Pixel-exact (or tolerance-bounded) equality."""
+        arr = as_array(other)
+        if arr.shape != self.pixels.shape:
+            return False
+        return bool(np.max(np.abs(arr - self.pixels), initial=0.0) <= tolerance)
+
+    def mean_abs_diff(self, other) -> float:
+        """Mean absolute per-pixel difference with a same-shape image."""
+        arr = as_array(other)
+        if arr.shape != self.pixels.shape:
+            raise ValueError(f"shape mismatch: {arr.shape} vs {self.pixels.shape}")
+        return float(np.mean(np.abs(arr - self.pixels)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Image({self.width}x{self.height}, mean={self.pixels.mean():.1f})"

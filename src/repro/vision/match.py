@@ -1,0 +1,163 @@
+"""Template matching and viewport localisation.
+
+vWitness determines the browser's current view port by sliding the sampled
+frame over the VSPEC's "long" expected appearance and picking the vertical
+offset with the best match (paper §III-C1).  Scrollable elements reuse the
+same machinery with a horizontal or vertical axis (nested VSPECs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vision.image import as_array
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of a template search.
+
+    Attributes:
+        offset: best offset along the searched axis (pixels).
+        score: normalized correlation score in [-1, 1]; 1.0 is a perfect
+            match up to affine intensity changes.
+    """
+
+    offset: int
+    score: float
+
+
+def normalized_cross_correlation(patch_a, patch_b) -> float:
+    """Zero-normalized cross-correlation of two same-shape patches.
+
+    Returns 1.0 for patches that are identical up to brightness/contrast,
+    and values near 0 for unrelated content.  Two constant patches compare
+    by their mean intensity instead (NCC is undefined at zero variance).
+    """
+    a = as_array(patch_a).ravel()
+    b = as_array(patch_b).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"NCC requires equal shapes, got {a.shape} vs {b.shape}")
+    a = a - a.mean()
+    b = b - b.mean()
+    denom = np.sqrt((a @ a) * (b @ b))
+    if denom < 1e-12:
+        # Both (or one) patches are constant: fall back to intensity match.
+        return 1.0 if np.allclose(patch_a, patch_b, atol=2.0) else 0.0
+    return float((a @ b) / denom)
+
+
+def _axis_profiles(img: np.ndarray, axis: int) -> np.ndarray:
+    """Collapse the non-search axis to a 1-D mean profile (fast pre-filter)."""
+    return img.mean(axis=1 - axis if axis == 0 else 0)
+
+
+def best_vertical_offset(frame, long_image, stride: int = 1) -> MatchResult:
+    """Locate ``frame`` inside ``long_image`` by vertical offset.
+
+    ``long_image`` must have the same width as ``frame`` and at least its
+    height (the VSPEC expected appearance is rendered at the client width,
+    at the page's full height).  Returns the offset of the best NCC match.
+
+    A coarse pass on 1-D row-mean profiles narrows the candidate offsets,
+    then full-frame NCC ranks the survivors — the same coarse-to-fine
+    strategy OpenCV users reach for with ``matchTemplate`` on large pages.
+    """
+    f = as_array(frame)
+    long_arr = as_array(long_image)
+    if f.shape[1] != long_arr.shape[1]:
+        raise ValueError(
+            f"frame width {f.shape[1]} != expected appearance width {long_arr.shape[1]}"
+        )
+    if f.shape[0] > long_arr.shape[0]:
+        raise ValueError(
+            f"frame height {f.shape[0]} exceeds expected appearance height {long_arr.shape[0]}"
+        )
+    max_off = long_arr.shape[0] - f.shape[0]
+    if max_off == 0:
+        return MatchResult(0, normalized_cross_correlation(f, long_arr))
+
+    # Coarse pass: correlate row-mean profiles at the given stride.  The
+    # final offset (the page bottom) is always included — it is the one
+    # position striding can otherwise skip entirely.
+    frame_profile = f.mean(axis=1)
+    long_profile = long_arr.mean(axis=1)
+    fp = frame_profile - frame_profile.mean()
+    n = fp.shape[0]
+    candidates = []
+    fvar = float(fp @ fp)
+    offsets = list(range(0, max_off + 1, stride))
+    if offsets[-1] != max_off:
+        offsets.append(max_off)
+    for off in offsets:
+        seg = long_profile[off : off + n]
+        sp = seg - seg.mean()
+        svar = float(sp @ sp)
+        if fvar < 1e-12 and svar < 1e-12:
+            # Two blank strips: match them by mean intensity instead.
+            score = 1.0 if abs(frame_profile.mean() - seg.mean()) < 2.0 else 0.0
+        elif fvar < 1e-12 or svar < 1e-12:
+            score = 0.0
+        else:
+            score = float((fp @ sp) / np.sqrt(fvar * svar))
+        candidates.append((score, off))
+    candidates.sort(reverse=True)
+
+    # Fine pass: full NCC on the top coarse candidates (and stride neighbours).
+    seen: set[int] = set()
+    best = MatchResult(0, -2.0)
+    for _score, off in candidates[:12]:
+        for fine in range(max(0, off - stride), min(max_off, off + stride) + 1):
+            if fine in seen:
+                continue
+            seen.add(fine)
+            score = normalized_cross_correlation(f, long_arr[fine : fine + n])
+            if score > best.score:
+                best = MatchResult(fine, score)
+    return best
+
+
+def best_horizontal_offset(frame, wide_image, stride: int = 1) -> MatchResult:
+    """Horizontal analogue of :func:`best_vertical_offset` (scrollable rows)."""
+    f = as_array(frame)
+    wide = as_array(wide_image)
+    result = best_vertical_offset(f.T, wide.T, stride=stride)
+    return MatchResult(result.offset, result.score)
+
+
+def match_template(image, template, threshold: float = 0.95) -> list[tuple[int, int, float]]:
+    """Find all placements of ``template`` in ``image`` scoring >= threshold.
+
+    Returns ``(x, y, score)`` tuples sorted by descending score, with greedy
+    non-maximum suppression so overlapping detections collapse to one.
+    Used by POF extraction to find carets and focus-outline corners.
+    """
+    img = as_array(image)
+    tmp = as_array(template)
+    th, tw = tmp.shape
+    if th > img.shape[0] or tw > img.shape[1]:
+        return []
+    windows = np.lib.stride_tricks.sliding_window_view(img, (th, tw))
+    wh, ww = windows.shape[:2]
+    flat = windows.reshape(wh * ww, th * tw)
+    t = tmp.ravel() - tmp.mean()
+    t_norm = np.sqrt(t @ t)
+    means = flat.mean(axis=1, keepdims=True)
+    centered = flat - means
+    norms = np.sqrt(np.einsum("ij,ij->i", centered, centered))
+    if t_norm < 1e-12:
+        scores = np.where(norms < 1e-12, 1.0, 0.0)
+    else:
+        with np.errstate(invalid="ignore", divide="ignore"):
+            scores = (centered @ t) / (norms * t_norm)
+        scores = np.nan_to_num(scores, nan=0.0)
+    hits = np.flatnonzero(scores >= threshold)
+    ranked = sorted(((float(scores[i]), int(i % ww), int(i // ww)) for i in hits), reverse=True)
+    kept: list[tuple[int, int, float]] = []
+    for score, x, y in ranked:
+        if any(abs(x - kx) < tw and abs(y - ky) < th for kx, ky, _s in kept):
+            continue
+        kept.append((x, y, score))
+    return kept

@@ -1,0 +1,151 @@
+"""VSPEC serialization and digests.
+
+The signed request embeds the VSPEC (paper §III-C3), which in practice
+means embedding a canonical digest the server can compare against what it
+issued.  Serialization is deterministic: the same VSPEC always produces
+the same payload bytes and digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.vision.components import Rect
+from repro.vspec.spec import CharCell, ManifestEntry, NestedSpec, VSpec
+from repro.vspec.validation import Constraint, ConstraintValidation, JsonMatchValidation
+
+
+def _validation_to_dict(validation) -> dict | None:
+    if validation is None:
+        return None
+    if isinstance(validation, JsonMatchValidation):
+        return {
+            "type": "json-match",
+            "fields": list(validation.fields),
+            "allow_extra": validation.allow_extra,
+        }
+    if isinstance(validation, ConstraintValidation):
+        return {
+            "type": "constraints",
+            "constraints": [
+                {"field": c.fieldname, "op": c.op, "value": c.value}
+                for c in validation.constraints
+            ],
+        }
+    raise TypeError(f"cannot serialize validation {type(validation).__name__}")
+
+
+def _validation_from_dict(data: dict | None):
+    if data is None:
+        return None
+    if data["type"] == "json-match":
+        return JsonMatchValidation(fields=tuple(data["fields"]), allow_extra=data["allow_extra"])
+    if data["type"] == "constraints":
+        return ConstraintValidation(
+            constraints=tuple(
+                Constraint(
+                    fieldname=c["field"],
+                    op=c["op"],
+                    value=tuple(c["value"]) if isinstance(c["value"], list) else c["value"],
+                )
+                for c in data["constraints"]
+            )
+        )
+    raise ValueError(f"unknown validation type {data['type']!r}")
+
+
+def _entry_to_dict(entry: ManifestEntry) -> dict:
+    return {
+        "kind": entry.kind,
+        "rect": entry.rect.as_tuple(),
+        "chars": [(c.x, c.y, c.w, c.h, c.char) for c in entry.chars],
+        "input_name": entry.input_name,
+        "text_size": entry.text_size,
+        "states": sorted(entry.state_appearances),
+        "nested_id": entry.nested_id,
+        "initial_value": entry.initial_value,
+    }
+
+
+def _array_digest(arr: np.ndarray) -> str:
+    quantized = np.clip(np.rint(np.asarray(arr)), 0, 255).astype(np.uint8)
+    h = hashlib.sha256()
+    h.update(str(quantized.shape).encode("ascii"))
+    h.update(quantized.tobytes())
+    return h.hexdigest()
+
+
+def vspec_to_payload(vspec: VSpec) -> dict:
+    """Canonical JSON-able description of a VSPEC (images as digests)."""
+    return {
+        "page_id": vspec.page_id,
+        "width": vspec.width,
+        "height": vspec.height,
+        "background": vspec.background,
+        "session_id": vspec.session_id,
+        "extra_fields": dict(sorted(vspec.extra_fields.items())),
+        "expected_digest": _array_digest(vspec.expected),
+        "entries": [_entry_to_dict(e) for e in vspec.entries],
+        "state_digests": {
+            f"{i}:{value}": _array_digest(appearance)
+            for i, entry in enumerate(vspec.entries)
+            for value, appearance in sorted(entry.state_appearances.items())
+        },
+        "nested": {
+            key: {"axis": n.axis, "expected_digest": _array_digest(n.expected)}
+            for key, n in sorted(vspec.nested.items())
+        },
+        "validation": _validation_to_dict(vspec.validation),
+    }
+
+
+def vspec_digest(vspec: VSpec) -> str:
+    """SHA-256 over the canonical payload — what gets signed and echoed."""
+    payload = json.dumps(vspec_to_payload(vspec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def vspec_from_payload(payload: dict, expected: np.ndarray, nested_expected: dict | None = None) -> VSpec:
+    """Rebuild a VSpec from a payload plus the raster(s) it references.
+
+    Rasters travel out-of-band (they are large); the payload pins them by
+    digest, and this constructor re-verifies the binding.
+    """
+    if _array_digest(expected) != payload["expected_digest"]:
+        raise ValueError("expected appearance does not match payload digest")
+    entries = []
+    for data in payload["entries"]:
+        entries.append(
+            ManifestEntry(
+                kind=data["kind"],
+                rect=Rect(*data["rect"]),
+                chars=[CharCell(x, y, w, h, ch) for x, y, w, h, ch in data["chars"]],
+                input_name=data["input_name"],
+                text_size=data["text_size"],
+                nested_id=data["nested_id"],
+                initial_value=data.get("initial_value", ""),
+            )
+        )
+    nested = {}
+    for key, meta in payload.get("nested", {}).items():
+        if nested_expected is None or key not in nested_expected:
+            raise ValueError(f"missing nested expected appearance for {key!r}")
+        arr = nested_expected[key]
+        if _array_digest(arr) != meta["expected_digest"]:
+            raise ValueError(f"nested appearance {key!r} does not match payload digest")
+        nested[key] = NestedSpec(axis=meta["axis"], expected=arr)
+    return VSpec(
+        page_id=payload["page_id"],
+        width=payload["width"],
+        height=payload["height"],
+        expected=expected,
+        entries=entries,
+        background=payload["background"],
+        validation=_validation_from_dict(payload["validation"]),
+        session_id=payload["session_id"],
+        extra_fields=dict(payload["extra_fields"]),
+        nested=nested,
+    )

@@ -1,0 +1,127 @@
+"""Data-driven validation functions (paper §III-C3).
+
+The paper ships the validation function *in* the VSPEC as server-supplied
+code.  Executing arbitrary server code inside the trusted component is a
+design decision we make safer in the reproduction: validation functions
+are **data**, interpreted by vWitness, covering the cases the paper
+describes — assembling observed inputs into a JSON object and comparing
+against the page-constructed request, plus arbitrary field constraints and
+opaque server values (session IDs, nonces) passed through ``extra_fields``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ValidationError(ValueError):
+    """A request failed its VSPEC validation function."""
+
+
+@dataclass(frozen=True)
+class JsonMatchValidation:
+    """The paper's simplest case: request body == observed inputs.
+
+    Every name in ``fields`` must appear in the request body with exactly
+    the observed (vWitness-tracked) value; ``allow_extra`` tolerates
+    additional request keys (e.g. CSRF tokens) as long as they are either
+    listed in the VSPEC's ``extra_fields`` or explicitly allowed.
+    """
+
+    fields: tuple
+    allow_extra: bool = False
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One declarative check on a request value."""
+
+    fieldname: str
+    op: str  # "eq" | "in" | "matches-observed" | "numeric-max" | "nonempty"
+    value: object = None
+
+    _OPS = ("eq", "in", "matches-observed", "numeric-max", "nonempty")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unknown constraint op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class ConstraintValidation:
+    """Arbitrary validation logic expressed as a constraint list."""
+
+    constraints: tuple = field(default_factory=tuple)
+
+
+def _check_constraint(constraint: Constraint, observed: dict, body: dict) -> None:
+    name = constraint.fieldname
+    if name not in body:
+        raise ValidationError(f"request missing field {name!r}")
+    value = body[name]
+    if constraint.op == "eq":
+        if value != constraint.value:
+            raise ValidationError(f"{name}={value!r} != required {constraint.value!r}")
+    elif constraint.op == "in":
+        if value not in constraint.value:
+            raise ValidationError(f"{name}={value!r} not in {constraint.value!r}")
+    elif constraint.op == "matches-observed":
+        if name not in observed:
+            raise ValidationError(f"no observed input for {name!r}")
+        if str(value) != str(observed[name]):
+            raise ValidationError(
+                f"{name}: request value {value!r} != observed input {observed[name]!r}"
+            )
+    elif constraint.op == "numeric-max":
+        try:
+            numeric = float(value)
+        except (TypeError, ValueError):
+            raise ValidationError(f"{name}={value!r} is not numeric") from None
+        if numeric > float(constraint.value):
+            raise ValidationError(f"{name}={numeric} exceeds maximum {constraint.value}")
+    elif constraint.op == "nonempty":
+        if not str(value):
+            raise ValidationError(f"{name} must not be empty")
+
+
+def run_validation(vspec, observed_inputs: dict, request_body: dict) -> bool:
+    """Execute a VSPEC's validation function.
+
+    Returns True on success; raises :class:`ValidationError` with the
+    failing condition otherwise (the caller converts this into a refusal
+    to certify).
+    """
+    spec = vspec.validation
+    if spec is None:
+        raise ValidationError(f"VSPEC for {vspec.page_id!r} carries no validation function")
+
+    # Server-injected opaque values (session IDs, nonces) must round-trip.
+    for name, value in vspec.extra_fields.items():
+        if request_body.get(name) != value:
+            raise ValidationError(
+                f"server field {name!r}: request has {request_body.get(name)!r}, "
+                f"VSPEC requires {value!r}"
+            )
+
+    if isinstance(spec, JsonMatchValidation):
+        for name in spec.fields:
+            if name not in request_body:
+                raise ValidationError(f"request missing field {name!r}")
+            observed = observed_inputs.get(name, "")
+            if str(request_body[name]) != str(observed):
+                raise ValidationError(
+                    f"{name}: request value {request_body[name]!r} != observed {observed!r}"
+                )
+        if not spec.allow_extra:
+            allowed = set(spec.fields) | set(vspec.extra_fields)
+            extra = set(request_body) - allowed
+            if extra:
+                raise ValidationError(f"unexpected request fields: {sorted(extra)}")
+        return True
+
+    if isinstance(spec, ConstraintValidation):
+        for constraint in spec.constraints:
+            _check_constraint(constraint, observed_inputs, request_body)
+        return True
+
+    raise ValidationError(f"unsupported validation function type {type(spec).__name__}")

@@ -1,0 +1,56 @@
+"""Untrusted web client substrate (browser/OS/extension substitute).
+
+Everything in this package sits on the *untrusted* side of vWitness's
+trust boundary: the page model, layout engine, renderer, browser, the
+guest OS framebuffer, and the hinting browser extension.  Attack code
+(:mod:`repro.attacks`) subverts these components; the trusted side
+(:mod:`repro.core`) only ever observes them through
+:class:`~repro.web.hypervisor.Machine`'s sampling interface.
+"""
+
+from repro.web.elements import (
+    Button,
+    Checkbox,
+    Element,
+    FileInput,
+    IFrame,
+    ImageElement,
+    Page,
+    RadioGroup,
+    ScrollableList,
+    SelectBox,
+    TextBlock,
+    TextInput,
+    VideoElement,
+)
+from repro.web.layout import layout_page
+from repro.web.render import POFStyle, render_page
+from repro.web.browser import Browser
+from repro.web.hypervisor import Machine, SimulatedClock
+from repro.web.extension import BrowserExtension, InputHint
+from repro.web.user import HonestUser
+
+__all__ = [
+    "Element",
+    "TextBlock",
+    "ImageElement",
+    "TextInput",
+    "Checkbox",
+    "RadioGroup",
+    "SelectBox",
+    "Button",
+    "ScrollableList",
+    "IFrame",
+    "FileInput",
+    "VideoElement",
+    "Page",
+    "layout_page",
+    "render_page",
+    "POFStyle",
+    "Browser",
+    "Machine",
+    "SimulatedClock",
+    "BrowserExtension",
+    "InputHint",
+    "HonestUser",
+]

@@ -1,0 +1,295 @@
+"""The page element model (a deliberately small DOM).
+
+Covers the HTML element families the paper's evaluation touches: static
+text and images, textual inputs, checkboxes, radio groups, dropdown
+selects, submit buttons, independently scrollable lists (the paper's
+"scrollable" dynamic elements), and the *unsupported* elements the
+compatibility scripts must detect — external iframes, file inputs and
+videos.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.vision.components import Rect
+
+_ids = itertools.count(1)
+
+
+def _fresh_id(prefix: str) -> str:
+    return f"{prefix}-{next(_ids)}"
+
+
+class Element:
+    """Base class for page elements.
+
+    ``rect`` is assigned by the layout engine (page coordinates, i.e.
+    relative to the top of the full, unscrolled page).
+    """
+
+    focusable = False
+    supported_by_vwitness = True
+
+    def __init__(self, element_id: str | None = None) -> None:
+        self.element_id = element_id or _fresh_id(type(self).__name__.lower())
+        self.rect: Rect | None = None
+
+    def request_fields(self) -> dict:
+        """name -> value contribution of this element to a form request."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.element_id}, rect={self.rect})"
+
+
+class TextBlock(Element):
+    """Static text (headings, labels, paragraphs, terms)."""
+
+    def __init__(self, text: str, size: int = 16, element_id: str | None = None) -> None:
+        super().__init__(element_id)
+        if not text:
+            raise ValueError("TextBlock requires non-empty text")
+        self.text = text
+        self.size = size
+
+
+class ImageElement(Element):
+    """A static image: a named icon, a natural patch, or a logo.
+
+    ``kind`` is one of ``"icon"`` (``ref`` is an icon name), ``"patch"``
+    (``ref`` is an integer seed) or ``"logo"`` (``ref`` is a seed).
+    """
+
+    KINDS = ("icon", "patch", "logo")
+
+    def __init__(self, kind: str, ref, width: int = 32, height: int = 32, element_id: str | None = None) -> None:
+        super().__init__(element_id)
+        if kind not in self.KINDS:
+            raise ValueError(f"image kind must be one of {self.KINDS}, got {kind!r}")
+        self.kind = kind
+        self.ref = ref
+        self.width = width
+        self.height = height
+
+
+class TextInput(Element):
+    """A single-line text input with label, value and caret position."""
+
+    focusable = True
+
+    def __init__(
+        self,
+        name: str,
+        label: str = "",
+        value: str = "",
+        max_length: int | None = None,
+        text_size: int = 14,
+        element_id: str | None = None,
+    ) -> None:
+        super().__init__(element_id)
+        if not name:
+            raise ValueError("TextInput requires a field name")
+        self.name = name
+        self.label = label
+        self.value = value
+        self.max_length = max_length
+        self.text_size = text_size
+        self.caret = len(value)  # caret index within the value
+        self.selection: tuple | None = None  # (start, end) char indices
+
+    def request_fields(self) -> dict:
+        return {self.name: self.value}
+
+
+class Checkbox(Element):
+    """A labelled checkbox; its state maps to a well-defined appearance."""
+
+    focusable = True
+
+    def __init__(self, name: str, label: str, checked: bool = False, element_id: str | None = None) -> None:
+        super().__init__(element_id)
+        self.name = name
+        self.label = label
+        self.checked = checked
+
+    def request_fields(self) -> dict:
+        return {self.name: "on" if self.checked else "off"}
+
+
+class RadioGroup(Element):
+    """A vertical group of radio options (one row per option)."""
+
+    focusable = True
+
+    def __init__(self, name: str, options: list, selected: int | None = None, element_id: str | None = None) -> None:
+        super().__init__(element_id)
+        if not options:
+            raise ValueError("RadioGroup requires at least one option")
+        self.name = name
+        self.options = list(options)
+        if selected is not None and not 0 <= selected < len(options):
+            raise ValueError(f"selected index {selected} out of range")
+        self.selected = selected
+
+    def request_fields(self) -> dict:
+        value = self.options[self.selected] if self.selected is not None else ""
+        return {self.name: value}
+
+
+class SelectBox(Element):
+    """A dropdown select; the open dropdown is a dynamically-appearing
+    element validated through a nested VSPEC."""
+
+    focusable = True
+
+    def __init__(self, name: str, options: list, selected: int = 0, element_id: str | None = None) -> None:
+        super().__init__(element_id)
+        if not options:
+            raise ValueError("SelectBox requires at least one option")
+        if not 0 <= selected < len(options):
+            raise ValueError(f"selected index {selected} out of range")
+        self.name = name
+        self.options = list(options)
+        self.selected = selected
+        self.open = False
+
+    def request_fields(self) -> dict:
+        return {self.name: self.options[self.selected]}
+
+
+class Button(Element):
+    """A push button; ``action='submit'`` submits the page's form."""
+
+    focusable = True
+
+    def __init__(self, label: str, action: str = "submit", element_id: str | None = None) -> None:
+        super().__init__(element_id)
+        if not label:
+            raise ValueError("Button requires a label")
+        self.label = label
+        self.action = action
+
+
+class ScrollableList(Element):
+    """A list that scrolls independently of the page (paper §III-C1).
+
+    Only ``visible_rows`` rows are shown; ``scroll_offset`` selects the
+    window.  Its VSPEC nests a merged expected appearance of *all* rows.
+    """
+
+    focusable = True
+
+    def __init__(
+        self,
+        name: str,
+        items: list,
+        visible_rows: int = 3,
+        element_id: str | None = None,
+    ) -> None:
+        super().__init__(element_id)
+        if not items:
+            raise ValueError("ScrollableList requires at least one item")
+        if visible_rows <= 0:
+            raise ValueError(f"visible_rows must be positive, got {visible_rows}")
+        self.name = name
+        self.items = list(items)
+        self.visible_rows = min(visible_rows, len(items))
+        self.scroll_offset = 0
+        self.selected: int | None = None
+
+    @property
+    def max_scroll(self) -> int:
+        return max(0, len(self.items) - self.visible_rows)
+
+    def request_fields(self) -> dict:
+        value = self.items[self.selected] if self.selected is not None else ""
+        return {self.name: value}
+
+
+class IFrame(Element):
+    """An inline frame.  External-origin iframes are unsupported (ads)."""
+
+    def __init__(self, src: str, height: int = 80, element_id: str | None = None) -> None:
+        super().__init__(element_id)
+        if not src:
+            raise ValueError("IFrame requires a src")
+        self.src = src
+        self.height = height
+
+    @property
+    def external(self) -> bool:
+        return self.src.startswith("http://") or self.src.startswith("https://")
+
+    @property
+    def supported_by_vwitness(self) -> bool:  # type: ignore[override]
+        return not self.external
+
+
+class FileInput(Element):
+    """A file-upload input — invisible interaction, unsupported (§III-D)."""
+
+    focusable = True
+    supported_by_vwitness = False
+
+    def __init__(self, name: str, label: str = "Upload", element_id: str | None = None) -> None:
+        super().__init__(element_id)
+        self.name = name
+        self.label = label
+
+    def request_fields(self) -> dict:
+        return {self.name: ""}
+
+
+class VideoElement(Element):
+    """A video region — excessively dynamic, unsupported (§III-D)."""
+
+    supported_by_vwitness = False
+
+    def __init__(self, width: int = 320, height: int = 180, element_id: str | None = None) -> None:
+        super().__init__(element_id)
+        self.width = width
+        self.height = height
+
+
+@dataclass
+class Page:
+    """A web page: a vertical flow of elements plus form metadata."""
+
+    title: str
+    elements: list = field(default_factory=list)
+    width: int = 640
+    background: float = 255.0
+    action: str = "/submit"
+
+    def __post_init__(self) -> None:
+        if self.width < 64:
+            raise ValueError(f"page width too small: {self.width}")
+
+    def inputs(self) -> list:
+        """All elements that contribute fields to the form request."""
+        return [e for e in self.elements if e.request_fields()]
+
+    def find(self, element_id: str) -> Element:
+        for element in self.elements:
+            if element.element_id == element_id:
+                return element
+        raise KeyError(f"no element with id {element_id!r}")
+
+    def find_input(self, name: str) -> Element:
+        for element in self.elements:
+            if getattr(element, "name", None) == name:
+                return element
+        raise KeyError(f"no input named {name!r}")
+
+    def form_values(self) -> dict:
+        """The name->value mapping the page's own logic would submit."""
+        values: dict = {}
+        for element in self.elements:
+            values.update(element.request_fields())
+        return values
+
+    def unsupported_elements(self) -> list:
+        """Elements vWitness cannot validate (for the compat script)."""
+        return [e for e in self.elements if not e.supported_by_vwitness]

@@ -1,0 +1,90 @@
+"""The untrusted browser extension (paper §III-B / §IV-A).
+
+The extension bridges the browser and vWitness's trusted component.  It
+(1) fetches VSPECs from the server at the client's window width,
+(2) begins/ends vWitness sessions (fullscreening the page), and
+(3) *hints* input positions and values as the user edits fields.
+
+vWitness trusts none of this: hints are verified against pixels, the VSPEC
+is echoed inside the signed request for the server to check, and a wrong
+width simply fails viewport detection (§V-A "Dishonest Browser
+Extension").  Attack code subverts the extension by subclassing it or by
+feeding it forged events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.web.browser import Browser
+
+
+@dataclass(frozen=True)
+class InputHint:
+    """One hinted input update: which field, where, and the new value."""
+
+    timestamp: float
+    input_name: str
+    rect: tuple  # (x, y, w, h) in page coordinates
+    value: str
+
+
+class BrowserExtension:
+    """Honest extension implementation.
+
+    The three JavaScript APIs of §IV-A map to :meth:`acquire_vspecs`,
+    :meth:`begin_session` and :meth:`end_session`.
+    """
+
+    def __init__(self, browser: Browser, server, vwitness) -> None:
+        self.browser = browser
+        self.server = server
+        self.vwitness = vwitness
+        self.vspec = None
+        self._session_active = False
+        browser.add_input_listener(self._on_input_changed)
+
+    # -- the three extension APIs -------------------------------------------
+
+    def acquire_vspecs(self, page_id: str):
+        """Fetch the VSPEC tailored to the client window width."""
+        width = self.reported_width()
+        self.vspec = self.server.vspec_for(page_id, width)
+        return self.vspec
+
+    def begin_session(self) -> None:
+        """Fullscreen the page and hand the VSPEC to vWitness."""
+        if self.vspec is None:
+            raise RuntimeError("acquire_vspecs must run before begin_session")
+        self.browser.request_fullscreen()
+        self.browser.paint()
+        self.vwitness.begin_session(self.vspec)
+        self._session_active = True
+
+    def end_session(self, request_body: dict):
+        """Exit fullscreen and submit the page-built request for validation."""
+        if not self._session_active:
+            raise RuntimeError("end_session without an active session")
+        self.browser.exit_fullscreen()
+        self._session_active = False
+        certified = self.vwitness.end_session(request_body)
+        self.browser.show_submitted_banner()
+        return certified
+
+    # -- hinting ---------------------------------------------------------------
+
+    def reported_width(self) -> int:
+        """The window width reported to the server (virtual pixels)."""
+        return self.browser.page.width
+
+    def _on_input_changed(self, element, old_value, new_value) -> None:
+        if not self._session_active or self.vspec is None:
+            return
+        rect = element.rect.as_tuple() if element.rect is not None else (0, 0, 1, 1)
+        hint = InputHint(
+            timestamp=self.browser.machine.clock.now(),
+            input_name=element.name,
+            rect=rect,
+            value=str(new_value),
+        )
+        self.vwitness.receive_hint(hint)

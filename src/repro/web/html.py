@@ -1,0 +1,180 @@
+"""A small HTML bridge: Page <-> HTML, plus form parsing for server scripts.
+
+The paper's server-side scripts operate on page source: removing external
+iframes, adding ``maxlength`` to text inputs, scanning CSS for POF
+overrides and warning about unsupported elements (§IV-B).  This module
+serializes our :class:`~repro.web.elements.Page` model to an HTML subset
+and parses that subset back, so the scripts can work on markup the way the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+
+from repro.web import elements as el
+
+#: The paper's "pre-defined HTML tag-to-validation type mapping" used by
+#: the VSPEC generation script (§IV-B).
+TAG_TO_VALIDATION_TYPE = {
+    "h1": "text",
+    "p": "text",
+    "label": "text",
+    "img": "image",
+    "input": "input",
+    "textarea": "input",
+    "select": "input",
+    "button": "input",
+    "iframe": "iframe",
+    "video": "video",
+}
+
+
+def page_to_html(page: el.Page, css: str = "") -> str:
+    """Serialize a page to the HTML subset the server scripts understand."""
+    parts = ["<html><head>"]
+    if css:
+        parts.append(f"<style>{css}</style>")
+    parts.append(f"<title>{_html.escape(page.title)}</title></head><body>")
+    parts.append(f'<form action="{_html.escape(page.action)}" data-width="{page.width}">')
+    parts.append(f"<h1>{_html.escape(page.title)}</h1>")
+    for element in page.elements:
+        parts.append(_element_to_html(element))
+    parts.append("</form></body></html>")
+    return "\n".join(parts)
+
+
+def _element_to_html(element: el.Element) -> str:
+    if isinstance(element, el.TextBlock):
+        return f'<p data-size="{element.size}">{_html.escape(element.text)}</p>'
+    if isinstance(element, el.ImageElement):
+        return (
+            f'<img src="{element.kind}:{element.ref}" width="{element.width}" '
+            f'height="{element.height}">'
+        )
+    if isinstance(element, el.TextInput):
+        maxlength = f' maxlength="{element.max_length}"' if element.max_length else ""
+        label = f"<label>{_html.escape(element.label)}</label>" if element.label else ""
+        return (
+            f'{label}<input type="text" name="{_html.escape(element.name)}" '
+            f'value="{_html.escape(element.value)}"{maxlength}>'
+        )
+    if isinstance(element, el.Checkbox):
+        checked = " checked" if element.checked else ""
+        return (
+            f'<input type="checkbox" name="{_html.escape(element.name)}"{checked}>'
+            f"<label>{_html.escape(element.label)}</label>"
+        )
+    if isinstance(element, el.RadioGroup):
+        rows = []
+        for i, option in enumerate(element.options):
+            checked = " checked" if element.selected == i else ""
+            rows.append(
+                f'<input type="radio" name="{_html.escape(element.name)}" '
+                f'value="{_html.escape(option)}"{checked}>'
+                f"<label>{_html.escape(option)}</label>"
+            )
+        return "\n".join(rows)
+    if isinstance(element, el.SelectBox):
+        opts = []
+        for i, option in enumerate(element.options):
+            sel = " selected" if element.selected == i else ""
+            opts.append(f"<option{sel}>{_html.escape(option)}</option>")
+        return f'<select name="{_html.escape(element.name)}">{"".join(opts)}</select>'
+    if isinstance(element, el.Button):
+        return f'<button type="{element.action}">{_html.escape(element.label)}</button>'
+    if isinstance(element, el.ScrollableList):
+        opts = "".join(f"<option>{_html.escape(i)}</option>" for i in element.items)
+        return (
+            f'<select name="{_html.escape(element.name)}" size="{element.visible_rows}" '
+            f'data-scrollable="1">{opts}</select>'
+        )
+    if isinstance(element, el.IFrame):
+        return f'<iframe src="{_html.escape(element.src)}" height="{element.height}"></iframe>'
+    if isinstance(element, el.FileInput):
+        return f'<input type="file" name="{_html.escape(element.name)}">'
+    if isinstance(element, el.VideoElement):
+        return f'<video width="{element.width}" height="{element.height}"></video>'
+    raise TypeError(f"no HTML serialization for {type(element).__name__}")
+
+
+@dataclass
+class ParsedTag:
+    """One tag occurrence with its attributes."""
+
+    tag: str
+    attrs: dict
+    text: str = ""
+
+
+@dataclass
+class ParsedForm:
+    """The pieces of a page the server scripts care about."""
+
+    title: str = ""
+    width: int = 640
+    tags: list = field(default_factory=list)
+    css: str = ""
+
+    def find_all(self, tag: str) -> list:
+        return [t for t in self.tags if t.tag == tag]
+
+    def inputs(self) -> list:
+        return [t for t in self.tags if t.tag in ("input", "textarea", "select")]
+
+    def external_iframes(self) -> list:
+        return [
+            t
+            for t in self.find_all("iframe")
+            if str(t.attrs.get("src", "")).startswith(("http://", "https://"))
+        ]
+
+
+class _FormParser(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__()
+        self.form = ParsedForm()
+        self._stack: list = []
+        self._in_style = False
+
+    def handle_starttag(self, tag, attrs):
+        if tag == "style":
+            self._in_style = True
+            return
+        parsed = ParsedTag(tag=tag, attrs=dict(attrs))
+        if tag == "form":
+            self.form.width = int(parsed.attrs.get("data-width", self.form.width))
+        self.form.tags.append(parsed)
+        self._stack.append(parsed)
+
+    def handle_startendtag(self, tag, attrs):
+        self.form.tags.append(ParsedTag(tag=tag, attrs=dict(attrs)))
+
+    def handle_endtag(self, tag):
+        if tag == "style":
+            self._in_style = False
+        while self._stack:
+            top = self._stack.pop()
+            if top.tag == tag:
+                break
+
+    def handle_data(self, data):
+        text = data.strip()
+        if not text:
+            return
+        if self._in_style:
+            self.form.css += data
+            return
+        if self._stack:
+            self._stack[-1].text += text
+            if self._stack[-1].tag == "title":
+                self.form.title = self._stack[-1].text
+
+
+def parse_form(html_source: str) -> ParsedForm:
+    """Parse the HTML subset back into script-inspectable structure."""
+    parser = _FormParser()
+    parser.feed(html_source)
+    return parser.form

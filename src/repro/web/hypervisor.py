@@ -1,0 +1,123 @@
+"""Simulated machine: clock, guest framebuffer, hardware I/O ledger.
+
+This is the Xen substitute.  The trust property it models (paper §II/§V):
+
+* Guest software (browser, OS, malware) can freely *write* the framebuffer
+  — including writes that bypass the browser, as privileged rootkits like
+  Scranos do.
+* Guest software cannot observe *when* dom0 samples the framebuffer, and
+  cannot intercept or alter samples — ``sample_framebuffer`` returns a
+  private copy.
+* Hardware I/O events (key presses, mouse clicks) enter the ledger only
+  through :meth:`record_hardware_io`, which attack code must not call —
+  malware can inject events into the *guest's* input queue but cannot
+  fabricate interrupts observed by the hypervisor.  Tests enforce this
+  boundary by construction: attacks drive the browser directly instead of
+  the user model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vision.image import Image
+
+
+class SimulatedClock:
+    """Millisecond virtual clock advanced explicitly by the harness.
+
+    Observers (vWitness's screenshot sampler) register callbacks that fire
+    after every advance — the simulation's stand-in for dom0 waking up on
+    its own timer, independent of guest activity.
+    """
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now = float(start_ms)
+        self._observers: list = []
+
+    def now(self) -> float:
+        return self._now
+
+    def add_observer(self, callback) -> None:
+        """Register callback(now_ms) invoked after each advance."""
+        self._observers.append(callback)
+
+    def remove_observer(self, callback) -> None:
+        self._observers.remove(callback)
+
+    def advance(self, delta_ms: float) -> float:
+        if delta_ms < 0:
+            raise ValueError(f"cannot rewind the clock by {delta_ms}ms")
+        self._now += delta_ms
+        for callback in list(self._observers):
+            callback(self._now)
+        return self._now
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One hardware input interrupt observed by the hypervisor."""
+
+    timestamp: float
+    kind: str  # "key" | "mouse"
+
+
+class Machine:
+    """A client machine: one guest framebuffer plus the trusted interfaces."""
+
+    def __init__(self, width: int, height: int, clock: SimulatedClock | None = None) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"display must have positive size, got {width}x{height}")
+        self.clock = clock or SimulatedClock()
+        self._framebuffer = Image.blank(width, height, 0.0)
+        self._io_ledger: list = []
+
+    # -- guest-side (untrusted) -------------------------------------------
+
+    @property
+    def display_width(self) -> int:
+        return self._framebuffer.width
+
+    @property
+    def display_height(self) -> int:
+        return self._framebuffer.height
+
+    def write_framebuffer(self, image, x: int = 0, y: int = 0) -> None:
+        """Guest write into the display (browser paint or malware blit)."""
+        self._framebuffer.paste(image, x, y)
+
+    def framebuffer_handle(self) -> Image:
+        """Direct mutable access for privileged guest code (rootkit writes)."""
+        return self._framebuffer
+
+    # -- hardware-side ----------------------------------------------------------
+
+    def record_hardware_io(self, kind: str) -> None:
+        """A physical input interrupt (keyboard/mouse).
+
+        Only the user model calls this; the hypervisor observes interrupt
+        timing but never interprets the events (paper §III-C2 "vWitness
+        does not interpret the I/O events but only checks their
+        occurrence").
+        """
+        if kind not in ("key", "mouse"):
+            raise ValueError(f"unknown I/O kind {kind!r}")
+        self._io_ledger.append(IOEvent(self.clock.now(), kind))
+
+    # -- dom0-side (trusted) -------------------------------------------------
+
+    def sample_framebuffer(self) -> Image:
+        """A trusted snapshot of the display, invisible to the guest."""
+        return self._framebuffer.copy()
+
+    def io_events_between(self, start_ms: float, end_ms: float) -> list:
+        """Hardware events in a ``[start, end]`` window."""
+        return [e for e in self._io_ledger if start_ms <= e.timestamp <= end_ms]
+
+    def last_io_before(self, timestamp: float) -> IOEvent | None:
+        """Most recent hardware event at or before ``timestamp``."""
+        best = None
+        for event in self._io_ledger:
+            if event.timestamp <= timestamp and (best is None or event.timestamp > best.timestamp):
+                best = event
+        return best

@@ -1,0 +1,138 @@
+"""Flow layout: assigns each element its page-coordinate rectangle.
+
+A single-column flow with fixed margins — web-accurate enough that VSPEC
+manifests, browser rendering and user clicks all agree on geometry, which
+is the property the validation pipeline actually depends on.
+"""
+
+from __future__ import annotations
+
+from repro.raster.text import char_advance, measure_text
+from repro.vision.components import Rect
+from repro.web import elements as el
+
+#: Layout constants (pixels).
+MARGIN_X = 24
+SPACING_Y = 14
+INPUT_HEIGHT = 30
+INPUT_PAD_X = 6
+CHECKBOX_SIZE = 16
+RADIO_SIZE = 14
+ROW_HEIGHT = 24
+BUTTON_HEIGHT = 32
+LABEL_SIZE = 13
+
+
+def element_height(element: el.Element, page_width: int) -> int:
+    """Height this element occupies in the flow (including its label)."""
+    if isinstance(element, el.TextBlock):
+        return _wrapped_text_height(element, page_width)
+    if isinstance(element, el.ImageElement):
+        return element.height
+    if isinstance(element, el.TextInput):
+        label_h = LABEL_SIZE + 4 if element.label else 0
+        return label_h + INPUT_HEIGHT
+    if isinstance(element, el.Checkbox):
+        return max(CHECKBOX_SIZE, ROW_HEIGHT)
+    if isinstance(element, el.RadioGroup):
+        return ROW_HEIGHT * len(element.options)
+    if isinstance(element, el.SelectBox):
+        return INPUT_HEIGHT
+    if isinstance(element, el.Button):
+        return BUTTON_HEIGHT
+    if isinstance(element, el.ScrollableList):
+        return ROW_HEIGHT * element.visible_rows + 4
+    if isinstance(element, el.IFrame):
+        return element.height
+    if isinstance(element, el.FileInput):
+        return INPUT_HEIGHT
+    if isinstance(element, el.VideoElement):
+        return element.height
+    raise TypeError(f"no layout rule for {type(element).__name__}")
+
+
+def element_width(element: el.Element, page_width: int) -> int:
+    """Width this element occupies (flow column minus margins by default)."""
+    column = page_width - 2 * MARGIN_X
+    if isinstance(element, el.TextBlock):
+        w, _h = measure_text(element.text, element.size)
+        return min(w, column)
+    if isinstance(element, el.ImageElement):
+        return min(element.width, column)
+    if isinstance(element, el.Button):
+        w, _h = measure_text(element.label, 14)
+        return min(w + 24, column)
+    if isinstance(element, el.Checkbox):
+        w, _h = measure_text(element.label, LABEL_SIZE)
+        return min(CHECKBOX_SIZE + 8 + w, column)
+    if isinstance(element, el.RadioGroup):
+        widest = max(measure_text(opt, LABEL_SIZE)[0] for opt in element.options)
+        return min(RADIO_SIZE + 8 + widest, column)
+    return column
+
+
+def _wrapped_text_height(element: el.TextBlock, page_width: int) -> int:
+    lines = wrap_text(element.text, element.size, page_width - 2 * MARGIN_X)
+    return len(lines) * (element.size + 4)
+
+
+def wrap_text(text: str, size: int, max_width: int) -> list:
+    """Greedy word wrap using the monospaced advance."""
+    advance = char_advance(size)
+    per_line = max(1, max_width // advance)
+    words = text.split(" ")
+    lines: list = []
+    current = ""
+    for word in words:
+        candidate = f"{current} {word}".strip()
+        if len(candidate) <= per_line or not current:
+            current = candidate
+        else:
+            lines.append(current)
+            current = word
+    if current:
+        lines.append(current)
+    return lines
+
+
+def layout_page(page: el.Page) -> int:
+    """Assign ``rect`` to every element; returns the full page height.
+
+    The flow starts below a title band and stacks elements vertically with
+    ``SPACING_Y`` gaps.
+    """
+    y = SPACING_Y + 30  # title band
+    for element in page.elements:
+        h = element_height(element, page.width)
+        w = element_width(element, page.width)
+        element.rect = Rect(MARGIN_X, y, max(w, 1), max(h, 1))
+        y += h + SPACING_Y
+    return y + SPACING_Y
+
+
+def input_box_rect(element: el.TextInput) -> Rect:
+    """The input box portion of a TextInput's rect (below its label)."""
+    if element.rect is None:
+        raise ValueError("layout_page must run before input_box_rect")
+    label_h = LABEL_SIZE + 4 if element.label else 0
+    return Rect(element.rect.x, element.rect.y + label_h, element.rect.w, INPUT_HEIGHT)
+
+
+def text_origin_in_input(element: el.TextInput) -> tuple:
+    """Where the value text starts inside the input box."""
+    box = input_box_rect(element)
+    ty = box.y + (INPUT_HEIGHT - element.text_size) // 2
+    return (box.x + INPUT_PAD_X, ty)
+
+
+def caret_x(element: el.TextInput) -> int:
+    """Pixel x of the caret for the element's current caret index."""
+    origin_x, _ = text_origin_in_input(element)
+    return origin_x + element.caret * char_advance(element.text_size)
+
+
+def char_cell_in_input(element: el.TextInput, index: int) -> Rect:
+    """The cell rectangle of the ``index``-th value character."""
+    origin_x, origin_y = text_origin_in_input(element)
+    advance = char_advance(element.text_size)
+    return Rect(origin_x + index * advance, origin_y, advance, element.text_size)

@@ -1,0 +1,98 @@
+"""Shared fixtures: trained models (disk-cached) and a reference scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import CertificateAuthority
+from repro.server import WebServer
+from repro.web import (
+    Browser,
+    Button,
+    Checkbox,
+    HonestUser,
+    Machine,
+    Page,
+    RadioGroup,
+    ScrollableList,
+    SelectBox,
+    TextBlock,
+    TextInput,
+)
+from repro.web.extension import BrowserExtension
+
+
+@pytest.fixture(scope="session")
+def text_model():
+    from repro.nn.zoo import get_text_model
+
+    return get_text_model("base")
+
+
+@pytest.fixture(scope="session")
+def image_model():
+    from repro.nn.zoo import get_image_model
+
+    return get_image_model()
+
+
+def make_transfer_page() -> Page:
+    """The running example: a wire-transfer form with every widget type."""
+    return Page(
+        title="Wire Transfer",
+        width=640,
+        elements=[
+            TextBlock("Transfer funds to another account", 16),
+            TextInput("recipient", label="Recipient account"),
+            TextInput("amount", label="Amount USD", max_length=10),
+            Checkbox("confirm", "I confirm this transfer"),
+            RadioGroup("speed", ["Standard", "Express"]),
+            SelectBox("currency", ["USD", "EUR", "CAD"]),
+            Button("Transfer", action="submit"),
+        ],
+    )
+
+
+class TransferScenario:
+    """A wired-up client/server/vWitness test bench."""
+
+    def __init__(self, text_model, image_model, display=(640, 480), **vw_kwargs):
+        from repro.core.session import install_vwitness
+
+        self.ca = CertificateAuthority()
+        self.server = WebServer(self.ca)
+        self.server.register_page("transfer", make_transfer_page())
+        self.machine = Machine(*display)
+        self.browser = Browser(self.machine, self.server.serve_page("transfer"))
+        vw_kwargs.setdefault("batched", True)
+        self.vwitness = install_vwitness(
+            self.machine, self.ca, text_model=text_model, image_model=image_model, **vw_kwargs
+        )
+        self.extension = BrowserExtension(self.browser, self.server, self.vwitness)
+        self.user = HonestUser(self.browser)
+        self.vspec = None
+
+    def begin(self):
+        self.vspec = self.extension.acquire_vspecs("transfer")
+        self.browser.paint()
+        self.extension.begin_session()
+        return self.vspec
+
+    def honest_fill(self):
+        self.user.fill_text_input("recipient", "ACC-998877")
+        self.user.fill_text_input("amount", "250.00")
+        self.user.toggle_checkbox("confirm", True)
+
+    def submit_body(self, **overrides):
+        body = dict(self.browser.page.form_values())
+        body["session_id"] = self.vspec.session_id
+        body.update(overrides)
+        return body
+
+    def end(self, body=None):
+        return self.extension.end_session(body if body is not None else self.submit_body())
+
+
+@pytest.fixture
+def scenario(text_model, image_model):
+    return TransferScenario(text_model, image_model)

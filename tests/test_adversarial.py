@@ -1,0 +1,190 @@
+"""Tests for the adversarial attack implementations and evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.adversarial.attacks import (
+    AttackConfig,
+    bim,
+    classifier_objective,
+    fgm,
+    matcher_objective,
+    project,
+    quantize,
+    run_attack,
+)
+from repro.adversarial.defenses import multi_unit_attack_success, perturbation_visibility
+from repro.adversarial.evaluate import (
+    EPSILONS_L2,
+    EPSILONS_LINF,
+    RobustnessReport,
+    attacked_accuracy_matcher,
+    robustness_grid,
+)
+from repro.nn.data import text_dataset
+from repro.raster.fonts import font_registry
+
+
+@pytest.fixture(scope="module")
+def false_pairs(text_model):
+    fonts = font_registry()[:1]
+    obs, exp, labels = text_dataset(fonts, styles=("normal",), expansions=0, seed=77)
+    mask = labels < 0.5
+    return obs[mask][:24], exp[mask][:24]
+
+
+class TestProjection:
+    def test_linf_projection_bounds_delta(self):
+        rng = np.random.default_rng(0)
+        x0 = rng.uniform(0.2, 0.8, (4, 1, 8, 8))
+        x = x0 + rng.normal(0, 1, x0.shape)
+        proj = project(x, x0, epsilon=0.1, norm="linf")
+        assert np.all(np.abs(proj - x0) <= 0.1 + 1e-12)
+        assert proj.min() >= 0.0 and proj.max() <= 1.0
+
+    def test_l2_projection_bounds_norm(self):
+        rng = np.random.default_rng(1)
+        x0 = rng.uniform(0.3, 0.7, (3, 1, 8, 8))
+        x = x0 + rng.normal(0, 5, x0.shape)
+        proj = project(x, x0, epsilon=2.0, norm="l2")
+        deltas = (proj - x0).reshape(3, -1)
+        assert np.all(np.linalg.norm(deltas, axis=1) <= 2.0 + 1e-9)
+
+    def test_inside_ball_untouched(self):
+        x0 = np.full((1, 1, 4, 4), 0.5)
+        x = x0 + 0.05
+        assert np.allclose(project(x, x0, 0.1, "linf"), x)
+
+    def test_unknown_norm_rejected(self):
+        with pytest.raises(ValueError):
+            project(np.zeros((1, 4)), np.zeros((1, 4)), 0.1, "l1")
+
+    def test_quantize_to_pixel_grid(self):
+        x = np.asarray([0.1234, 0.9999, -0.2])
+        q = quantize(x)
+        assert np.all(q >= 0) and np.all(q <= 1)
+        assert np.allclose(q * 255, np.rint(q * 255))
+
+
+class TestObjectives:
+    def test_matcher_objective_margin_sign(self, text_model, false_pairs):
+        obs, exp = false_pairs
+        objective = matcher_objective(text_model, exp[:4], target_match=True)
+        margin, grad = objective(obs[:4])
+        assert margin.shape == (4,)
+        assert grad.shape == obs[:4].shape
+        # Model (mostly) rejects tampered pairs => margins mostly positive.
+        assert (margin > 0).mean() >= 0.5
+
+    def test_matcher_objective_threshold_awareness(self, text_model, false_pairs):
+        obs, exp = false_pairs
+        base = matcher_objective(text_model, exp[:8])(obs[:8])[0]
+        hard = matcher_objective(text_model.with_threshold(0.99), exp[:8])(obs[:8])[0]
+        assert np.all(hard > base)  # higher threshold -> larger margins
+
+    def test_classifier_objective_gradient_descends(self):
+        from repro.nn.zoo import get_text_reference
+
+        model = get_text_reference()
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, (2, 1, 32, 32)).astype(np.float32)
+        targets = np.asarray([5, 9])
+        objective = classifier_objective(model, targets)
+        margin0, grad = objective(x)
+        stepped = np.clip(x - 0.05 * np.sign(grad), 0, 1)
+        margin1, _ = objective(stepped)
+        assert margin1.mean() < margin0.mean()
+
+
+class TestAttacks:
+    @pytest.mark.parametrize("attack", ["FGM", "BIM", "MOM", "APGD", "FAB"])
+    def test_attacks_respect_epsilon_ball(self, text_model, false_pairs, attack):
+        obs, exp = false_pairs
+        objective = matcher_objective(text_model, exp[:6])
+        x_adv = run_attack(attack, objective, obs[:6], 0.1254, "linf", AttackConfig(steps=8))
+        assert np.all(np.abs(x_adv - obs[:6]) <= 0.1254 + 1.0 / 255.0 + 1e-9)
+        assert x_adv.min() >= 0 and x_adv.max() <= 1
+
+    def test_iterative_beats_single_step(self, text_model, false_pairs):
+        obs, exp = false_pairs
+        objective = matcher_objective(text_model, exp)
+        x_fgm = fgm(objective, obs, 0.2509, "linf")
+        x_bim = bim(objective, obs, 0.2509, "linf", AttackConfig(steps=12))
+        margin_fgm = objective(x_fgm)[0].mean()
+        margin_bim = objective(x_bim)[0].mean()
+        assert margin_bim <= margin_fgm + 1e-6
+
+    def test_cw_only_returns_successful_perturbations(self, text_model, false_pairs):
+        obs, exp = false_pairs
+        objective = matcher_objective(text_model, exp[:8])
+        x_adv = run_attack("CW2", objective, obs[:8], 3.0, "l2", AttackConfig(steps=10))
+        margins, _ = objective(x_adv)
+        # CW never worsens a sample: each output is either the original
+        # input (up to tanh/pixel quantization noise) or a lower-margin
+        # adversarial point.
+        assert np.all(margins <= objective(obs[:8])[0] + 0.1)
+
+    def test_unknown_attack_rejected(self, text_model, false_pairs):
+        obs, exp = false_pairs
+        with pytest.raises(ValueError):
+            run_attack("DeepFool", matcher_objective(text_model, exp[:2]), obs[:2], 0.1, "linf")
+
+
+class TestEvaluation:
+    def test_attacked_accuracy_in_unit_interval(self, text_model, false_pairs):
+        obs, exp = false_pairs
+        acc = attacked_accuracy_matcher(
+            text_model, obs[:8], exp[:8], "FGM", EPSILONS_LINF[0], "linf"
+        )
+        assert 0.0 <= acc <= 1.0
+
+    def test_high_threshold_is_more_robust(self, text_model, false_pairs):
+        obs, exp = false_pairs
+        config = AttackConfig(steps=10)
+        base = attacked_accuracy_matcher(text_model, obs, exp, "BIM", 0.2509, "linf", config)
+        hard = attacked_accuracy_matcher(
+            text_model.with_threshold(0.99), obs, exp, "BIM", 0.2509, "linf", config
+        )
+        assert hard >= base
+
+    def test_robustness_grid_structure(self, text_model, false_pairs):
+        obs, exp = false_pairs
+        report = robustness_grid(
+            "matcher",
+            text_model,
+            obs[:6],
+            exp[:6],
+            model_name="unit-test",
+            attacks=("FGM", "CW2"),
+            config=AttackConfig(steps=4),
+        )
+        assert set(report.grid) == {"FGM", "CW2"}
+        assert set(report.grid["FGM"]) == {"linf", "l2"}
+        assert len(report.grid["FGM"]["linf"]) == len(EPSILONS_LINF)
+        # CW2 is L2-only, filled across epsilons with its single value.
+        assert len(set(report.grid["CW2"]["l2"].values())) == 1
+        assert 0.0 <= report.average_attacked_accuracy <= 1.0
+
+    def test_robustness_factor(self):
+        ref = RobustnessReport("ref", clean_accuracy=0.9)
+        ref.record("FGM", "linf", 0.1, 0.10)
+        ours = RobustnessReport("ours", clean_accuracy=0.95)
+        ours.record("FGM", "linf", 0.1, 0.50)
+        assert ours.robustness_factor(ref) == pytest.approx(5.0)
+
+
+class TestDefenses:
+    def test_multi_unit_amplification(self):
+        assert multi_unit_attack_success(0.5, 4) == pytest.approx(0.0625)
+        with pytest.raises(ValueError):
+            multi_unit_attack_success(1.5, 2)
+        with pytest.raises(ValueError):
+            multi_unit_attack_success(0.5, 0)
+
+    def test_perturbation_visibility_stats(self):
+        x0 = np.zeros((4, 4))
+        x = x0.copy()
+        x[0, 0] = 0.5
+        stats = perturbation_visibility(x0, x)
+        assert stats["max"] == pytest.approx(0.5)
+        assert stats["changed_fraction"] == pytest.approx(1 / 16)

@@ -1,0 +1,122 @@
+"""Unit tests for the attack building blocks (repro.attacks)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.forgery import forge_request_body, tamper_request_field
+from repro.attacks.replay import ReplayAttacker
+from repro.attacks.tamper import (
+    inject_text_into_image,
+    overlay_rectangle,
+    redress_ui,
+    shift_viewport_content,
+    swap_text_on_display,
+)
+from repro.attacks.toctou import DisplayFlipper
+from repro.vision.image import Image
+from repro.web.hypervisor import Machine
+
+
+class TestTamperPrimitives:
+    def _machine(self):
+        machine = Machine(100, 80)
+        machine.write_framebuffer(Image.blank(100, 80, 255.0))
+        return machine
+
+    def test_swap_text_changes_pixels(self):
+        machine = self._machine()
+        before = machine.sample_framebuffer().pixels.copy()
+        swap_text_on_display(machine, 10, 10, "XX", size=14)
+        after = machine.sample_framebuffer().pixels
+        assert np.abs(after - before).max() > 100.0
+        with pytest.raises(ValueError):
+            swap_text_on_display(machine, 100, 80, "Y", size=14)
+
+    def test_overlay_covers_region(self):
+        machine = self._machine()
+        overlay_rectangle(machine, 10, 10, 40, 20, color=0.0)
+        frame = machine.sample_framebuffer().pixels
+        assert np.all(frame[10:30, 10:50] == 0.0)
+        assert frame[5, 5] == 255.0
+
+    def test_redress_requires_matching_size(self):
+        machine = self._machine()
+        with pytest.raises(ValueError):
+            redress_ui(machine, Image.blank(50, 50))
+        decoy = Image.blank(100, 80, 33.0)
+        redress_ui(machine, decoy)
+        assert np.all(machine.sample_framebuffer().pixels == 33.0)
+
+    def test_inject_text_darkens_image(self):
+        machine = self._machine()
+        before = machine.sample_framebuffer().pixels.sum()
+        inject_text_into_image(machine, 10, 10, 60, 20, "AD")
+        assert machine.sample_framebuffer().pixels.sum() < before
+
+    def test_shift_viewport(self):
+        machine = self._machine()
+        overlay_rectangle(machine, 0, 0, 100, 10, color=0.0)
+        shift_viewport_content(machine, 20, fill=255.0)
+        frame = machine.sample_framebuffer().pixels
+        assert np.all(frame[20:30, :] == 0.0)
+        assert np.all(frame[:20, :] == 255.0)
+
+
+class TestForgeryHelpers:
+    def test_forge_overrides(self):
+        body = forge_request_body({"a": "1", "b": "2"}, b="evil")
+        assert body == {"a": "1", "b": "evil"}
+
+    def test_tamper_requires_existing_field(self):
+        with pytest.raises(KeyError):
+            tamper_request_field({"a": "1"}, "zz", "x")
+        out = tamper_request_field({"a": "1"}, "a", "9")
+        assert out["a"] == "9"
+
+
+class TestDisplayFlipper:
+    def test_phase_schedule(self):
+        machine = Machine(4, 4)
+        honest = np.zeros((4, 4))
+        tampered = np.ones((4, 4))
+        flipper = DisplayFlipper(machine, honest, tampered, period_ms=100, tampered_fraction=0.5)
+        assert flipper.content_at(10.0) is tampered
+        assert flipper.content_at(60.0) is honest
+        assert flipper.evasion_probability() == pytest.approx(0.5)
+
+    def test_drive_advances_clock_and_writes(self):
+        machine = Machine(4, 4)
+        honest = np.zeros((4, 4))
+        tampered = np.full((4, 4), 9.0)
+        flipper = DisplayFlipper(machine, honest, tampered, period_ms=40, tampered_fraction=0.5)
+        flipper.drive(total_ms=200.0, step_ms=10.0)
+        assert machine.clock.now() == pytest.approx(200.0)
+
+    def test_validation(self):
+        machine = Machine(4, 4)
+        with pytest.raises(ValueError):
+            DisplayFlipper(machine, np.zeros((4, 4)), np.zeros((5, 5)))
+        with pytest.raises(ValueError):
+            DisplayFlipper(machine, np.zeros((4, 4)), np.zeros((4, 4)), tampered_fraction=1.0)
+
+
+class TestReplayAttacker:
+    def test_capture_and_replay(self):
+        attacker = ReplayAttacker()
+        with pytest.raises(RuntimeError):
+            attacker.replay_last()
+        from repro.crypto.ca import CertificateAuthority
+        from repro.crypto.keys import generate_signing_key
+        from repro.crypto.signing import sign_request
+
+        ca = CertificateAuthority()
+        key = generate_signing_key()
+        cert = ca.issue("c", key.public_key())
+        request = sign_request(key, {"x": "1"}, "d1", cert)
+        attacker.capture(request)
+        assert attacker.replay_last() is request
+        swapped = attacker.replay_with_body_swap(x="2")
+        assert swapped.body["x"] == "2"
+        assert swapped.signature == request.signature  # stale signature
+        rebound = attacker.replay_with_stale_vspec("old-digest")
+        assert rebound.vspec_digest == "old-digest"

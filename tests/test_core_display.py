@@ -1,0 +1,220 @@
+"""Direct unit tests of the display validator (paper §III-C1)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.caches import DigestCache
+from repro.core.display import DisplayValidator
+from repro.core.verifiers import ImageVerifier, TextVerifier
+from repro.raster.stacks import stack_registry
+from repro.server.generate import build_vspec
+from repro.vision.image import Image
+from repro.web import layout as lay
+from repro.web.browser import Browser
+from repro.web.elements import (
+    Button,
+    Checkbox,
+    ImageElement,
+    Page,
+    ScrollableList,
+    SelectBox,
+    TextBlock,
+    TextInput,
+)
+from repro.web.hypervisor import Machine
+
+
+def _page():
+    return Page(
+        title="Demo",
+        width=640,
+        elements=[
+            TextBlock("Review and submit your order", 14),
+            ImageElement("icon", "lock", width=32, height=32),
+            TextInput("qty", label="Quantity"),
+            Checkbox("gift", "Gift wrap"),
+            SelectBox("size", ["Small", "Large"]),
+            ScrollableList("depot", ["North", "South", "East", "West", "Harbour"], visible_rows=2),
+            Button("Buy", action="submit"),
+        ],
+    )
+
+
+@pytest.fixture
+def bench(text_model, image_model):
+    page = _page()
+    vspec = build_vspec(copy.deepcopy(page), "demo")
+    machine = Machine(640, min(600, vspec.height))
+    browser = Browser(machine, copy.deepcopy(page), stack=stack_registry()[2])
+    browser.paint()
+    cache = DigestCache()
+    validator = DisplayValidator(
+        vspec,
+        TextVerifier(text_model, batched=True, cache=cache),
+        ImageVerifier(image_model, batched=True, cache=cache),
+    )
+    return machine, browser, vspec, validator
+
+
+class TestBenignFrames:
+    def test_clean_frame_validates(self, bench):
+        machine, _browser, _vspec, validator = bench
+        result = validator.validate(machine.sample_framebuffer().pixels)
+        assert result.ok, [f.reason for f in result.failures]
+        assert result.offset_y == 0
+        assert result.text_invocations > 0
+
+    def test_all_stacks_validate(self, text_model, image_model):
+        page = _page()
+        vspec = build_vspec(copy.deepcopy(page), "demo")
+        for stack in stack_registry():
+            machine = Machine(640, min(600, vspec.height))
+            browser = Browser(machine, copy.deepcopy(page), stack=stack)
+            browser.paint()
+            validator = DisplayValidator(
+                vspec,
+                TextVerifier(text_model, batched=True),
+                ImageVerifier(image_model, batched=True),
+            )
+            result = validator.validate(machine.sample_framebuffer().pixels)
+            assert result.ok, (stack.name, [f.reason for f in result.failures][:3])
+
+    def test_changed_rects_limit_work(self, bench):
+        machine, _browser, _vspec, validator = bench
+        frame = machine.sample_framebuffer().pixels
+        full = validator.validate(frame)
+        from repro.vision.components import Rect
+
+        partial = validator.validate(frame, changed_rects=[Rect(0, 0, 10, 10)])
+        assert partial.entries_checked <= full.entries_checked
+        assert partial.text_invocations <= full.text_invocations
+
+    def test_scrolled_frame_locates_offset(self, text_model, image_model):
+        # Distinct section texts: near-periodic filler would make the
+        # viewport location genuinely ambiguous.
+        topics = [
+            "Shipping policy details", "Refund terms apply here",
+            "Contact our support desk", "Warranty covers two years",
+            "Payment methods accepted", "Delivery windows by region",
+            "Data privacy statement", "Loyalty points program",
+            "Gift card redemption", "Store opening hours",
+        ]
+        filler = [TextBlock(t, 14) for t in topics]
+        page = Page(title="Tall", width=640, elements=filler + [TextInput("f", label="Field")])
+        vspec = build_vspec(copy.deepcopy(page), "tall")
+        machine = Machine(640, 300)
+        browser = Browser(machine, copy.deepcopy(page))
+        browser.scroll_y = 150
+        browser.paint()  # clamps to max_scroll
+        validator = DisplayValidator(
+            vspec, TextVerifier(text_model, batched=True), ImageVerifier(image_model, batched=True)
+        )
+        result = validator.validate(machine.sample_framebuffer().pixels)
+        assert result.ok, [f.reason for f in result.failures][:3]
+        assert abs(result.offset_y - browser.scroll_y) <= 2
+
+
+class TestTamperedFrames:
+    def test_swapped_heading_detected(self, bench):
+        machine, _browser, _vspec, validator = bench
+        from repro.attacks.tamper import swap_text_on_display
+
+        swap_text_on_display(machine, 24, 44, "Free money inside!!", size=14)
+        result = validator.validate(machine.sample_framebuffer().pixels)
+        assert not result.ok
+        assert any(f.kind == "text" for f in result.failures)
+
+    def test_image_swap_detected(self, bench):
+        machine, browser, vspec, validator = bench
+        from repro.raster.icons import render_icon
+
+        icon_entry = next(e for e in vspec.entries if e.kind == "image")
+        machine.framebuffer_handle().paste(
+            render_icon("cart", 32), icon_entry.rect.x, icon_entry.rect.y
+        )
+        result = validator.validate(machine.sample_framebuffer().pixels)
+        assert not result.ok
+        assert any(f.kind == "image" for f in result.failures)
+
+    def test_background_injection_detected(self, bench):
+        machine, _browser, _vspec, validator = bench
+        fb = machine.framebuffer_handle()
+        fb.fill_rect(420, 40, 150, 40, 120.0)  # content where none belongs
+        result = validator.validate(machine.sample_framebuffer().pixels)
+        assert not result.ok
+        assert any(f.kind == "background" for f in result.failures)
+
+    def test_input_value_mismatch_detected(self, bench):
+        machine, browser, _vspec, validator = bench
+        field = browser.page.find_input("qty")
+        field.value = "999"
+        browser.paint()
+        # vWitness tracked nothing for qty: the display must show "".
+        result = validator.validate(machine.sample_framebuffer().pixels)
+        assert not result.ok
+        assert any("qty" in f.reason for f in result.failures)
+
+    def test_input_value_match_accepted(self, bench):
+        machine, browser, _vspec, validator = bench
+        field = browser.page.find_input("qty")
+        field.value = "42"
+        browser.paint()
+        result = validator.validate(
+            machine.sample_framebuffer().pixels, tracked_inputs={"qty": "42"}
+        )
+        assert result.ok, [f.reason for f in result.failures]
+
+    def test_checkbox_state_mismatch_detected(self, bench):
+        machine, browser, _vspec, validator = bench
+        browser.page.find_input("gift").checked = True
+        browser.paint()
+        result = validator.validate(machine.sample_framebuffer().pixels)  # tracked: off
+        assert not result.ok
+        assert any(f.kind == "checkbox" for f in result.failures)
+
+    def test_select_text_tamper_detected(self, bench):
+        machine, browser, vspec, validator = bench
+        from repro.attacks.tamper import swap_text_on_display
+
+        entry = vspec.entry_for_input("size")
+        swap_text_on_display(
+            machine, entry.rect.x + 6, entry.rect.y + 8, "Jumbo", size=14, background=252.0
+        )
+        result = validator.validate(machine.sample_framebuffer().pixels)
+        assert not result.ok
+
+    def test_unknown_state_rejected(self, bench):
+        machine, _browser, _vspec, validator = bench
+        result = validator.validate(
+            machine.sample_framebuffer().pixels, tracked_inputs={"size": "Gigantic"}
+        )
+        assert not result.ok
+        assert any("no appearance for state" in f.reason for f in result.failures)
+
+
+class TestScrollable:
+    def test_scrolled_list_content_validates(self, bench):
+        machine, browser, _vspec, validator = bench
+        browser.scroll_element(browser.page.find_input("depot").element_id, 2)
+        result = validator.validate(machine.sample_framebuffer().pixels)
+        assert result.ok, [f.reason for f in result.failures][:3]
+
+    def test_tampered_list_row_detected(self, bench):
+        machine, browser, vspec, validator = bench
+        from repro.attacks.tamper import swap_text_on_display
+
+        entry = vspec.entry_for_input("depot")
+        swap_text_on_display(
+            machine, entry.rect.x + 8, entry.rect.y + 6, "EVIL1", size=13, background=252.0
+        )
+        result = validator.validate(machine.sample_framebuffer().pixels)
+        assert not result.ok
+
+
+class TestWidthGuard:
+    def test_wrong_width_frame_rejected(self, bench):
+        _machine, _browser, _vspec, validator = bench
+        with pytest.raises(ValueError, match="width"):
+            validator.locate_viewport(np.zeros((100, 320)))

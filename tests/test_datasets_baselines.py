@@ -1,0 +1,178 @@
+"""Tests for the evaluation datasets and the baseline validators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.imagehash import ImageHashValidator
+from repro.baselines.pixelcmp import PixelCompareValidator
+from repro.baselines.teework import (
+    FIDELIUS_SUPPORTED,
+    PROTECTION_SUPPORTED,
+    VWITNESS_SUPPORTED,
+    compatible_forms,
+    system_support_table,
+)
+from repro.datasets.clickbench import clickbench_dataset
+from repro.datasets.corpus import ELEMENT_KINDS, FormCensus, full_corpus, jotform_census
+from repro.datasets.forms import (
+    WPFORMS_TEMPLATE_COUNT,
+    jotform_page,
+    sample_user_entries,
+    wpforms_template,
+)
+from repro.raster.stacks import stack_registry
+from repro.raster.text import render_text_line
+from repro.server.generate import build_vspec
+from repro.web.elements import Button, TextInput
+
+
+class TestFormGenerators:
+    def test_jotform_pages_deterministic(self):
+        a = jotform_page(5)
+        b = jotform_page(5)
+        assert [type(e).__name__ for e in a.elements] == [type(e).__name__ for e in b.elements]
+        assert a.title == b.title
+
+    def test_jotform_pages_vary_across_seeds(self):
+        kinds = {tuple(type(e).__name__ for e in jotform_page(s).elements) for s in range(12)}
+        assert len(kinds) > 6
+
+    def test_jotform_pages_are_vspec_compatible(self):
+        for seed in range(6):
+            page = jotform_page(seed)
+            vspec = build_vspec(page, f"jf-{seed}")  # must not raise
+            assert vspec.entries
+
+    def test_every_jotform_page_has_submit(self):
+        for seed in range(10):
+            page = jotform_page(seed)
+            assert any(isinstance(e, Button) for e in page.elements)
+            assert any(isinstance(e, TextInput) for e in page.elements)
+
+    def test_wpforms_templates(self):
+        assert WPFORMS_TEMPLATE_COUNT == 109
+        page = wpforms_template(0)
+        assert page.elements
+        with pytest.raises(ValueError):
+            wpforms_template(109)
+
+    def test_sample_user_entries_cover_inputs(self):
+        page = jotform_page(3)
+        entries = sample_user_entries(page, 3)
+        input_names = set(page.form_values())
+        assert set(entries) == input_names
+        for element in page.elements:
+            if isinstance(element, TextInput) and element.max_length:
+                assert len(entries[element.name]) <= element.max_length
+
+
+class TestClickbench:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return clickbench_dataset(count=8, width=360, height=420)
+
+    def test_counts_and_flags(self, samples):
+        assert len(samples) == 8
+        assert sum(1 for s in samples if not s.tampered) == 1
+        assert all(s.expected.shape == s.displayed.shape for s in samples)
+
+    def test_attack_taxonomy_present(self, samples):
+        kinds = {s.attack for s in samples if s.tampered}
+        assert {"overlay", "text-swap", "redress", "text-in-image"} <= kinds
+
+    def test_tampered_screens_differ_from_expected(self, samples):
+        for sample in samples:
+            if sample.tampered:
+                delta = np.abs(sample.displayed - sample.expected)
+                assert delta.max() > 50.0, sample.name
+
+    def test_benign_pair_structurally_close(self, samples):
+        benign = [s for s in samples if not s.tampered][0]
+        from repro.vision.match import normalized_cross_correlation
+
+        assert normalized_cross_correlation(benign.displayed, benign.expected) > 0.9
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            clickbench_dataset(count=1)
+
+
+class TestCompatCorpus:
+    def test_census_totals(self):
+        corpus = full_corpus()
+        assert len(corpus) == 2585
+        assert all(f.total > 0 for f in corpus)
+
+    def test_census_deterministic(self):
+        a = jotform_census(count=50)
+        b = jotform_census(count=50)
+        assert [f.counts for f in a] == [f.counts for f in b]
+
+    def test_supported_fraction_bounds(self):
+        for form in jotform_census(count=100):
+            for kinds in (FIDELIUS_SUPPORTED, PROTECTION_SUPPORTED, VWITNESS_SUPPORTED):
+                assert 0.0 <= form.supported_fraction(kinds) <= 1.0
+
+    def test_table_x_ordering_holds(self):
+        corpus = full_corpus()
+        table = system_support_table(corpus)
+        fid, pro, vw = (table[k][1] for k in ("Fidelius", "ProtectION", "vWitness"))
+        assert fid < pro < vw
+        assert fid < 0.02  # Fidelius compatible with almost nothing
+        assert 0.04 < pro < 0.12  # ProtectION in the single digits
+        assert 0.80 < vw < 0.95  # vWitness compatible with most forms
+
+    def test_threshold_sensitivity(self):
+        corpus = jotform_census(count=300)
+        strict = compatible_forms(corpus, VWITNESS_SUPPORTED, threshold=1.0)
+        loose = compatible_forms(corpus, VWITNESS_SUPPORTED, threshold=0.9)
+        assert strict <= loose
+        with pytest.raises(ValueError):
+            compatible_forms(corpus, VWITNESS_SUPPORTED, threshold=0.0)
+
+    def test_form_census_helpers(self):
+        census = FormCensus("f", tuple(1 for _ in ELEMENT_KINDS))
+        assert census.total == len(ELEMENT_KINDS)
+        assert census.count("video") == 1
+
+
+class TestBaselineValidators:
+    def test_pixel_compare_exact_identity(self):
+        validator = PixelCompareValidator()
+        region = render_text_line("Hello", 16).pixels
+        assert validator.verify_region(region, region)
+
+    def test_pixel_compare_false_alarms_cross_stack(self):
+        validator = PixelCompareValidator()
+        a = render_text_line("Hello", 16).pixels
+        b = render_text_line("Hello", 16, stack=stack_registry()[4]).pixels
+        assert not validator.verify_region(b, a)  # benign variation flagged
+
+    def test_image_hash_dilemma_no_separating_threshold(self):
+        """The hash baseline's core failure (paper §I/§III-C1).
+
+        The Hamming distance of a *benign* cross-stack rendering exceeds
+        that of a *malicious* one-digit swap, so any threshold loose
+        enough to avoid false alarms also accepts the tampering.
+        """
+        from repro.vision.hashing import difference_hash, hamming_distance
+
+        reference = render_text_line("Hello", 16).pixels
+        benign = render_text_line("Hello", 16, stack=stack_registry()[2]).pixels
+        benign_distance = hamming_distance(
+            difference_hash(reference), difference_hash(benign)
+        )
+        honest = render_text_line("pay 100 dollars", 14).pixels
+        tampered = render_text_line("pay 900 dollars", 14).pixels
+        tamper_distance = hamming_distance(
+            difference_hash(honest), difference_hash(tampered)
+        )
+        assert tamper_distance < benign_distance
+        # At a threshold that accepts the benign render, the tamper passes.
+        validator = ImageHashValidator(max_distance=benign_distance)
+        assert validator.verify_region(benign, reference)
+        assert validator.verify_region(tampered, honest)
+
+    def test_shape_mismatch_rejected_by_both(self):
+        assert not PixelCompareValidator().verify_region(np.zeros((4, 4)), np.zeros((5, 5)))
+        assert not ImageHashValidator().verify_region(np.zeros((8, 8)), np.zeros((9, 9)))

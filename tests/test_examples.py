@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples double as end-to-end acceptance tests — each asserts its own
+security outcomes internally (honest runs certify, attacks are refused).
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+
+def _run_example(name: str) -> None:
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "banking_attack.py", "voting_clickjacking.py"],
+)
+def test_example_runs(script, text_model, image_model, monkeypatch):
+    # Examples call the zoo themselves; models are already cached by the
+    # session fixtures, so this exercises the real public entry points.
+    _run_example(script)

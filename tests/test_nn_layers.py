@@ -1,0 +1,227 @@
+"""Gradient checks and shape contracts for the NN layers.
+
+Gradient checks run in float64 (the layers default to float32 for
+training speed) and compare analytic backward passes against central
+differences — including the gradient w.r.t. the *input*, which the
+adversarial attacks depend on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.losses import bce_loss_with_logits, ce_loss_with_logits
+from repro.nn.model import MatcherModel, Sequential
+from repro.nn.tensorops import col2im, conv_output_size, im2col, one_hot
+
+
+def _num_grad(fn, x, index, eps=1e-6):
+    xp = x.copy()
+    xp[index] += eps
+    xm = x.copy()
+    xm[index] -= eps
+    return (fn(xp) - fn(xm)) / (2 * eps)
+
+
+def _check_input_grad(net, x, loss_of):
+    loss, grad_logits = loss_of(net.forward(x))
+    dx = net.backward(grad_logits)
+    rng = np.random.default_rng(0)
+    for _ in range(6):
+        index = tuple(int(rng.integers(0, s)) for s in x.shape)
+        numeric = _num_grad(lambda xv: loss_of(net.forward(xv))[0], x, index)
+        assert dx[index] == pytest.approx(numeric, abs=1e-5)
+
+
+class TestTensorOps:
+    def test_conv_output_size(self):
+        assert conv_output_size(32, 3, 1, 1) == 32
+        assert conv_output_size(32, 2, 2, 0) == 16
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+    def test_im2col_col2im_adjoint(self):
+        # <im2col(x), y> == <x, col2im(y)> — the defining adjoint identity.
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 6, 6))
+        col = im2col(x, kernel=3, stride=1, pad=1)
+        y = rng.normal(size=col.shape)
+        lhs = float((col * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs)
+
+    def test_one_hot(self):
+        out = one_hot([0, 2], 3)
+        assert out.shape == (2, 3)
+        assert out[0, 0] == 1.0 and out[1, 2] == 1.0
+        with pytest.raises(ValueError):
+            one_hot([3], 3)
+        with pytest.raises(ValueError):
+            one_hot([[1]], 3)
+
+
+class TestDense:
+    def test_forward_shape_and_backward_grads(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(5, 3, rng=rng, dtype=np.float64)
+        x = rng.normal(size=(4, 5))
+        out = layer.forward(x)
+        assert out.shape == (4, 3)
+        grad_out = rng.normal(size=(4, 3))
+        dx = layer.backward(grad_out)
+        assert dx.shape == x.shape
+        assert layer.dw.shape == layer.w.shape
+        # Analytic vs numeric weight gradient.
+        loss = lambda: float((layer.forward(x) * grad_out).sum())
+        idx = (2, 1)
+        orig = layer.w[idx]
+        layer.w[idx] = orig + 1e-6
+        up = loss()
+        layer.w[idx] = orig - 1e-6
+        down = loss()
+        layer.w[idx] = orig
+        layer.forward(x)
+        layer.backward(grad_out)
+        assert layer.dw[idx] == pytest.approx((up - down) / 2e-6, rel=1e-4)
+
+    def test_rejects_bad_shapes(self):
+        layer = Dense(5, 3)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((4, 6)))
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2).backward(np.zeros((1, 2)))
+
+
+class TestConvNetGradients:
+    def test_classifier_input_gradient(self):
+        rng = np.random.default_rng(3)
+        net = Sequential(
+            [
+                Conv2D(1, 2, kernel=3, pad=1, rng=rng, dtype=np.float64),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(2 * 4 * 4, 3, rng=rng, dtype=np.float64),
+            ]
+        )
+        x = rng.normal(size=(2, 1, 8, 8))
+        labels = np.asarray([0, 2])
+        _check_input_grad(net, x, lambda z: ce_loss_with_logits(z, labels))
+
+    def test_conv_weight_gradient(self):
+        rng = np.random.default_rng(4)
+        conv = Conv2D(2, 3, kernel=3, stride=1, pad=1, rng=rng, dtype=np.float64)
+        x = rng.normal(size=(2, 2, 5, 5))
+        grad_out_fixed = rng.normal(size=(2, 3, 5, 5))
+        conv.forward(x)
+        conv.backward(grad_out_fixed)
+        analytic = conv.dw.copy()
+        idx = (7, 1)
+        orig = conv.w[idx]
+        conv.w[idx] = orig + 1e-6
+        up = float((conv.forward(x) * grad_out_fixed).sum())
+        conv.w[idx] = orig - 1e-6
+        down = float((conv.forward(x) * grad_out_fixed).sum())
+        conv.w[idx] = orig
+        assert analytic[idx] == pytest.approx((up - down) / 2e-6, rel=1e-4)
+
+    def test_strided_conv_shapes(self):
+        conv = Conv2D(1, 4, kernel=3, stride=2, pad=1)
+        out = conv.forward(np.zeros((1, 1, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_conv_rejects_wrong_channels(self):
+        with pytest.raises(ValueError):
+            Conv2D(2, 4).forward(np.zeros((1, 3, 8, 8)))
+
+
+class TestPoolAndActivations:
+    def test_maxpool_gradient_routing(self):
+        x = np.asarray([[[[1.0, 2.0], [3.0, 4.0]]]])
+        pool = MaxPool2D(2)
+        out = pool.forward(x)
+        assert out[0, 0, 0, 0] == 4.0
+        dx = pool.backward(np.ones_like(out))
+        assert dx[0, 0, 1, 1] == 1.0
+        assert dx.sum() == 1.0
+
+    def test_maxpool_tie_splitting_is_exact_adjoint(self):
+        x = np.full((1, 1, 2, 2), 5.0)
+        pool = MaxPool2D(2)
+        out = pool.forward(x)
+        dx = pool.backward(np.ones_like(out))
+        assert dx.sum() == pytest.approx(1.0)
+
+    def test_maxpool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(2).forward(np.zeros((1, 1, 5, 4)))
+
+    def test_relu_masks_negative(self):
+        relu = ReLU()
+        out = relu.forward(np.asarray([[-1.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 2.0]])
+        dx = relu.backward(np.asarray([[5.0, 5.0]]))
+        assert np.array_equal(dx, [[0.0, 5.0]])
+
+    def test_flatten_round_trip(self):
+        flat = Flatten()
+        x = np.zeros((2, 3, 4, 4))
+        out = flat.forward(x)
+        assert out.shape == (2, 48)
+        assert flat.backward(out).shape == x.shape
+
+
+class TestMatcherGradients:
+    def test_two_input_matcher_observed_gradient(self):
+        rng = np.random.default_rng(5)
+        obs_branch = Sequential(
+            [
+                Conv2D(1, 2, kernel=3, pad=1, rng=rng, dtype=np.float64),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(2 * 4 * 4, 6, rng=rng, dtype=np.float64),
+                ReLU(),
+            ]
+        )
+        exp_branch = Sequential([Dense(4, 6, rng=rng, dtype=np.float64), ReLU()])
+        head = Sequential([Dense(12, 1, rng=rng, dtype=np.float64)])
+        model = MatcherModel(obs_branch, exp_branch, head)
+        observed = rng.normal(size=(2, 1, 8, 8))
+        expected = one_hot([1, 3], 4)
+        targets = np.asarray([[1.0], [0.0]])
+
+        def loss_at(x):
+            logits = model.forward(x, expected)
+            loss, _ = bce_loss_with_logits(logits, targets)
+            return loss
+
+        logits = model.forward(observed, expected)
+        _, grad = bce_loss_with_logits(logits, targets)
+        d_obs, d_exp = model.backward(grad)
+        assert d_exp.shape == expected.shape
+        for _ in range(5):
+            index = tuple(int(rng.integers(0, s)) for s in observed.shape)
+            numeric = _num_grad(loss_at, observed, index)
+            assert d_obs[index] == pytest.approx(numeric, abs=1e-6)
+
+    def test_threshold_view_shares_parameters(self):
+        from repro.nn.zoo import build_text_matcher
+
+        model = build_text_matcher(seed=1)
+        hard = model.with_threshold(0.99)
+        assert hard.threshold == 0.99
+        assert hard.head is model.head
+        with pytest.raises(ValueError):
+            model.with_threshold(1.0)
+
+    def test_batch_mismatch_raises(self):
+        from repro.nn.zoo import build_text_matcher
+
+        model = build_text_matcher(seed=1)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((2, 1, 32, 32), dtype=np.float32), np.zeros((3, 94), dtype=np.float32))

@@ -1,0 +1,78 @@
+"""Unit tests for the channel-pair graphics matcher."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import bce_loss_with_logits
+from repro.nn.zoo import build_image_matcher
+
+
+class TestChannelPairMatcher:
+    def _model(self):
+        return build_image_matcher(seed=3)
+
+    def test_forward_shape(self):
+        model = self._model()
+        obs = np.zeros((5, 1, 32, 32), dtype=np.float32)
+        exp = np.zeros((5, 1, 32, 32), dtype=np.float32)
+        assert model.forward(obs, exp).shape == (5, 1)
+
+    def test_shape_validation(self):
+        model = self._model()
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((2, 1, 32, 32)), np.zeros((2, 1, 16, 16)))
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((2, 3, 32, 32)), np.zeros((2, 3, 32, 32)))
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(5)
+        model = self._model()
+        obs = rng.uniform(0, 1, (2, 1, 32, 32)).astype(np.float64)
+        exp = rng.uniform(0, 1, (2, 1, 32, 32)).astype(np.float64)
+        targets = np.asarray([[1.0], [0.0]])
+
+        logits = model.forward(obs, exp)
+        _loss, grad = bce_loss_with_logits(logits, targets)
+        d_obs, d_exp = model.backward(grad)
+        assert d_obs.shape == obs.shape
+        assert d_exp.shape == exp.shape
+
+        def loss_at(x):
+            out = model.forward(x, exp)
+            return bce_loss_with_logits(out, targets)[0]
+
+        eps = 1e-5
+        for _ in range(4):
+            idx = (int(rng.integers(2)), 0, int(rng.integers(32)), int(rng.integers(32)))
+            up = obs.copy()
+            up[idx] += eps
+            down = obs.copy()
+            down[idx] -= eps
+            numeric = (loss_at(up) - loss_at(down)) / (2 * eps)
+            assert d_obs[idx] == pytest.approx(numeric, abs=2e-4)
+
+    def test_threshold_view(self):
+        model = self._model()
+        hard = model.with_threshold(0.99)
+        assert hard.network is model.network
+        with pytest.raises(ValueError):
+            model.with_threshold(0.0)
+
+    def test_match_probability_bounds(self):
+        model = self._model()
+        rng = np.random.default_rng(6)
+        obs = rng.uniform(0, 1, (4, 1, 32, 32)).astype(np.float32)
+        probs = model.match_probability(obs, obs)
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+
+    def test_params_and_grads_align(self):
+        model = self._model()
+        obs = np.random.default_rng(7).uniform(0, 1, (2, 1, 32, 32)).astype(np.float32)
+        logits = model.forward(obs, obs)
+        _loss, grad = bce_loss_with_logits(logits, np.ones((2, 1)))
+        model.backward(grad)
+        params = model.params()
+        grads = model.grads()
+        assert set(params) == set(grads)
+        for name in params:
+            assert params[name].shape == grads[name].shape

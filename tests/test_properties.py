@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversarial.attacks import project, quantize
+from repro.core.timing import SessionTiming, request_delay
+from repro.nn.data import collapse_char
+from repro.nn.losses import sigmoid, softmax
+from repro.raster.glyphs import CHARSET
+from repro.vision.components import Rect
+from repro.vision.hashing import hamming_distance, region_digest
+from repro.vision.match import normalized_cross_correlation
+from repro.vspec.validation import Constraint, ConstraintValidation
+
+rects = st.builds(
+    Rect,
+    x=st.integers(-50, 50),
+    y=st.integers(-50, 50),
+    w=st.integers(1, 60),
+    h=st.integers(1, 60),
+)
+
+small_images = st.integers(0, 2**32 - 1).map(
+    lambda seed: np.random.default_rng(seed).uniform(0, 255, (12, 12))
+)
+
+
+class TestRectAlgebra:
+    @given(rects, rects)
+    def test_intersection_symmetric_and_contained(self, a, b):
+        inter_ab = a.intersection(b)
+        inter_ba = b.intersection(a)
+        assert inter_ab == inter_ba
+        if inter_ab is not None:
+            assert a.contains(inter_ab)
+            assert b.contains(inter_ab)
+
+    @given(rects, rects)
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        assert union.contains(a)
+        assert union.contains(b)
+
+    @given(rects, rects)
+    def test_intersects_iff_intersection_exists(self, a, b):
+        assert a.intersects(b) == (a.intersection(b) is not None)
+
+    @given(rects, st.integers(-5, 10))
+    def test_translation_preserves_area(self, r, d):
+        assert r.translated(d, -d).area == r.area
+
+    @given(rects, st.integers(0, 10))
+    def test_expansion_contains_original(self, r, margin):
+        assert r.expanded(margin).contains(r)
+
+
+class TestVisionProperties:
+    @given(small_images)
+    def test_ncc_self_is_one(self, img):
+        assert normalized_cross_correlation(img, img) == pytest.approx(1.0)
+
+    @given(small_images, st.floats(0.2, 3.0), st.floats(-50, 50))
+    def test_ncc_affine_invariance(self, img, gain, offset):
+        assert normalized_cross_correlation(img, img * gain + offset) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    @given(small_images, small_images)
+    def test_ncc_bounded(self, a, b):
+        score = normalized_cross_correlation(a, b)
+        assert -1.0 - 1e-9 <= score <= 1.0 + 1e-9
+
+    @given(small_images)
+    def test_digest_stable_under_copy(self, img):
+        assert region_digest(img) == region_digest(img.copy())
+
+    @given(small_images, st.integers(0, 11), st.integers(0, 11))
+    def test_digest_changes_with_content(self, img, y, x):
+        altered = img.copy()
+        altered[y, x] = (altered[y, x] + 128.0) % 256.0
+        assert region_digest(altered) != region_digest(img)
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    def test_hamming_metric_axioms(self, a, b):
+        assert hamming_distance(a, a) == 0
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+
+class TestNNProperties:
+    @given(st.lists(st.floats(-30, 30), min_size=1, max_size=16))
+    def test_sigmoid_in_unit_interval(self, values):
+        out = sigmoid(np.asarray(values))
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    @given(st.lists(st.floats(-30, 30), min_size=2, max_size=8))
+    def test_softmax_is_distribution(self, row):
+        probs = softmax(np.asarray([row]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0.0)
+
+    @given(st.sampled_from(CHARSET))
+    def test_collapse_idempotent(self, char):
+        assert collapse_char(collapse_char(char)) == collapse_char(char)
+
+
+class TestAttackProperties:
+    @settings(max_examples=30)
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.floats(0.01, 0.6),
+        st.sampled_from(["linf", "l2"]),
+    )
+    def test_projection_is_idempotent(self, seed, epsilon, norm):
+        rng = np.random.default_rng(seed)
+        x0 = rng.uniform(0, 1, (2, 1, 6, 6))
+        x = x0 + rng.normal(0, 1, x0.shape)
+        once = project(x, x0, epsilon, norm)
+        twice = project(once, x0, epsilon, norm)
+        assert np.allclose(once, twice, atol=1e-9)
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 2**32 - 1))
+    def test_quantize_idempotent_and_bounded(self, seed):
+        x = np.random.default_rng(seed).normal(0.5, 1.0, (8,))
+        q = quantize(x)
+        assert np.allclose(quantize(q), q)
+        assert q.min() >= 0.0 and q.max() <= 1.0
+
+
+class TestTimingProperties:
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.floats(0.01, 2.0), min_size=1, max_size=10),
+        st.floats(0.0, 2.0),
+        st.floats(0.0, 0.5),
+        st.floats(0.0, 30.0),
+    )
+    def test_delay_at_least_floor(self, frame_times, t_init, t_request, session):
+        timing = SessionTiming(t_init=t_init, frame_times=frame_times, t_request=t_request)
+        delay = request_delay(timing, session)
+        assert delay >= frame_times[-1] + t_request - 1e-9
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.floats(0.01, 2.0), min_size=1, max_size=10),
+        st.floats(0.0, 30.0),
+        st.floats(0.1, 5.0),
+    )
+    def test_delay_non_increasing_in_session_length(self, frame_times, session, step):
+        timing = SessionTiming(t_init=0.3, frame_times=frame_times, t_request=0.05)
+        assert request_delay(timing, session) >= request_delay(timing, session + step) - 1e-9
+
+
+class TestValidationProperties:
+    @settings(max_examples=40)
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdef", min_size=1, max_size=6),
+            st.text(alphabet="0123456789xyz", max_size=8),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_matches_observed_accepts_iff_equal(self, fields):
+        from repro.vspec.spec import VSpec
+        import numpy as np
+
+        spec = VSpec(
+            page_id="p",
+            width=4,
+            height=4,
+            expected=np.zeros((4, 4)),
+            validation=ConstraintValidation(
+                constraints=tuple(Constraint(k, "matches-observed") for k in fields)
+            ),
+        )
+        from repro.vspec.validation import ValidationError, run_validation
+
+        assert run_validation(spec, dict(fields), dict(fields))
+        if fields:
+            key = sorted(fields)[0]
+            tampered = dict(fields)
+            tampered[key] = tampered[key] + "_"
+            with pytest.raises(ValidationError):
+                run_validation(spec, dict(fields), tampered)

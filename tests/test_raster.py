@@ -1,0 +1,189 @@
+"""Tests for the glyph rasterizer, fonts, rendering stacks, text and icons."""
+
+import numpy as np
+import pytest
+
+from repro.raster.fonts import FontFace, default_font, font_registry, sans_serif_fonts, serif_fonts
+from repro.raster.glyphs import CHARSET, clear_glyph_cache, glyph_strokes, render_glyph
+from repro.raster.icons import icon_names, icon_with_text, natural_patch, render_icon, rotate_icon_90
+from repro.raster.stacks import make_random_stack, reference_stack, stack_by_name, stack_registry
+from repro.raster.text import char_advance, layout_text, measure_text, render_char_tile, render_text_line
+from repro.vision.match import normalized_cross_correlation
+
+
+class TestGlyphs:
+    def test_all_94_characters_have_strokes(self):
+        assert len(CHARSET) == 94
+        for char in CHARSET:
+            assert glyph_strokes(char), f"no strokes for {char!r}"
+
+    def test_space_has_no_strokes(self):
+        assert glyph_strokes(" ") == []
+
+    def test_render_produces_ink_for_every_character(self):
+        for char in CHARSET:
+            tile = render_glyph(char, 32)
+            assert tile.shape == (32, 32)
+            assert tile.pixels.min() < 100.0, f"{char!r} rendered blank"
+            assert tile.pixels.max() > 200.0
+
+    def test_distinct_characters_render_distinctly(self):
+        # Key confusable pairs must stay separable at the pixel level.
+        for a, b in [("i", "l"), ("O", "Q"), ("E", "F"), ("5", "S"), ("1", "7")]:
+            ta = render_glyph(a, 32).pixels
+            tb = render_glyph(b, 32).pixels
+            assert np.abs(ta - tb).mean() > 2.0, f"{a!r} vs {b!r} too similar"
+
+    def test_weight_increases_ink(self):
+        light = render_glyph("H", 32, weight=0.8).pixels
+        bold = render_glyph("H", 32, weight=1.6).pixels
+        assert bold.sum() < light.sum()  # more ink = darker = lower sum
+
+    def test_slant_moves_top_of_stem(self):
+        upright = render_glyph("l", 32).pixels
+        italic = render_glyph("l", 32, slant=0.25).pixels
+        top_col_upright = np.argmin(upright[6])
+        top_col_italic = np.argmin(italic[6])
+        assert top_col_italic > top_col_upright
+
+    def test_serif_adds_ink_to_stems(self):
+        plain = render_glyph("l", 32, serif=False).pixels
+        seriffed = render_glyph("l", 32, serif=True).pixels
+        assert seriffed.sum() < plain.sum()
+
+    def test_subpixel_shift_changes_pixels(self):
+        a = render_glyph("o", 32).pixels
+        b = render_glyph("o", 32, dx=0.5).pixels
+        assert not np.allclose(a, b)
+
+    def test_space_renders_blank(self):
+        tile = render_glyph(" ", 16)
+        assert np.all(tile.pixels == 255.0)
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(KeyError):
+            glyph_strokes("é")
+
+    def test_cache_hit_on_repeat_render(self):
+        clear_glyph_cache()
+        render_glyph("A", 32)
+        from repro.raster.glyphs import glyph_cache_info
+
+        before = glyph_cache_info().hits
+        render_glyph("A", 32)
+        assert glyph_cache_info().hits == before + 1
+
+
+class TestFonts:
+    def test_registry_is_deterministic_and_distinct(self):
+        reg1 = font_registry()
+        reg2 = font_registry()
+        assert len(reg1) == 231
+        assert [f.name for f in reg1] == [f.name for f in reg2]
+        assert len({f.name for f in reg1}) == 231
+
+    def test_half_serif_split(self):
+        registry = font_registry()
+        serif_count = sum(1 for f in registry if f.serif)
+        assert abs(serif_count - len(registry) / 2) <= 1
+
+    def test_styles(self):
+        face = default_font()
+        bold = face.styled("bold")
+        italic = face.styled("italic")
+        assert bold.weight > face.weight
+        assert italic.slant > face.slant
+        assert face.styled("normal") is face
+        with pytest.raises(ValueError):
+            face.styled("condensed")
+
+    def test_serif_sans_helpers(self):
+        assert all(f.serif for f in serif_fonts(5))
+        assert not any(f.serif for f in sans_serif_fonts(5))
+
+    def test_registry_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            font_registry(count=0)
+
+
+class TestStacks:
+    def test_named_registry_lookup(self):
+        for stack in stack_registry():
+            assert stack_by_name(stack.name) == stack
+        with pytest.raises(KeyError):
+            stack_by_name("lynx-msdos")
+
+    def test_random_stack_deterministic(self):
+        assert make_random_stack(7) == make_random_stack(7)
+        assert make_random_stack(7) != make_random_stack(8)
+
+    def test_stacks_change_pixels_but_not_structure(self):
+        ref = render_char_tile("R", 32, stack=reference_stack()).pixels
+        for stack in stack_registry():
+            tile = render_char_tile("R", 32, stack=stack).pixels
+            assert np.abs(tile - ref).mean() > 0.1  # pixel-level variation...
+            assert normalized_cross_correlation(tile, ref) > 0.8  # ...same structure
+
+    def test_noise_is_deterministic(self):
+        stack = stack_registry()[2]
+        a = render_char_tile("x", 32, stack=stack).pixels
+        b = render_char_tile("x", 32, stack=stack).pixels
+        assert np.array_equal(a, b)
+
+
+class TestTextLayout:
+    def test_measure_matches_layout(self):
+        text = "Hello world"
+        w, h = measure_text(text, 16)
+        cells = layout_text(text, 16)
+        assert h == 16
+        assert cells[-1].x + cells[-1].w == w
+        assert len(cells) == len(text)
+
+    def test_advance_positive_and_monotone(self):
+        assert char_advance(13) >= 4
+        assert char_advance(32) > char_advance(13)
+
+    def test_render_text_line_geometry(self):
+        line = render_text_line("AB", 16)
+        assert line.height == 16
+        assert line.width == 2 * char_advance(16)
+
+    def test_empty_text_has_min_width(self):
+        assert render_text_line("", 16).width >= 1
+
+    def test_text_line_is_darker_where_glyphs_are(self):
+        line = render_text_line("##", 16)
+        assert line.pixels.min() < 80.0
+
+
+class TestIcons:
+    def test_all_icons_render(self):
+        for name in icon_names():
+            tile = render_icon(name, 32)
+            assert tile.shape == (32, 32)
+            assert tile.pixels.min() < 150.0
+
+    def test_unknown_icon_raises(self):
+        with pytest.raises(KeyError):
+            render_icon("flux-capacitor")
+
+    def test_natural_patch_deterministic_and_textured(self):
+        a = natural_patch(42).pixels
+        b = natural_patch(42).pixels
+        assert np.array_equal(a, b)
+        assert a.std() > 10.0
+        assert not np.array_equal(a, natural_patch(43).pixels)
+
+    def test_icon_with_text_darkens_icon(self):
+        base = render_icon("home", 32).pixels
+        tampered = icon_with_text("home", "OK", 32).pixels
+        assert tampered.sum() < base.sum()
+        with pytest.raises(ValueError):
+            icon_with_text("home", "")
+
+    def test_rotation_changes_layout(self):
+        icon = render_icon("arrow-right", 32)
+        rotated = rotate_icon_90(icon)
+        assert rotated.shape == (32, 32)
+        assert not np.allclose(rotated.pixels, icon.pixels)

@@ -1,0 +1,135 @@
+"""Tests for frame differencing, connected components and Rect geometry."""
+
+import numpy as np
+import pytest
+
+from repro.vision.components import Rect, bounding_rect, connected_components, find_rectangles
+from repro.vision.diff import changed_regions, frame_difference
+from repro.vision.image import Image
+
+
+class TestRect:
+    def test_basic_properties(self):
+        r = Rect(2, 3, 4, 5)
+        assert r.x2 == 6
+        assert r.y2 == 8
+        assert r.area == 20
+        assert r.center == (4, 5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 5)
+
+    def test_contains_and_intersects(self):
+        outer = Rect(0, 0, 10, 10)
+        inner = Rect(2, 2, 3, 3)
+        disjoint = Rect(20, 20, 2, 2)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.intersects(inner)
+        assert not outer.intersects(disjoint)
+
+    def test_touching_rects_do_not_intersect(self):
+        assert not Rect(0, 0, 5, 5).intersects(Rect(5, 0, 5, 5))
+
+    def test_intersection_and_union(self):
+        a = Rect(0, 0, 6, 6)
+        b = Rect(4, 4, 6, 6)
+        inter = a.intersection(b)
+        assert inter == Rect(4, 4, 2, 2)
+        assert a.union(b) == Rect(0, 0, 10, 10)
+        assert a.intersection(Rect(20, 20, 2, 2)) is None
+
+    def test_translate_and_expand(self):
+        r = Rect(5, 5, 4, 4)
+        assert r.translated(-2, 3) == Rect(3, 8, 4, 4)
+        assert r.expanded(2) == Rect(3, 3, 8, 8)
+
+    def test_contains_point_boundary(self):
+        r = Rect(1, 1, 3, 3)
+        assert r.contains_point(1, 1)
+        assert r.contains_point(3, 3)
+        assert not r.contains_point(4, 4)
+
+
+class TestConnectedComponents:
+    def test_two_blobs(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[1:3, 1:3] = True
+        mask[6:9, 5:8] = True
+        rects = connected_components(mask)
+        assert rects == [Rect(1, 1, 2, 2), Rect(5, 6, 3, 3)]
+
+    def test_diagonal_connectivity(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = mask[1, 1] = True
+        assert len(connected_components(mask, connectivity=8)) == 1
+        assert len(connected_components(mask, connectivity=4)) == 2
+
+    def test_empty_mask(self):
+        assert connected_components(np.zeros((5, 5), dtype=bool)) == []
+
+    def test_invalid_connectivity(self):
+        with pytest.raises(ValueError):
+            connected_components(np.zeros((2, 2), dtype=bool), connectivity=6)
+
+    def test_bounding_rect(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[2, 3] = mask[5, 6] = True
+        assert bounding_rect(mask) == Rect(3, 2, 4, 4)
+        assert bounding_rect(np.zeros((3, 3), dtype=bool)) is None
+
+
+class TestFindRectangles:
+    def test_detects_hollow_outline(self):
+        img = Image.blank(40, 30, 0.0)
+        img.draw_border(5, 5, 30, 20, 255.0, thickness=2)
+        mask = img.pixels > 128
+        rects = find_rectangles(mask, min_width=10, min_height=10)
+        assert rects == [Rect(5, 5, 30, 20)]
+
+    def test_solid_blob_rejected(self):
+        mask = np.zeros((30, 30), dtype=bool)
+        mask[5:25, 5:25] = True
+        assert find_rectangles(mask, min_width=5, min_height=5) == []
+
+    def test_small_outline_filtered_by_min_size(self):
+        img = Image.blank(20, 20, 0.0)
+        img.draw_border(2, 2, 6, 6, 255.0)
+        mask = img.pixels > 128
+        assert find_rectangles(mask, min_width=10, min_height=10) == []
+
+
+class TestFrameDiff:
+    def test_identical_frames_no_regions(self):
+        frame = np.random.default_rng(0).uniform(0, 255, (20, 20))
+        assert changed_regions(frame, frame) == []
+
+    def test_sub_threshold_noise_ignored(self):
+        rng = np.random.default_rng(1)
+        frame = rng.uniform(0, 255, (20, 20))
+        noisy = frame + rng.uniform(-2, 2, frame.shape)
+        assert changed_regions(frame, noisy, threshold=4.0) == []
+
+    def test_localized_change_found(self):
+        frame_a = np.full((40, 40), 255.0)
+        frame_b = frame_a.copy()
+        frame_b[10:15, 20:30] = 0.0
+        regions = changed_regions(frame_a, frame_b, merge_radius=0)
+        assert len(regions) == 1
+        assert regions[0].rect == Rect(20, 10, 10, 5)
+        assert regions[0].max_delta == 255.0
+
+    def test_nearby_changes_merge(self):
+        frame_a = np.full((40, 40), 255.0)
+        frame_b = frame_a.copy()
+        frame_b[10, 10] = 0.0
+        frame_b[10, 14] = 0.0
+        merged = changed_regions(frame_a, frame_b, merge_radius=3)
+        assert len(merged) == 1
+        separate = changed_regions(frame_a, frame_b, merge_radius=0)
+        assert len(separate) == 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            frame_difference(np.zeros((4, 4)), np.zeros((5, 4)))

@@ -1,0 +1,133 @@
+"""Unit tests for the Image container (bounds-checked raster geometry)."""
+
+import numpy as np
+import pytest
+
+from repro.vision.image import Image, as_array, to_uint8
+
+
+class TestConstruction:
+    def test_blank_has_requested_geometry_and_color(self):
+        img = Image.blank(10, 6, 200.0)
+        assert img.width == 10
+        assert img.height == 6
+        assert np.all(img.pixels == 200.0)
+
+    def test_blank_rejects_non_positive_dims(self):
+        with pytest.raises(ValueError):
+            Image.blank(0, 5)
+        with pytest.raises(ValueError):
+            Image.blank(5, -1)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros((2, 2, 3)))
+
+    def test_from_bitmap_maps_ink(self):
+        img = Image.from_bitmap([[1, 0], [0, 1]], on=0.0, off=255.0)
+        assert img.pixels[0, 0] == 0.0
+        assert img.pixels[0, 1] == 255.0
+
+    def test_as_array_accepts_image_and_lists(self):
+        assert as_array(Image.blank(2, 2)).shape == (2, 2)
+        assert as_array([[1.0, 2.0]]).shape == (1, 2)
+        with pytest.raises(ValueError):
+            as_array([1.0, 2.0])
+
+
+class TestRegions:
+    def test_crop_returns_copy(self):
+        img = Image.blank(8, 8, 100.0)
+        region = img.crop(2, 2, 3, 3)
+        region.pixels[...] = 0.0
+        assert np.all(img.pixels == 100.0)
+
+    def test_crop_rejects_out_of_bounds(self):
+        img = Image.blank(8, 8)
+        with pytest.raises(ValueError):
+            img.crop(6, 6, 4, 4)
+        with pytest.raises(ValueError):
+            img.crop(-1, 0, 2, 2)
+        with pytest.raises(ValueError):
+            img.crop(0, 0, 0, 2)
+
+    def test_crop_clipped_pads_with_fill(self):
+        img = Image.blank(4, 4, 10.0)
+        region = img.crop_clipped(-2, -2, 4, 4, fill=99.0)
+        assert region.pixels[0, 0] == 99.0
+        assert region.pixels[3, 3] == 10.0
+
+    def test_crop_clipped_fully_outside_is_all_fill(self):
+        img = Image.blank(4, 4, 10.0)
+        region = img.crop_clipped(10, 10, 3, 3, fill=7.0)
+        assert np.all(region.pixels == 7.0)
+
+    def test_paste_roundtrip(self):
+        img = Image.blank(8, 8, 0.0)
+        patch = Image.blank(3, 3, 50.0)
+        img.paste(patch, 2, 4)
+        assert np.all(img.crop(2, 4, 3, 3).pixels == 50.0)
+        assert img.pixels[0, 0] == 0.0
+
+    def test_paste_out_of_bounds_raises(self):
+        img = Image.blank(4, 4)
+        with pytest.raises(ValueError):
+            img.paste(Image.blank(3, 3), 2, 2)
+
+    def test_blend_alpha_limits(self):
+        img = Image.blank(4, 4, 0.0)
+        img.blend(Image.blank(4, 4, 100.0), 0, 0, alpha=0.5)
+        assert np.allclose(img.pixels, 50.0)
+        with pytest.raises(ValueError):
+            img.blend(Image.blank(4, 4), 0, 0, alpha=1.5)
+
+
+class TestDrawing:
+    def test_fill_rect(self):
+        img = Image.blank(6, 6, 255.0)
+        img.fill_rect(1, 1, 2, 3, 0.0)
+        assert np.all(img.pixels[1:4, 1:3] == 0.0)
+        assert img.pixels[0, 0] == 255.0
+
+    def test_draw_border_leaves_interior(self):
+        img = Image.blank(10, 10, 255.0)
+        img.draw_border(1, 1, 8, 8, 0.0, thickness=1)
+        assert img.pixels[1, 1] == 0.0
+        assert img.pixels[5, 5] == 255.0
+        assert img.pixels[8, 8] == 0.0
+
+    def test_vline_hline(self):
+        img = Image.blank(10, 10, 255.0)
+        img.draw_vline(3, 2, 5, 0.0, thickness=2)
+        assert np.all(img.pixels[2:7, 3:5] == 0.0)
+        img.draw_hline(0, 9, 10, 7.0)
+        assert np.all(img.pixels[9, :] == 7.0)
+
+
+class TestComparisons:
+    def test_equals_tolerance(self):
+        a = Image.blank(3, 3, 10.0)
+        b = Image.blank(3, 3, 12.0)
+        assert not a.equals(b)
+        assert a.equals(b, tolerance=2.0)
+        assert not a.equals(Image.blank(2, 3, 10.0))
+
+    def test_mean_abs_diff(self):
+        a = Image.blank(2, 2, 10.0)
+        b = Image.blank(2, 2, 14.0)
+        assert a.mean_abs_diff(b) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            a.mean_abs_diff(Image.blank(3, 2))
+
+    def test_to_uint8_clips(self):
+        img = Image(np.asarray([[-5.0, 300.0]]))
+        out = to_uint8(img)
+        assert out.dtype == np.uint8
+        assert out[0, 0] == 0
+        assert out[0, 1] == 255
+
+    def test_clip_bounds_values(self):
+        img = Image(np.asarray([[-5.0, 300.0]]))
+        clipped = img.clip()
+        assert clipped.pixels[0, 0] == 0.0
+        assert clipped.pixels[0, 1] == 255.0

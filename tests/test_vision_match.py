@@ -1,0 +1,127 @@
+"""Tests for template matching and viewport localisation."""
+
+import numpy as np
+import pytest
+
+from repro.raster.stacks import stack_registry
+from repro.raster.text import render_text_line
+from repro.vision.image import Image
+from repro.vision.match import (
+    best_horizontal_offset,
+    best_vertical_offset,
+    match_template,
+    normalized_cross_correlation,
+)
+
+
+def _page_with_sections() -> Image:
+    page = Image.blank(200, 600)
+    page.paste(render_text_line("SECTION A", 20), 10, 100)
+    page.paste(render_text_line("SECTION B", 20), 10, 400)
+    return page
+
+
+class TestNCC:
+    def test_identical_patches_score_one(self):
+        rng = np.random.default_rng(0)
+        patch = rng.uniform(0, 255, (16, 16))
+        assert normalized_cross_correlation(patch, patch) == pytest.approx(1.0)
+
+    def test_affine_intensity_invariance(self):
+        rng = np.random.default_rng(1)
+        patch = rng.uniform(0, 255, (16, 16))
+        assert normalized_cross_correlation(patch, 0.5 * patch + 30) == pytest.approx(1.0)
+
+    def test_inverted_patch_scores_minus_one(self):
+        rng = np.random.default_rng(2)
+        patch = rng.uniform(0, 255, (16, 16))
+        assert normalized_cross_correlation(patch, -patch) == pytest.approx(-1.0)
+
+    def test_constant_patches_fallback(self):
+        a = np.full((8, 8), 100.0)
+        assert normalized_cross_correlation(a, a + 1.0) == 1.0
+        assert normalized_cross_correlation(a, a + 50.0) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            normalized_cross_correlation(np.zeros((4, 4)), np.zeros((5, 4)))
+
+
+class TestViewportSearch:
+    def test_exact_crop_found_at_offset(self):
+        page = _page_with_sections()
+        frame = page.crop(0, 380, 200, 120)
+        result = best_vertical_offset(frame, page)
+        assert result.offset == 380
+        assert result.score == pytest.approx(1.0)
+
+    def test_cross_stack_crop_found_nearby(self):
+        page = _page_with_sections()
+        stack = stack_registry()[3]
+        client = Image.blank(200, 600, stack.background)
+        client.paste(render_text_line("SECTION A", 20, stack=stack), 10, 100)
+        client.paste(render_text_line("SECTION B", 20, stack=stack), 10, 400)
+        frame = client.crop(0, 380, 200, 120)
+        result = best_vertical_offset(frame, page)
+        assert abs(result.offset - 380) <= 2
+        assert result.score > 0.9
+
+    def test_stride_coarse_search_still_finds_offset(self):
+        page = _page_with_sections()
+        # 93 is not a stride multiple and the window contains SECTION A.
+        frame = page.crop(0, 93, 200, 120)
+        result = best_vertical_offset(frame, page, stride=4)
+        assert result.offset == 93
+
+    def test_blank_frame_matches_some_blank_window(self):
+        page = _page_with_sections()
+        frame = page.crop(0, 233, 200, 120)  # all-background window
+        result = best_vertical_offset(frame, page)
+        matched = page.crop(0, result.offset, 200, 120)
+        assert matched.equals(frame, tolerance=1.0)
+
+    def test_full_height_frame_offset_zero(self):
+        page = _page_with_sections()
+        result = best_vertical_offset(page, page)
+        assert result.offset == 0
+        assert result.score == pytest.approx(1.0)
+
+    def test_width_mismatch_raises(self):
+        page = _page_with_sections()
+        with pytest.raises(ValueError):
+            best_vertical_offset(Image.blank(100, 50), page)
+
+    def test_frame_taller_than_page_raises(self):
+        page = _page_with_sections()
+        with pytest.raises(ValueError):
+            best_vertical_offset(Image.blank(200, 700), page)
+
+    def test_horizontal_variant(self):
+        strip = Image.blank(600, 40)
+        strip.paste(render_text_line("LEFT", 16), 20, 10)
+        strip.paste(render_text_line("RIGHT", 16), 480, 10)
+        window = strip.crop(460, 0, 120, 40)
+        result = best_horizontal_offset(window, strip)
+        assert result.offset == 460
+
+
+class TestTemplateMatch:
+    def test_finds_all_instances_with_nms(self):
+        canvas = Image.blank(64, 64)
+        template = Image.blank(6, 6, 0.0)
+        template.pixels[2:4, 2:4] = 255.0
+        canvas.paste(template, 5, 5)
+        canvas.paste(template, 40, 30)
+        hits = match_template(canvas, template, threshold=0.99)
+        positions = {(x, y) for x, y, _ in hits}
+        assert (5, 5) in positions
+        assert (40, 30) in positions
+        assert len(hits) == 2
+
+    def test_no_hits_below_threshold(self):
+        canvas = Image.blank(32, 32, 255.0)
+        template = Image(np.random.default_rng(5).uniform(0, 255, (8, 8)))
+        assert match_template(canvas, template, threshold=0.9) == []
+
+    def test_oversized_template_returns_empty(self):
+        assert match_template(Image.blank(4, 4), Image.blank(8, 8)) == []

@@ -1,0 +1,132 @@
+"""Unit tests for raster filtering, morphology and resampling."""
+
+import numpy as np
+import pytest
+
+from repro.vision.ops import (
+    box_blur,
+    convolve2d,
+    dilate,
+    erode,
+    gaussian_blur,
+    gaussian_kernel,
+    max_pool,
+    resize_bilinear,
+    resize_nearest,
+    sobel_edges,
+)
+
+
+def _naive_correlate(img, ker):
+    kh, kw = ker.shape
+    ph, pw = kh // 2, kw // 2
+    padded = np.pad(img, ((ph, kh - 1 - ph), (pw, kw - 1 - pw)))
+    out = np.zeros_like(img, dtype=float)
+    for y in range(img.shape[0]):
+        for x in range(img.shape[1]):
+            out[y, x] = np.sum(padded[y : y + kh, x : x + kw] * ker)
+    return out
+
+
+class TestConvolution:
+    def test_matches_naive_implementation(self):
+        rng = np.random.default_rng(1)
+        img = rng.uniform(0, 255, (9, 11))
+        ker = rng.normal(size=(3, 5))
+        assert np.allclose(convolve2d(img, ker), _naive_correlate(img, ker))
+
+    def test_identity_kernel(self):
+        img = np.arange(20.0).reshape(4, 5)
+        ker = np.zeros((3, 3))
+        ker[1, 1] = 1.0
+        assert np.allclose(convolve2d(img, ker), img)
+
+    def test_rejects_non_2d_kernel(self):
+        with pytest.raises(ValueError):
+            convolve2d(np.zeros((4, 4)), np.zeros(3))
+
+
+class TestBlurs:
+    def test_gaussian_kernel_normalized_and_symmetric(self):
+        ker = gaussian_kernel(1.0)
+        assert ker.sum() == pytest.approx(1.0)
+        assert np.allclose(ker, ker.T)
+        with pytest.raises(ValueError):
+            gaussian_kernel(0.0)
+
+    def test_gaussian_blur_preserves_constant_images(self):
+        img = np.full((10, 10), 42.0)
+        assert np.allclose(gaussian_blur(img, 1.5), 42.0)
+
+    def test_gaussian_blur_reduces_variance(self):
+        rng = np.random.default_rng(2)
+        img = rng.uniform(0, 255, (20, 20))
+        assert gaussian_blur(img, 2.0).std() < img.std()
+
+    def test_gaussian_blur_zero_sigma_is_identity(self):
+        img = np.arange(16.0).reshape(4, 4)
+        assert np.allclose(gaussian_blur(img, 0.0), img)
+
+    def test_box_blur_mean_property(self):
+        img = np.zeros((5, 5))
+        img[2, 2] = 9.0
+        out = box_blur(img, 1)
+        assert out[2, 2] == pytest.approx(1.0)  # 9 / 9 pixels
+
+
+class TestMorphology:
+    def test_erode_shrinks_dilate_grows(self):
+        mask = np.zeros((9, 9), dtype=bool)
+        mask[3:6, 3:6] = True
+        assert erode(mask, 1).sum() == 1
+        assert dilate(mask, 1).sum() == 25
+
+    def test_dilate_then_erode_recovers_solid_square(self):
+        mask = np.zeros((12, 12), dtype=bool)
+        mask[4:8, 4:8] = True
+        assert np.array_equal(erode(dilate(mask, 1), 1), mask)
+
+
+class TestResampling:
+    def test_max_pool_blocks(self):
+        img = np.arange(16.0).reshape(4, 4)
+        out = max_pool(img, 2)
+        assert out.shape == (2, 2)
+        assert out[0, 0] == 5.0
+        assert out[1, 1] == 15.0
+
+    def test_max_pool_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            max_pool(np.zeros((4, 4)), 0)
+        with pytest.raises(ValueError):
+            max_pool(np.zeros((1, 1)), 2)
+
+    def test_resize_nearest_shape_and_values(self):
+        img = np.asarray([[0.0, 255.0]])
+        out = resize_nearest(img, 2, 4)
+        assert out.shape == (2, 4)
+        assert out[0, 0] == 0.0
+        assert out[0, 3] == 255.0
+
+    def test_resize_bilinear_constant_invariance(self):
+        img = np.full((5, 7), 33.0)
+        assert np.allclose(resize_bilinear(img, 9, 13), 33.0)
+
+    def test_resize_bilinear_identity(self):
+        rng = np.random.default_rng(3)
+        img = rng.uniform(0, 255, (6, 6))
+        assert np.allclose(resize_bilinear(img, 6, 6), img, atol=1e-9)
+
+    def test_resize_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            resize_nearest(np.zeros((4, 4)), 0, 4)
+        with pytest.raises(ValueError):
+            resize_bilinear(np.zeros((4, 4)), 4, -1)
+
+
+class TestEdges:
+    def test_sobel_flags_step_edge(self):
+        img = np.zeros((8, 8))
+        img[:, 4:] = 255.0
+        edges = sobel_edges(img)
+        assert edges[:, 3:5].max() > edges[:, 0].max()

@@ -1,0 +1,179 @@
+"""Tests for the element model and flow layout."""
+
+import pytest
+
+from repro.web import layout as lay
+from repro.web.elements import (
+    Button,
+    Checkbox,
+    FileInput,
+    IFrame,
+    ImageElement,
+    Page,
+    RadioGroup,
+    ScrollableList,
+    SelectBox,
+    TextBlock,
+    TextInput,
+    VideoElement,
+)
+
+
+class TestElements:
+    def test_text_input_fields(self):
+        field = TextInput("email", label="Email", value="a@b.c")
+        assert field.request_fields() == {"email": "a@b.c"}
+        assert field.caret == 5
+        with pytest.raises(ValueError):
+            TextInput("")
+
+    def test_checkbox_states(self):
+        box = Checkbox("ok", "OK")
+        assert box.request_fields() == {"ok": "off"}
+        box.checked = True
+        assert box.request_fields() == {"ok": "on"}
+
+    def test_radio_group_validation(self):
+        group = RadioGroup("speed", ["a", "b"], selected=1)
+        assert group.request_fields() == {"speed": "b"}
+        assert RadioGroup("s", ["x"]).request_fields() == {"s": ""}
+        with pytest.raises(ValueError):
+            RadioGroup("s", [])
+        with pytest.raises(ValueError):
+            RadioGroup("s", ["x"], selected=3)
+
+    def test_select_box(self):
+        select = SelectBox("c", ["x", "y"], selected=1)
+        assert select.request_fields() == {"c": "y"}
+        with pytest.raises(ValueError):
+            SelectBox("c", [])
+
+    def test_scrollable_list_window(self):
+        lst = ScrollableList("t", ["a", "b", "c", "d", "e"], visible_rows=2)
+        assert lst.max_scroll == 3
+        lst.selected = 4
+        assert lst.request_fields() == {"t": "e"}
+        small = ScrollableList("t", ["a"], visible_rows=5)
+        assert small.visible_rows == 1
+
+    def test_iframe_externality(self):
+        assert IFrame("https://ads.example/ad").external
+        assert not IFrame("/local/terms").external
+        assert not IFrame("https://x.test/w").supported_by_vwitness
+        assert IFrame("/local").supported_by_vwitness
+
+    def test_unsupported_flags(self):
+        assert not FileInput("doc").supported_by_vwitness
+        assert not VideoElement().supported_by_vwitness
+        assert TextInput("a").supported_by_vwitness
+
+    def test_unique_auto_ids(self):
+        a = TextBlock("x")
+        b = TextBlock("x")
+        assert a.element_id != b.element_id
+
+
+class TestPage:
+    def _page(self):
+        return Page(
+            title="T",
+            width=640,
+            elements=[
+                TextBlock("hello"),
+                TextInput("name", label="Name"),
+                Checkbox("ok", "OK", checked=True),
+                Button("Go"),
+            ],
+        )
+
+    def test_form_values_merge(self):
+        page = self._page()
+        assert page.form_values() == {"name": "", "ok": "on"}
+
+    def test_find_by_id_and_name(self):
+        page = self._page()
+        field = page.find_input("name")
+        assert isinstance(field, TextInput)
+        assert page.find(field.element_id) is field
+        with pytest.raises(KeyError):
+            page.find_input("missing")
+        with pytest.raises(KeyError):
+            page.find("nope")
+
+    def test_unsupported_census(self):
+        page = Page(title="T", elements=[TextBlock("a"), FileInput("f"), VideoElement()])
+        assert len(page.unsupported_elements()) == 2
+
+    def test_narrow_page_rejected(self):
+        with pytest.raises(ValueError):
+            Page(title="T", width=10)
+
+
+class TestLayout:
+    def test_vertical_flow_no_overlap(self):
+        page = Page(
+            title="T",
+            width=640,
+            elements=[
+                TextBlock("one two three"),
+                TextInput("a", label="A"),
+                RadioGroup("r", ["x", "y", "z"]),
+                ScrollableList("l", ["1", "2", "3", "4"], visible_rows=2),
+                Button("Go"),
+            ],
+        )
+        height = lay.layout_page(page)
+        rects = [e.rect for e in page.elements]
+        assert all(r is not None for r in rects)
+        for above, below in zip(rects, rects[1:]):
+            assert above.y2 <= below.y
+        assert height >= rects[-1].y2
+
+    def test_radio_height_scales_with_options(self):
+        two = RadioGroup("r", ["a", "b"])
+        four = RadioGroup("r", ["a", "b", "c", "d"])
+        assert lay.element_height(four, 640) == 2 * lay.element_height(two, 640)
+
+    def test_input_box_rect_below_label(self):
+        page = Page(title="T", elements=[TextInput("a", label="A")])
+        lay.layout_page(page)
+        field = page.elements[0]
+        box = lay.input_box_rect(field)
+        assert box.y == field.rect.y + lay.LABEL_SIZE + 4
+        assert box.h == lay.INPUT_HEIGHT
+
+    def test_input_box_without_label_fills_rect(self):
+        page = Page(title="T", elements=[TextInput("a")])
+        lay.layout_page(page)
+        box = lay.input_box_rect(page.elements[0])
+        assert box.y == page.elements[0].rect.y
+
+    def test_caret_position_advances_with_text(self):
+        page = Page(title="T", elements=[TextInput("a", label="A")])
+        lay.layout_page(page)
+        field = page.elements[0]
+        field.value = "abc"
+        field.caret = 0
+        x0 = lay.caret_x(field)
+        field.caret = 3
+        assert lay.caret_x(field) == x0 + 3 * lay.char_advance(field.text_size)
+
+    def test_char_cell_geometry(self):
+        page = Page(title="T", elements=[TextInput("a", label="A")])
+        lay.layout_page(page)
+        field = page.elements[0]
+        cell0 = lay.char_cell_in_input(field, 0)
+        cell2 = lay.char_cell_in_input(field, 2)
+        assert cell2.x - cell0.x == 2 * lay.char_advance(field.text_size)
+        assert cell0.h == field.text_size
+
+    def test_wrap_text_respects_width(self):
+        lines = lay.wrap_text("aaa bbb ccc ddd", 16, 80)
+        advance = lay.char_advance(16)
+        assert all(len(line) * advance <= 80 or " " not in line for line in lines)
+        assert "".join(lines).replace(" ", "") == "aaabbbcccddd"
+
+    def test_layout_before_queries_raises(self):
+        field = TextInput("a")
+        with pytest.raises(ValueError):
+            lay.input_box_rect(field)

@@ -1,0 +1,164 @@
+"""Tests for the honest-user model, the hypervisor boundary and the HTML bridge."""
+
+import numpy as np
+import pytest
+
+from repro.web.browser import Browser
+from repro.web.elements import Button, Checkbox, Page, SelectBox, TextBlock, TextInput
+from repro.web.html import TAG_TO_VALIDATION_TYPE, page_to_html, parse_form
+from repro.web.hypervisor import Machine, SimulatedClock
+from repro.web.user import HonestUser, ReflectiveValidationError
+
+
+def _bench(elements, display=(640, 300)):
+    page = Page(title="T", width=640, elements=elements)
+    machine = Machine(*display)
+    browser = Browser(machine, page)
+    browser.paint()
+    return machine, browser, page
+
+
+class TestClock:
+    def test_advance_and_observers(self):
+        clock = SimulatedClock()
+        seen = []
+        clock.add_observer(seen.append)
+        clock.advance(100)
+        clock.advance(50)
+        assert seen == [100.0, 150.0]
+        clock.remove_observer(seen.append)
+        clock.advance(10)
+        assert len(seen) == 2
+
+    def test_rewind_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+
+class TestHypervisorBoundary:
+    def test_sample_is_a_private_copy(self):
+        machine = Machine(8, 8)
+        snap = machine.sample_framebuffer()
+        snap.pixels[...] = 123.0
+        assert not np.any(machine.sample_framebuffer().pixels == 123.0)
+
+    def test_io_ledger_windows(self):
+        machine = Machine(8, 8)
+        machine.clock.advance(100)
+        machine.record_hardware_io("key")
+        machine.clock.advance(100)
+        machine.record_hardware_io("mouse")
+        assert len(machine.io_events_between(0, 150)) == 1
+        assert len(machine.io_events_between(0, 300)) == 2
+        assert machine.last_io_before(150).kind == "key"
+        assert machine.last_io_before(50) is None
+        with pytest.raises(ValueError):
+            machine.record_hardware_io("telepathy")
+
+    def test_guest_writes_visible_to_sampling(self):
+        machine = Machine(8, 8)
+        from repro.vision.image import Image
+
+        machine.write_framebuffer(Image.blank(8, 8, 77.0))
+        assert np.all(machine.sample_framebuffer().pixels == 77.0)
+
+
+class TestHonestUser:
+    def test_fill_generates_hardware_io(self):
+        machine, browser, page = _bench([TextInput("name", label="Name")])
+        user = HonestUser(browser)
+        user.fill_text_input("name", "abc")
+        events = machine.io_events_between(0, machine.clock.now())
+        assert len(events) >= 4  # click + 3 keys
+        assert any(e.kind == "mouse" for e in events)
+        assert sum(e.kind == "key" for e in events) >= 3
+        assert page.elements[0].value == "abc"
+
+    def test_reflective_validation_passes_for_honest_display(self):
+        machine, browser, page = _bench([TextInput("amount", label="Amount")])
+        HonestUser(browser).fill_text_input("amount", "125.00")
+        assert page.elements[0].value == "125.00"
+
+    def test_reflective_validation_catches_lying_display(self):
+        machine, browser, page = _bench([TextInput("amount", label="Amount")])
+
+        # Malware: whenever the browser paints, overwrite the field's
+        # displayed digits with a different value.
+        real_paint = browser.paint
+
+        def evil_paint():
+            real_paint()
+            from repro.attacks.tamper import swap_text_on_display
+            from repro.web import layout as lay
+
+            field = page.elements[0]
+            if field.value:
+                box = lay.input_box_rect(field)
+                ox, oy = lay.text_origin_in_input(field)
+                swap_text_on_display(
+                    machine, ox, oy - browser.scroll_y, "9" * len(field.value),
+                    size=field.text_size, background=252.0,
+                )
+
+        browser.paint = evil_paint
+        user = HonestUser(browser)
+        with pytest.raises(ReflectiveValidationError):
+            user.fill_text_input("amount", "125.00", max_retries=1)
+
+    def test_user_scrolls_to_reach_offscreen_field(self):
+        elements = [TextBlock(f"filler {i}") for i in range(20)] + [
+            TextInput("late", label="Late")
+        ]
+        machine, browser, page = _bench(elements)
+        user = HonestUser(browser)
+        user.fill_text_input("late", "x")
+        assert page.elements[-1].value == "x"
+        assert browser.scroll_y > 0
+
+    def test_clock_advances_with_typing(self):
+        machine, browser, page = _bench([TextInput("a", label="A")])
+        t0 = machine.clock.now()
+        HonestUser(browser, typing_delay_ms=80).fill_text_input("a", "abcde")
+        assert machine.clock.now() - t0 > 5 * 40  # at least ~half the nominal delay
+
+
+class TestHtmlBridge:
+    def _page(self):
+        return Page(
+            title="Order",
+            width=640,
+            elements=[
+                TextBlock("Order details"),
+                TextInput("qty", label="Quantity", max_length=3),
+                Checkbox("gift", "Gift wrap"),
+                SelectBox("size", ["S", "M", "L"], selected=1),
+                Button("Buy"),
+            ],
+        )
+
+    def test_round_trip_structure(self):
+        html = page_to_html(self._page(), css="body { font: sans; }")
+        form = parse_form(html)
+        assert form.title == "Order"
+        assert form.width == 640
+        inputs = form.inputs()
+        assert len(inputs) == 3  # qty + gift + size
+        assert form.css.strip() == "body { font: sans; }"
+
+    def test_maxlength_survives_serialization(self):
+        html = page_to_html(self._page())
+        qty = [t for t in parse_form(html).find_all("input") if t.attrs.get("name") == "qty"]
+        assert qty[0].attrs["maxlength"] == "3"
+
+    def test_external_iframes_detected(self):
+        from repro.web.elements import IFrame
+
+        page = Page(title="T", elements=[IFrame("https://ads.example/ad"), IFrame("/local")])
+        form = parse_form(page_to_html(page))
+        externals = form.external_iframes()
+        assert len(externals) == 1
+        assert externals[0].attrs["src"] == "https://ads.example/ad"
+
+    def test_tag_mapping_covers_core_tags(self):
+        for tag in ("input", "img", "p", "select", "button", "iframe", "video"):
+            assert tag in TAG_TO_VALIDATION_TYPE
