@@ -10,6 +10,9 @@ Wraps the paper's two workloads:
   of filling out a form").
 * **Clickbench whole-screen validation** — pseudo-VSPEC validation of a
   screenshot pair with the graphics model only.
+* **Service throughput** — N guest sessions (sequential or genuinely
+  concurrent) through one shared :class:`WitnessService`, measured in
+  sessions per second.
 """
 
 from __future__ import annotations
@@ -54,8 +57,8 @@ def jotform_first_frame(seed: int, text_model, image_model, batched: bool) -> Fi
     browser.paint()
     frame = machine.sample_framebuffer().pixels
     cache = DigestCache()
-    text_verifier = TextVerifier(text_model, batched=batched, cache=cache)
-    image_verifier = ImageVerifier(image_model, batched=batched, cache=cache)
+    text_verifier = TextVerifier(text_model, batched=batched, cache=cache.scoped("text"))
+    image_verifier = ImageVerifier(image_model, batched=batched, cache=cache.scoped("image"))
     validator = DisplayValidator(vspec, text_verifier, image_verifier)
     t0 = time.perf_counter()
     result = validator.validate(frame)
@@ -95,11 +98,13 @@ def run_interactive_session(
     batched: bool,
     caching: bool = True,
 ):
-    """A full vWitness session on a generated form with an honest user.
+    """A full witnessed session on a generated form with an honest user.
 
+    Runs through the service API: a fresh per-call :class:`WitnessService`
+    (it shares the process-wide warm models) vending one session handle.
     Returns ``(decision, report, virtual_session_seconds)``.
     """
-    from repro.core.session import install_vwitness
+    from repro.core.service import WitnessConfig, WitnessService
 
     ca = CertificateAuthority()
     server = WebServer(ca)
@@ -108,22 +113,75 @@ def run_interactive_session(
     client_page = server.serve_page(page_id)
     machine = Machine(640, 600)
     browser = Browser(machine, client_page, stack=stack_registry()[seed % len(stack_registry())])
-    vwitness = install_vwitness(
-        machine, ca, text_model=text_model, image_model=image_model,
-        batched=batched, caching=caching, sampler_seed=seed,
+    service = WitnessService(
+        ca,
+        WitnessConfig(batched=batched, caching=caching, sampler_seed=seed),
+        text_model=text_model,
+        image_model=image_model,
     )
-    extension = BrowserExtension(browser, server, vwitness)
-    vspec = extension.acquire_vspecs(page_id)
-    browser.paint()
-    extension.begin_session()
-    user = HonestUser(browser, seed=seed)
-    entries = sample_user_entries(client_page, seed)
-    fill_page_as_user(user, client_page, entries)
-    body = dict(client_page.form_values())
-    body["session_id"] = vspec.session_id
-    session_seconds = machine.clock.now() / 1000.0
-    decision = extension.end_session(body)
-    return decision, vwitness.report, session_seconds
+    with service.open_session(machine) as witness:
+        extension = BrowserExtension(browser, server, witness)
+        vspec = extension.acquire_vspecs(page_id)
+        browser.paint()
+        extension.begin_session()
+        user = HonestUser(browser, seed=seed)
+        entries = sample_user_entries(client_page, seed)
+        fill_page_as_user(user, client_page, entries)
+        body = dict(client_page.form_values())
+        body["session_id"] = vspec.session_id
+        session_seconds = machine.clock.now() / 1000.0
+        decision = extension.end_session(body)
+        return decision, witness.report, session_seconds
+
+
+def run_service_sessions(
+    n_sessions: int,
+    text_model,
+    image_model,
+    *,
+    threads: int = 1,
+    page_seed: int = 0,
+    batched: bool = True,
+):
+    """N guest sessions through ONE shared :class:`WitnessService`.
+
+    All sessions are opened up front (so they are genuinely concurrent in
+    the service's registry), each guest's form fill is driven on up to
+    ``threads`` worker threads, and every session ends with a
+    certification decision.  Returns
+    ``(decisions, service, peak_active, wall_seconds)``.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.core.service import WitnessConfig
+    from repro.server.webserver import WitnessedSite
+
+    site = WitnessedSite(
+        config=WitnessConfig(batched=batched),
+        text_model=text_model,
+        image_model=image_model,
+    )
+    page_id = f"jf-{page_seed}"
+    site.register_page(page_id, jotform_page(page_seed))
+
+    t0 = time.perf_counter()
+    clients = [site.connect(page_id, display=(640, 600)) for _ in range(n_sessions)]
+    peak = site.service.registry.peak_active
+
+    def drive(index_client):
+        index, client = index_client
+        user = HonestUser(client.browser, seed=index)
+        entries = sample_user_entries(client.browser.page, index)
+        fill_page_as_user(user, client.browser.page, entries)
+        return client.submit()
+
+    if threads > 1:
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            decisions = list(pool.map(drive, enumerate(clients)))
+    else:
+        decisions = [drive(pair) for pair in enumerate(clients)]
+    wall = time.perf_counter() - t0
+    return decisions, site.service, peak, wall
 
 
 def summarize(values) -> dict:

@@ -14,6 +14,9 @@ from benchmarks.harness import jotform_first_frame
 
 def test_figure5_invocation_regression(benchmark, scale, text_model, image_model):
     def run():
+        # Warm-up (untimed): absorb one-off allocation costs so the fit
+        # estimates steady-state per-invocation cost (cf. Table VIII).
+        jotform_first_frame(0, text_model, image_model, batched=False)
         # Sequential (CPU) mode: per-invocation cost is the quantity the
         # regression estimates.
         return [
@@ -43,13 +46,17 @@ def test_figure5_invocation_regression(benchmark, scale, text_model, image_model
         lines.append(
             f"{r.seed:>5} {r.text_invocations:>7} {r.image_invocations:>11} {r.seconds:>12.3f}"
         )
+    shape_held = c_graphics > c_text
     lines += [
         "",
         f"least-squares fit: T = {c_text * 1000:.2f}ms * x_t + {c_graphics * 1000:.2f}ms * x_g "
         f"+ {intercept * 1000:.1f}ms   (R^2 = {r2:.3f})",
         "",
-        "Shape check (paper): per-invocation graphics cost exceeds per-",
-        "invocation text cost, and T(frame0) is predictable from the counts.",
+        "Paper's shape: per-invocation graphics cost exceeds per-invocation",
+        "text cost, and T(frame0) is predictable from the counts.",
+        f"This run: c_graphics {'>' if shape_held else '<='} c_text "
+        f"({'matches' if shape_held else 'does NOT match'} the paper's shape; "
+        "few pages carry graphics invocations, so c_g is noise-sensitive).",
     ]
     record_result("figure5_regression", "\n".join(lines))
 

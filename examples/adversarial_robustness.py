@@ -22,7 +22,7 @@ from repro.adversarial.evaluate import (
     attacked_accuracy_matcher,
 )
 from repro.nn.data import reference_text_dataset, text_dataset
-from repro.nn.zoo import get_text_model, get_text_reference
+from repro.nn.zoo import get_text_model, get_text_reference, model_registry_stats
 from repro.raster.fonts import font_registry
 
 
@@ -31,11 +31,16 @@ def main() -> None:
     epsilon, norm = 0.2509, "linf"
     n = 40
 
-    print("Loading/training models (cached after first run)...")
+    print("Loading/training models (memoized process-wide; disk-cached across runs)...")
     base = get_text_model("base")
     reference = get_text_reference()
     specialized = single_font_model(0)
     fortress = hardened(get_text_model("sans"), threshold=0.99)
+    stats = model_registry_stats()
+    print(
+        f"model registry   : {stats['entries']} models resident "
+        f"({stats['trains']} trained, {stats['loads']} loaded, {stats['hits']} reused)"
+    )
 
     obs_all, exp_all, labels = text_dataset(
         font_registry()[:2], styles=("normal",), expansions=0, seed=321

@@ -14,31 +14,30 @@ form:
 3. **Background forgery** — malware submits without any user at all; with
    no hardware I/O and no displayed values, nothing can be certified.
 
+The bank is one ``WitnessedSite`` deployment — web server plus a single
+``WitnessService`` provisioned once — and every scenario below is just
+another guest connection against it.
+
 Run:  python examples/banking_attack.py
 """
 
 from repro.attacks.forgery import forge_request_body, tamper_request_field
 from repro.attacks.tamper import swap_text_on_display
-from repro.core.session import install_vwitness
-from repro.crypto import CertificateAuthority
-from repro.server import WebServer
+from repro.core.service import WitnessConfig
+from repro.server import WitnessedSite
 from repro.web import (
-    Browser,
     Button,
     Checkbox,
     HonestUser,
-    Machine,
     Page,
     TextBlock,
     TextInput,
 )
-from repro.web.extension import BrowserExtension
 
 
-def make_bank() -> WebServer:
-    ca = CertificateAuthority()
-    server = WebServer(ca)
-    server.register_page(
+def make_bank() -> WitnessedSite:
+    site = WitnessedSite(config=WitnessConfig(batched=True))
+    site.register_page(
         "transfer",
         Page(
             title="Wire Transfer",
@@ -52,18 +51,7 @@ def make_bank() -> WebServer:
             ],
         ),
     )
-    return server
-
-
-def new_session(server):
-    machine = Machine(640, 480)
-    browser = Browser(machine, server.serve_page("transfer"))
-    vwitness = install_vwitness(machine, server.ca, batched=True)
-    extension = BrowserExtension(browser, server, vwitness)
-    vspec = extension.acquire_vspecs("transfer")
-    browser.paint()
-    extension.begin_session()
-    return machine, browser, extension, vspec
+    return site
 
 
 def honest_fill(browser):
@@ -74,52 +62,52 @@ def honest_fill(browser):
 
 
 def main() -> None:
-    server = make_bank()
+    site = make_bank()
 
     print("=== 1. request tampering at submission ===")
-    machine, browser, extension, vspec = new_session(server)
-    honest_fill(browser)
-    body = dict(browser.page.form_values(), session_id=vspec.session_id)
-    evil_body = tamper_request_field(body, "beneficiary", "MULE-ACCT-666")
+    client = site.connect("transfer")
+    honest_fill(client.browser)
+    evil_body = tamper_request_field(client.submit_body(), "beneficiary", "MULE-ACCT-666")
     evil_body = tamper_request_field(evil_body, "amount", "9500.00")
-    decision = extension.end_session(evil_body)
+    decision = client.submit(evil_body)
     print(f"  vWitness: certified={decision.certified} — {decision.reason}")
     assert not decision.certified
 
     print("=== 2. UI tampering (displayed beneficiary rewritten) ===")
-    machine, browser, extension, vspec = new_session(server)
-    user = HonestUser(browser)
+    client = site.connect("transfer")
+    user = HonestUser(client.browser)
     user.fill_text_input("amount", "250.00")
     # Malware repaints the heading so the user believes a different story.
-    swap_text_on_display(machine, 24, 44, "Refund from your bank", size=14)
-    machine.clock.advance(1500)  # sampling observes the tampering
-    body = dict(browser.page.form_values(), session_id=vspec.session_id)
-    decision = extension.end_session(body)
+    swap_text_on_display(client.machine, 24, 44, "Refund from your bank", size=14)
+    client.machine.clock.advance(1500)  # sampling observes the tampering
+    decision = client.submit()
     print(f"  vWitness: certified={decision.certified} — {decision.reason}")
     assert not decision.certified
 
     print("=== 3. background forgery (no user present) ===")
-    machine, browser, extension, vspec = new_session(server)
+    client = site.connect("transfer")
     forged = forge_request_body(
-        browser.page.form_values(),
+        client.browser.page.form_values(),
         beneficiary="MULE-ACCT-666",
         amount="9500.00",
         confirm="on",
-        session_id=vspec.session_id,
+        session_id=client.vspec.session_id,
     )
-    decision = extension.end_session(forged)
+    decision = client.submit(forged)
     print(f"  vWitness: certified={decision.certified} — {decision.reason}")
     assert not decision.certified
-    print(f"  server on bare request: {server.accept_uncertified(forged).reason}")
+    print(f"  server on bare request: {site.server.accept_uncertified(forged).reason}")
 
     print("=== honest control run ===")
-    machine, browser, extension, vspec = new_session(server)
-    honest_fill(browser)
-    body = dict(browser.page.form_values(), session_id=vspec.session_id)
-    decision = extension.end_session(body)
-    verdict = server.verify(decision.request)
+    client = site.connect("transfer")
+    honest_fill(client.browser)
+    decision = client.submit()
+    verdict = site.verify(decision)
     print(f"  vWitness: certified={decision.certified}; server: {verdict.reason}")
     assert decision.certified and verdict.ok
+    print(
+        f"  one witness service covered {site.service.registry.total_opened} guest sessions"
+    )
 
 
 if __name__ == "__main__":

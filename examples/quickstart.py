@@ -1,14 +1,16 @@
 #!/usr/bin/env python
 """Quickstart: certify one honest web interaction end to end.
 
-Builds a protected page, installs vWitness on a simulated client machine,
-lets an honest user fill the form, and shows the server accepting the
-certified request — the complete workflow of the paper's Fig. 4.
+Builds a protected page, provisions a long-lived ``WitnessService``,
+opens a per-guest ``WitnessSession`` on a simulated client machine, lets
+an honest user fill the form, and shows the server accepting the
+certified request — the complete workflow of the paper's Fig. 4, on the
+service-oriented API (one service can witness any number of guests).
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.session import install_vwitness
+from repro.core.service import WitnessConfig, WitnessService
 from repro.crypto import CertificateAuthority
 from repro.server import WebServer
 from repro.web import (
@@ -43,25 +45,34 @@ def main() -> None:
         ),
     )
 
-    # --- client setup: machine, browser, vWitness, extension ------------
+    # --- witness service: provisioned once, serves every guest ----------
+    service = WitnessService(ca, WitnessConfig(batched=True))
+    service.on_decision(
+        lambda session, decision: print(
+            f"  [hook] session {session.id} decision: certified={decision.certified}"
+        )
+    )
+
+    # --- one guest: machine, browser, session handle, extension ---------
     machine = Machine(640, 480)
     browser = Browser(machine, server.serve_page("signup"))
-    vwitness = install_vwitness(machine, ca, batched=True)
-    extension = BrowserExtension(browser, server, vwitness)
+    with service.open_session(machine) as witness:
+        extension = BrowserExtension(browser, server, witness)
 
-    # --- the session (paper §III-B steps 1-5) ----------------------------
-    vspec = extension.acquire_vspecs("signup")  # step 1: VSPEC delivery
-    browser.paint()
-    extension.begin_session()  # step 2: witnessing starts
+        # --- the session (paper §III-B steps 1-5) ------------------------
+        vspec = extension.acquire_vspecs("signup")  # step 1: VSPEC delivery
+        browser.paint()
+        extension.begin_session()  # step 2: witnessing starts
 
-    user = HonestUser(browser)  # steps 2a/3/3a happen per sampled frame
-    user.fill_text_input("username", "alice")
-    user.fill_text_input("email", "alice@example.org")
-    user.toggle_checkbox("terms", True)
+        user = HonestUser(browser)  # steps 2a/3/3a happen per sampled frame
+        user.fill_text_input("username", "alice")
+        user.fill_text_input("email", "alice@example.org")
+        user.toggle_checkbox("terms", True)
 
-    body = dict(browser.page.form_values())
-    body["session_id"] = vspec.session_id
-    decision = extension.end_session(body)  # step 4: submission validation
+        body = dict(browser.page.form_values())
+        body["session_id"] = vspec.session_id
+        decision = extension.end_session(body)  # step 4: submission validation
+        report = witness.report
 
     print(f"vWitness verdict : {decision.reason}")
     assert decision.certified
@@ -70,12 +81,15 @@ def main() -> None:
     print(f"server verdict   : {verdict.reason}")
     assert verdict.ok
 
-    report = vwitness.report
     print(
         f"session stats    : {report.frames_sampled} frames sampled, "
         f"{report.frames_skipped} skipped unchanged, "
         f"{report.text_invocations} text / {report.image_invocations} graphics "
         "model invocations"
+    )
+    print(
+        f"service stats    : {service.registry.total_opened} session(s) served, "
+        f"{service.active_sessions} still active"
     )
     print(f"request body     : {decision.request.body}")
 

@@ -7,30 +7,29 @@ selects the opposite of their intent (the paper's Attack 1), or overlays
 the confirmation area (Attack 2).  Both are caught by display validation;
 the honest vote certifies.
 
+The polling place is one ``WitnessedSite``: a single witness service
+covers every voter's session, and the ``on_violation`` hook gives the
+election observers a live audit feed.
+
 Run:  python examples/voting_clickjacking.py
 """
 
 from repro.attacks.tamper import overlay_rectangle, swap_text_on_display
-from repro.core.session import install_vwitness
-from repro.crypto import CertificateAuthority
-from repro.server import WebServer
+from repro.core.service import WitnessConfig
+from repro.server import WitnessedSite
 from repro.web import (
-    Browser,
     Button,
     HonestUser,
-    Machine,
     Page,
     RadioGroup,
     TextBlock,
 )
-from repro.web.extension import BrowserExtension
 from repro.web import layout as lay
 
 
-def make_ballot() -> WebServer:
-    ca = CertificateAuthority()
-    server = WebServer(ca)
-    server.register_page(
+def make_ballot() -> WitnessedSite:
+    site = WitnessedSite(config=WitnessConfig(batched=True))
+    site.register_page(
         "ballot",
         Page(
             title="Strike Mandate Vote",
@@ -42,61 +41,69 @@ def make_ballot() -> WebServer:
             ],
         ),
     )
-    return server
+    flagged = set()
 
+    @site.service.on_frame
+    def _audit(session, outcome):
+        # Election observers see the first bad frame of any voter session.
+        if not outcome.ok and session.id not in flagged:
+            flagged.add(session.id)
+            first = outcome.failures[0] if outcome.failures else None
+            detail = f"{first.kind}: {first.reason}" if first else "frame failed validation"
+            print(f"  [audit] session {session.id} frame {outcome.index}: {detail}")
 
-def new_session(server):
-    machine = Machine(640, 400)
-    browser = Browser(machine, server.serve_page("ballot"))
-    vwitness = install_vwitness(machine, server.ca, batched=True)
-    extension = BrowserExtension(browser, server, vwitness)
-    vspec = extension.acquire_vspecs("ballot")
-    browser.paint()
-    extension.begin_session()
-    return machine, browser, extension, vspec
+    site.service.on_violation(
+        lambda session, violation: print(
+            f"  [audit] session {session.id}: {violation.rule} — {violation.detail}"
+        )
+    )
+    return site
 
 
 def main() -> None:
-    server = make_ballot()
+    site = make_ballot()
 
     print("=== Attack 1: option labels swapped on the display ===")
-    machine, browser, extension, vspec = new_session(server)
-    group = browser.page.find_input("vote")
+    client = site.connect("ballot", display=(640, 400))
+    group = client.browser.page.find_input("vote")
     # Malware swaps the rendered labels: the row that submits "Yes" now
     # *displays* "No" and vice versa (only displayed text is altered).
     label_x = group.rect.x + lay.RADIO_SIZE + 8
-    swap_text_on_display(machine, label_x, group.rect.y + 3, "No ", size=13)
-    swap_text_on_display(machine, label_x, group.rect.y + lay.ROW_HEIGHT + 3, "Yes", size=13)
-    user = HonestUser(browser)
+    swap_text_on_display(client.machine, label_x, group.rect.y + 3, "No ", size=13)
+    swap_text_on_display(
+        client.machine, label_x, group.rect.y + lay.ROW_HEIGHT + 3, "Yes", size=13
+    )
+    user = HonestUser(client.browser)
     # The voter wants "No", reads the (tampered) labels, clicks row 0.
-    machine.clock.advance(800)
+    client.machine.clock.advance(800)
     user.choose_radio("vote", "Yes")  # what the click actually selects
-    body = dict(browser.page.form_values(), session_id=vspec.session_id)
-    decision = extension.end_session(body)
+    body = client.submit_body()
+    decision = client.submit(body)
     print(f"  submitted vote would be: {body['vote']!r} (voter intended 'No')")
     print(f"  vWitness: certified={decision.certified} — {decision.reason}")
     assert not decision.certified
 
     print("=== Attack 2: confirmation area overlaid ===")
-    machine, browser, extension, vspec = new_session(server)
-    button = next(e for e in browser.page.elements if getattr(e, "label", "") == "Confirm vote")
+    client = site.connect("ballot", display=(640, 400))
+    button = next(
+        e for e in client.browser.page.elements if getattr(e, "label", "") == "Confirm vote"
+    )
     overlay_rectangle(
-        machine, button.rect.x, button.rect.y, button.rect.w + 60, button.rect.h,
+        client.machine, button.rect.x, button.rect.y, button.rect.w + 60, button.rect.h,
         color=248.0, text="Close window",
     )
-    machine.clock.advance(1200)
-    body = dict(browser.page.form_values(), session_id=vspec.session_id)
-    decision = extension.end_session(body)
+    client.machine.clock.advance(1200)
+    decision = client.submit()
     print(f"  vWitness: certified={decision.certified} — {decision.reason}")
     assert not decision.certified
 
     print("=== honest vote ===")
-    machine, browser, extension, vspec = new_session(server)
-    user = HonestUser(browser)
+    client = site.connect("ballot", display=(640, 400))
+    user = HonestUser(client.browser)
     user.choose_radio("vote", "No")
-    body = dict(browser.page.form_values(), session_id=vspec.session_id)
-    decision = extension.end_session(body)
-    verdict = server.verify(decision.request)
+    body = client.submit_body()
+    decision = client.submit(body)
+    verdict = site.verify(decision)
     print(f"  vote={body['vote']!r}; vWitness certified={decision.certified}; "
           f"server: {verdict.reason}")
     assert decision.certified and verdict.ok

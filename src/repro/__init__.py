@@ -17,9 +17,10 @@ reproduce the paper's §V-§VI evaluation.
 
 Entry points:
 
->>> from repro.core.session import VWitness, install_vwitness
->>> from repro.server import WebServer
+>>> from repro.core.service import WitnessConfig, WitnessService
+>>> from repro.server import WebServer, WitnessedSite
 >>> from repro.web import Browser, Machine, Page
+>>> from repro.core.session import VWitness, install_vwitness  # compat shim
 
 See README.md for a quickstart, DESIGN.md for the architecture and
 substitution rationale, and EXPERIMENTS.md for paper-vs-measured results.

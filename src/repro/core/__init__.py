@@ -15,8 +15,12 @@ The pipeline, per sampled frame:
 5. :mod:`repro.core.submission` — the VSPEC validation function and
    request certification under the sealed key.
 
-:class:`repro.core.session.VWitness` wires these together behind the three
-extension APIs, and :mod:`repro.core.timing` models the request delay
+:class:`repro.core.service.WitnessService` owns the heavyweight resources
+(models, sealed key, shared caches) and vends per-guest
+:class:`repro.core.service.WitnessSession` handles that wire these
+together behind the three extension APIs;
+:class:`repro.core.session.VWitness` remains as the single-session compat
+shim.  :mod:`repro.core.timing` models the request delay
 ``L = T(init) + sum T(frame_i) + T(request) - T(session)`` of §VI-B.
 """
 
@@ -27,10 +31,24 @@ from repro.core.sampler import ScreenshotSampler
 from repro.core.display import DisplayResult, DisplayValidator, ElementFailure
 from repro.core.interaction import InteractionTracker, Violation
 from repro.core.submission import CertificationDecision, SubmissionValidator
-from repro.core.session import VWitness, SessionReport
+from repro.core.service import (
+    FrameOutcome,
+    SessionRegistry,
+    SessionReport,
+    WitnessConfig,
+    WitnessService,
+    WitnessSession,
+)
+from repro.core.session import VWitness, install_vwitness
 from repro.core.timing import SessionTiming, cutoff_session_length, request_delay
 
 __all__ = [
+    "WitnessService",
+    "WitnessSession",
+    "WitnessConfig",
+    "FrameOutcome",
+    "SessionRegistry",
+    "install_vwitness",
     "TextVerifier",
     "ImageVerifier",
     "POFObservation",

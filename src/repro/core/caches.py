@@ -10,6 +10,8 @@ validation an order of magnitude cheaper than the first frame
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.vision.diff import changed_regions
@@ -17,37 +19,101 @@ from repro.vision.hashing import region_digest
 
 
 class DigestCache:
-    """A dict-backed digest->verdict cache with hit/miss statistics."""
+    """A dict-backed digest->verdict cache with hit/miss statistics.
+
+    Thread-safe: one cache may be shared across every session of a
+    :class:`repro.core.service.WitnessService`.  Verifiers of different
+    kinds must not share a flat key space (a text-tile digest must never
+    satisfy an image-region lookup), so consumers take a namespaced view
+    via :meth:`scoped` rather than writing raw keys.
+    """
 
     def __init__(self, max_entries: int = 100_000) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
         self._store: dict = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: str):
-        value = self._store.get(key)
-        if value is None and key not in self._store:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._store.get(key)
+            if value is None and key not in self._store:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return value
 
     def put(self, key: str, value) -> None:
-        if len(self._store) >= self.max_entries:
-            # Drop the oldest entry (insertion order) — a simple FIFO cap.
-            self._store.pop(next(iter(self._store)))
-        self._store[key] = value
+        with self._lock:
+            if len(self._store) >= self.max_entries:
+                # Drop the oldest entry (insertion order) — a simple FIFO cap.
+                self._store.pop(next(iter(self._store)))
+            self._store[key] = value
+
+    def scoped(self, namespace: str) -> "ScopedDigestCache":
+        """A view of this cache whose keys live under ``namespace``."""
+        return ScopedDigestCache(self, namespace)
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+class ScopedDigestCache:
+    """A namespaced view over a shared :class:`DigestCache`.
+
+    Every key is prefixed with ``<namespace>/`` before reaching the
+    backing store, so two verifier kinds handed views of the same cache
+    can never observe each other's verdicts even if their inner digests
+    collide.  This is structural defense-in-depth: verifiers also prefix
+    their own keys (``text:`` / ``img:``), but that discipline lives in
+    each verifier's key-building code — the scoped view enforces
+    disjointness regardless of what keys a (future) verifier writes.
+    Hit/miss statistics aggregate on the parent.
+    """
+
+    def __init__(self, parent: DigestCache, namespace: str) -> None:
+        if not namespace:
+            raise ValueError("namespace must be non-empty")
+        self.parent = parent
+        self.namespace = str(namespace)
+
+    def _qualify(self, key: str) -> str:
+        return f"{self.namespace}/{key}"
+
+    def get(self, key: str):
+        return self.parent.get(self._qualify(key))
+
+    def put(self, key: str, value) -> None:
+        self.parent.put(self._qualify(key), value)
+
+    def scoped(self, namespace: str) -> "ScopedDigestCache":
+        return ScopedDigestCache(self.parent, f"{self.namespace}/{namespace}")
+
+    def __len__(self) -> int:
+        prefix = f"{self.namespace}/"
+        with self.parent._lock:
+            return sum(1 for k in self.parent._store if k.startswith(prefix))
+
+    @property
+    def hits(self) -> int:
+        return self.parent.hits
+
+    @property
+    def misses(self) -> int:
+        return self.parent.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.parent.hit_rate
 
 
 class DifferentialDetector:

@@ -1,0 +1,601 @@
+"""Service-oriented witness API: one service, many concurrent sessions.
+
+The paper's prototype witnesses one guest at a time, and the original
+``VWitness`` object mirrored that: heavyweight resources (trained CNN
+verifiers, the sealed signing key, caches) were owned by a single
+stateful session object.  Production traffic needs the inverse shape:
+
+* :class:`WitnessService` — long-lived and thread-safe.  Loads/trains
+  the text and image models exactly once (through the process-wide zoo
+  registry), holds the sealed key, measured state and certificate, and
+  owns one cross-session :class:`~repro.core.caches.DigestCache`.
+* :class:`WitnessSession` — a cheap single-use handle, one per guest
+  :class:`~repro.web.hypervisor.Machine`, with a context-manager
+  lifecycle.  It runs the §III-B workflow (``begin_session`` /
+  ``receive_hint`` / ``end_session``) against the service's shared
+  resources while keeping all per-guest state private.
+* :class:`WitnessConfig` — an immutable configuration record replacing
+  the old 8-kwarg constructor; per-session overrides derive from it
+  with :meth:`WitnessConfig.replace`.
+* :class:`FrameOutcome` — the typed per-frame result delivered to the
+  ``on_frame`` observability hook; ``on_violation`` and ``on_decision``
+  fire as violations are recorded and submissions are certified.
+* :class:`SessionRegistry` — tracks the live sessions of a service so
+  one witness can concurrently cover N machines.
+
+``repro.core.session.VWitness`` remains as a thin backward-compat shim
+that wraps a dedicated single-machine service.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.core.caches import DifferentialDetector, DigestCache
+from repro.core.display import DisplayResult, DisplayValidator
+from repro.core.interaction import InteractionTracker, Violation
+from repro.core.pof import check_pof_consistency, extract_pofs
+from repro.core.sampler import ScreenshotSampler
+from repro.core.submission import CertificationDecision, SubmissionValidator
+from repro.core.timing import SessionTiming
+from repro.core.verifiers import ImageVerifier, TextVerifier
+from repro.crypto.ca import CertificateAuthority
+from repro.crypto.keys import MeasuredState, SealedSigningKey, generate_signing_key
+from repro.vision.components import Rect
+from repro.vspec.spec import VSpec
+from repro.web.hypervisor import Machine
+from repro.web.render import DEFAULT_POF, POFStyle
+
+#: Stride between auto-derived per-session sampler seeds (a prime far from
+#: the small integers humans pin by hand, so derived seeds don't collide
+#: with explicitly chosen ones).
+_SEED_STRIDE = 7919
+
+#: Components measured into the trusted stack at provisioning time.
+TRUSTED_STACK = {
+    "hypervisor": b"xen-4.17-analogue",
+    "vwitness-core": b"repro.core-v1",
+    "text-model": b"text-verifier-weights",
+    "image-model": b"image-verifier-weights",
+}
+
+
+@dataclass(frozen=True)
+class WitnessConfig:
+    """Immutable witness configuration (replaces the 8-kwarg constructor).
+
+    A service is built with one config; individual sessions may derive
+    variations via :meth:`replace` (e.g. a different sampler seed per
+    guest) without touching shared state.
+    """
+
+    text_model_variant: str = "base"
+    batched: bool = False
+    caching: bool = True
+    cache_entries: int = 100_000
+    sampler_seed: int = 0
+    periodic_sampling: bool = False
+    pof_style: POFStyle = DEFAULT_POF
+    check_background: bool = True
+    subject: str = "client-1"
+
+    def replace(self, **overrides) -> "WitnessConfig":
+        """A copy of this config with ``overrides`` applied."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class FrameOutcome:
+    """Typed result of one sampled-and-validated frame (``on_frame`` hook)."""
+
+    index: int
+    sampled_at_ms: float
+    elapsed_seconds: float
+    ok: bool
+    offset_y: int
+    skipped_unchanged: bool
+    failures: tuple
+    new_violations: tuple
+
+    @property
+    def clean(self) -> bool:
+        return self.ok and not self.new_violations
+
+
+@dataclass
+class SessionReport:
+    """Everything a session recorded (exposed for tests and benches)."""
+
+    display_ok: bool = True
+    frame_results: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+    timing: SessionTiming = field(default_factory=SessionTiming)
+    frames_sampled: int = 0
+    frames_skipped: int = 0
+    text_invocations: int = 0
+    image_invocations: int = 0
+    outcomes: list = field(default_factory=list)
+
+    @property
+    def all_failures(self) -> list:
+        return [f for r in self.frame_results for f in r.failures]
+
+
+class SessionRegistry:
+    """Thread-safe book-keeping of a service's live sessions."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sessions: dict = {}
+        self._ids = itertools.count(1)
+        self.total_opened = 0
+        self.peak_active = 0
+
+    def register(self, session: "WitnessSession") -> int:
+        with self._lock:
+            session_id = next(self._ids)
+            self._sessions[session_id] = session
+            self.total_opened += 1
+            self.peak_active = max(self.peak_active, len(self._sessions))
+            return session_id
+
+    def unregister(self, session: "WitnessSession") -> None:
+        with self._lock:
+            self._sessions.pop(session.id, None)
+
+    def active(self) -> list:
+        """The currently registered (not yet closed) sessions."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    @property
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __len__(self) -> int:
+        return self.active_count
+
+    def __iter__(self):
+        return iter(self.active())
+
+
+class WitnessService:
+    """A long-lived witness serving many guest machines concurrently.
+
+    Owns everything expensive exactly once — trained models, the sealed
+    signing key and certificate, the cross-session digest cache — and
+    vends :class:`WitnessSession` handles via :meth:`open_session`.
+
+    Provisioning (§III-A): pass a ``ca`` and the service generates
+    ``K_pri``, seals it to the measured trusted stack and has the CA
+    certify ``K_pub``.  Alternatively pass pre-provisioned
+    ``sealed_key``/``measured_state``/``certificate`` (the compat path).
+    """
+
+    def __init__(
+        self,
+        ca: CertificateAuthority | None = None,
+        config: WitnessConfig | None = None,
+        *,
+        text_model=None,
+        image_model=None,
+        sealed_key: SealedSigningKey | None = None,
+        measured_state: MeasuredState | None = None,
+        certificate=None,
+        subject: str | None = None,
+    ) -> None:
+        self.config = config or WitnessConfig()
+        self.ca = ca
+
+        if text_model is None or image_model is None:
+            # The zoo memoizes per process: a second service never retrains.
+            from repro.nn.zoo import get_image_model, get_text_model
+
+            text_model = text_model or get_text_model(self.config.text_model_variant)
+            image_model = image_model or get_image_model()
+        self.text_model = text_model
+        self.image_model = image_model
+
+        if measured_state is None:
+            measured_state = MeasuredState.measure(dict(TRUSTED_STACK))
+        if sealed_key is None or certificate is None:
+            if ca is None:
+                raise ValueError(
+                    "provisioning a WitnessService needs either a CertificateAuthority "
+                    "or a pre-provisioned sealed_key + certificate"
+                )
+            key = generate_signing_key()
+            sealed_key = SealedSigningKey(key, measured_state)
+            certificate = ca.issue(subject or self.config.subject, key.public_key())
+        self.measured_state = measured_state
+        self.sealed_key = sealed_key
+        self.certificate = certificate
+        self.submission = SubmissionValidator(sealed_key, measured_state, certificate)
+
+        self.shared_cache: DigestCache | None = (
+            DigestCache(self.config.cache_entries) if self.config.caching else None
+        )
+        self.registry = SessionRegistry()
+        self._hooks: dict = {"frame": [], "violation": [], "decision": []}
+
+    # -- observability hooks ----------------------------------------------
+
+    def on_frame(self, callback):
+        """Register ``callback(session, outcome)`` for every sampled frame."""
+        self._hooks["frame"].append(callback)
+        return callback
+
+    def on_violation(self, callback):
+        """Register ``callback(session, violation)``, fired for every
+        violation a frame records (after that frame's bookkeeping)."""
+        self._hooks["violation"].append(callback)
+        return callback
+
+    def on_decision(self, callback):
+        """Register ``callback(session, decision)`` fired at certification."""
+        self._hooks["decision"].append(callback)
+        return callback
+
+    # -- session vending ---------------------------------------------------
+
+    def open_session(
+        self,
+        machine: Machine,
+        *,
+        config: WitnessConfig | None = None,
+        sampler_seed: int | None = None,
+    ) -> "WitnessSession":
+        """Vend a session handle for one guest machine.
+
+        ``config`` overrides the service config for this session only;
+        ``sampler_seed`` overrides just the sampling seed.  When the
+        caller pins neither (service defaults), each session gets a
+        distinct derived seed (base + a large-stride session counter, so
+        it also stays clear of typical hand-pinned values) and therefore
+        a distinct sampling schedule.  A seed pinned via either argument
+        is honored verbatim.  Note the simulation's seeded RNG is
+        deterministic by design — schedule *unpredictability* against a
+        real co-located attacker is an OS-entropy concern, out of scope
+        here.
+        """
+        cfg = config or self.config
+        session = WitnessSession(self, machine, cfg, sampler_seed=sampler_seed)
+        session.id = self.registry.register(session)
+        if sampler_seed is None and config is None:
+            session.sampler_seed = cfg.sampler_seed + (session.id - 1) * _SEED_STRIDE
+        return session
+
+    def session_cache_views(self, cfg: WitnessConfig):
+        """(text, image) cache views for one session under ``cfg``.
+
+        Both views sit over the *same* shared store but in disjoint
+        namespaces, so a text-tile digest can never satisfy an
+        image-region lookup (and vice versa).
+        """
+        if not cfg.caching:
+            return None, None
+        base = self.shared_cache
+        if base is None:
+            base = DigestCache(cfg.cache_entries)
+        return base.scoped("text"), base.scoped("image")
+
+    @property
+    def active_sessions(self) -> int:
+        return self.registry.active_count
+
+    def _dispatch(self, kind: str, session: "WitnessSession", payload) -> None:
+        for callback in self._hooks[kind]:
+            callback(session, payload)
+        for callback in session._hooks[kind]:
+            callback(session, payload)
+
+
+class WitnessSession:
+    """One guest machine's witnessing lifecycle against a shared service.
+
+    Single-use: ``open -> begin_session -> (receive_hint | frames) ->
+    end_session -> closed``.  Usable as a context manager; leaving the
+    ``with`` block tears the session down even if it was never certified.
+    Not itself thread-safe — one session serves one guest — but any
+    number of sessions may run concurrently against one service.
+    """
+
+    def __init__(
+        self,
+        service: WitnessService,
+        machine: Machine,
+        config: WitnessConfig,
+        sampler_seed: int | None = None,
+    ) -> None:
+        self.service = service
+        self.machine = machine
+        self.config = config
+        self.sampler_seed = config.sampler_seed if sampler_seed is None else sampler_seed
+        self.id = 0  # assigned by the registry at open time
+        self.vspec: VSpec | None = None
+        self.report = SessionReport()
+        self._hooks: dict = {"frame": [], "violation": [], "decision": []}
+        self._state = "open"  # open -> witnessing -> ended | closed
+        self._sampler: ScreenshotSampler | None = None
+        self._display: DisplayValidator | None = None
+        self._tracker: InteractionTracker | None = None
+        self._text_verifier: TextVerifier | None = None
+        self._image_verifier: ImageVerifier | None = None
+        self._diff: DifferentialDetector | None = None
+        self._last_sample_ms = 0.0
+        self._last_offset = 0
+        self._observing = False
+        self._tracker_violations_seen = 0
+        self._clean_start_pending = False
+
+    # -- hooks (per-session; service-level hooks also fire) ----------------
+
+    def on_frame(self, callback):
+        self._hooks["frame"].append(callback)
+        return callback
+
+    def on_violation(self, callback):
+        self._hooks["violation"].append(callback)
+        return callback
+
+    def on_decision(self, callback):
+        self._hooks["decision"].append(callback)
+        return callback
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "WitnessSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- extension-facing API (the three APIs of §IV-A) --------------------
+
+    def begin_session(self, vspec: VSpec) -> None:
+        """Start witnessing (the ``vWitness_begin`` API)."""
+        if self._state == "witnessing":
+            raise RuntimeError("a session is already active")
+        if self._state in ("ended", "closed"):
+            raise RuntimeError(
+                f"this session handle is {self._state}; open a new session from the service"
+            )
+        t0 = time.perf_counter()
+        self._state = "witnessing"
+        self.vspec = vspec
+        self.report = SessionReport()
+        text_cache, image_cache = self.service.session_cache_views(self.config)
+        self._text_verifier = TextVerifier(
+            self.service.text_model, batched=self.config.batched, cache=text_cache
+        )
+        self._image_verifier = ImageVerifier(
+            self.service.image_model, batched=self.config.batched, cache=image_cache
+        )
+        self._display = DisplayValidator(
+            vspec,
+            self._text_verifier,
+            self._image_verifier,
+            pof_style=self.config.pof_style,
+            check_background=self.config.check_background,
+        )
+        self._tracker = InteractionTracker(
+            vspec, self.machine, self._text_verifier, self._image_verifier
+        )
+        self._tracker_violations_seen = 0
+        self._diff = DifferentialDetector() if self.config.caching else None
+        now = self.machine.clock.now()
+        self._last_sample_ms = now
+        self._sampler = ScreenshotSampler(
+            now, seed=self.sampler_seed, periodic=self.config.periodic_sampling
+        )
+        if not self._observing:
+            self.machine.clock.add_observer(self._on_clock)
+            self._observing = True
+        self.report.timing.t_init = time.perf_counter() - t0
+        # Clean-start checks (§V-A): sample immediately — the viewport must
+        # be at the top and all inputs in their initial (empty) state.  The
+        # check runs inside the sampling pipeline so frame 0's FrameOutcome
+        # already carries any clean-start violation when hooks see it.
+        self._clean_start_pending = True
+        self._process_sample(now)
+
+    begin = begin_session
+
+    def receive_hint(self, hint) -> None:
+        """Queue an input hint and sample the display immediately.
+
+        Hints arrive through an explicit API call, so vWitness reacts by
+        taking an event-driven sample on top of the random schedule: the
+        POF and the hinted value are verified against the display at the
+        moment of the hint.  Extra samples only add observations — the
+        random schedule (the TOCTOU defense) is unaffected.
+        """
+        if self._state != "witnessing" or self._tracker is None:
+            raise RuntimeError("no active session")
+        self._tracker.receive_hint(hint)
+        self._process_sample(self.machine.clock.now())
+
+    def end_session(self, request_body: dict) -> CertificationDecision:
+        """Validate the submission and certify (the ``vWitness_end`` API)."""
+        if self._state in ("ended", "closed"):
+            raise RuntimeError(
+                f"session already {self._state}: end_session may run once per session; "
+                "open a new session from the service"
+            )
+        if self._state != "witnessing" or self.vspec is None:
+            raise RuntimeError("no active session")
+        # Final sample: whatever is on screen at submission time counts.
+        self._process_sample(self.machine.clock.now())
+        t0 = time.perf_counter()
+        decision = self.service.submission.certify(
+            self.vspec,
+            request_body,
+            dict(self._tracker.tracked),
+            self.report.violations + self._tracker.violations,
+            self.report.display_ok,
+        )
+        self.report.timing.t_request = time.perf_counter() - t0
+        self.service._dispatch("decision", self, decision)
+        self.close(ended=True)
+        return decision
+
+    end = end_session
+
+    def close(self, ended: bool = False) -> None:
+        """Tear the session down: detach, unregister, drop per-guest state.
+
+        Idempotent; called automatically by ``end_session`` and on
+        ``with``-block exit.  Dropping the sampler/tracker/display
+        references here is deliberate teardown hygiene: a closed handle
+        must not keep stale verifier state (or the guest machine's frame
+        pipeline) alive, and any further API call fails loudly.
+        """
+        if self._state == "closed" or (self._state == "ended" and not ended):
+            return
+        if self._observing:
+            self.machine.clock.remove_observer(self._on_clock)
+            self._observing = False
+        self.service.registry.unregister(self)
+        self._state = "ended" if ended else "closed"
+        self.vspec = None
+        self._sampler = None
+        self._display = None
+        self._tracker = None
+        self._text_verifier = None
+        self._image_verifier = None
+        self._diff = None
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def active(self) -> bool:
+        return self._state == "witnessing"
+
+    @property
+    def tracked_inputs(self) -> dict:
+        if self._tracker is None:
+            raise RuntimeError("no active session")
+        return dict(self._tracker.tracked)
+
+    # -- sampling ----------------------------------------------------------
+
+    def _on_clock(self, now_ms: float) -> None:
+        if self._sampler is None:
+            return
+        if self._sampler.due(now_ms):
+            self._process_sample(now_ms)
+
+    def _record_violation(self, violation: Violation) -> None:
+        self.report.violations.append(violation)
+
+    def _sync_tracker_violations(self) -> list:
+        """Tracker violations recorded since the last sync."""
+        if self._tracker is None:
+            return []
+        fresh = self._tracker.violations[self._tracker_violations_seen :]
+        self._tracker_violations_seen = len(self._tracker.violations)
+        return fresh
+
+    def _process_sample(self, now_ms: float) -> DisplayResult:
+        """One sampled frame through the full validation pipeline."""
+        assert self._display is not None and self._tracker is not None
+        t0 = time.perf_counter()
+        violations_before = len(self.report.violations)
+        frame = self.machine.sample_framebuffer()
+        pixels = frame.pixels
+
+        changed = self._diff.changed(pixels) if self._diff is not None else None
+        nothing_changed = changed is not None and len(changed) == 0
+
+        if nothing_changed and not self._tracker.has_pending:
+            # Frame-cache fast path: identical frame, nothing pending.
+            result = DisplayResult(ok=True, offset_y=self._last_offset, skipped_unchanged=True)
+            self.report.frames_skipped += 1
+        else:
+            try:
+                offset, score = self._display.locate_viewport(pixels)
+            except ValueError as exc:
+                # Viewport failure subsumes the clean-start offset check.
+                self._clean_start_pending = False
+                result = DisplayResult(ok=False)
+                self.report.display_ok = False
+                self._record_violation(Violation("viewport", str(exc)))
+                self._finish_frame(result, now_ms, t0, violations_before)
+                return result
+            input_rects_frame = [
+                Rect(e.rect.x, e.rect.y - offset, e.rect.w, e.rect.h)
+                for e in self.vspec.input_entries()
+                if e.rect.y2 - offset > 0 and e.rect.y - offset < pixels.shape[0]
+            ]
+            pof_obs = extract_pofs(pixels, self.config.pof_style, input_rects=input_rects_frame)
+            if pof_obs.present:
+                for violation in check_pof_consistency(pof_obs, input_rects_frame):
+                    self._record_violation(Violation("pof-consistency", violation))
+            self._tracker.on_frame(
+                pixels, offset, pof_obs, self._last_sample_ms, now_ms
+            )
+            result = self._display.validate(
+                pixels,
+                tracked_inputs=self._tracker.tracked,
+                pof_obs=pof_obs,
+                changed_rects=changed,
+                viewport=(offset, score),
+            )
+            self._last_offset = result.offset_y
+            if not result.ok:
+                self.report.display_ok = False
+
+        if self._clean_start_pending:
+            self._clean_start_pending = False
+            if result.offset_y != 0:
+                self.report.display_ok = False
+                self._record_violation(
+                    Violation(
+                        "clean-start",
+                        f"session began with viewport at offset {result.offset_y}",
+                    )
+                )
+
+        self._finish_frame(result, now_ms, t0, violations_before)
+        return result
+
+    def _finish_frame(
+        self, result: DisplayResult, now_ms: float, t0: float, violations_before: int
+    ) -> None:
+        elapsed = time.perf_counter() - t0
+        self.report.frame_results.append(result)
+        self.report.frames_sampled += 1
+        self.report.timing.frame_times.append(elapsed)
+        self.report.timing.frame_sample_times_ms.append(now_ms)
+        if self._text_verifier is not None:
+            self.report.text_invocations = self._text_verifier.invocations
+        if self._image_verifier is not None:
+            self.report.image_invocations = self._image_verifier.invocations
+        self._last_sample_ms = now_ms
+        if self._sampler is not None:
+            self._sampler.schedule_next(now_ms)
+        new_violations = tuple(self.report.violations[violations_before:])
+        new_violations += tuple(self._sync_tracker_violations())
+        outcome = FrameOutcome(
+            index=self.report.frames_sampled - 1,
+            sampled_at_ms=now_ms,
+            elapsed_seconds=elapsed,
+            ok=result.ok,
+            offset_y=result.offset_y,
+            skipped_unchanged=result.skipped_unchanged,
+            failures=tuple(result.failures),
+            new_violations=new_violations,
+        )
+        self.report.outcomes.append(outcome)
+        # All hook dispatch happens last, after the frame's report/sampler
+        # bookkeeping is consistent: a raising hook propagates to whoever
+        # drove the clock, but never leaves a half-recorded frame behind.
+        for violation in new_violations:
+            self.service._dispatch("violation", self, violation)
+        self.service._dispatch("frame", self, outcome)

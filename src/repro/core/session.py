@@ -1,50 +1,31 @@
-"""The vWitness session orchestrator (paper §III-B workflow).
+"""Backward-compat single-session witness API (paper §III-B workflow).
 
-``VWitness`` wires the sampler, POF extractor, display validator,
-interaction tracker and submission validator behind the three extension
-APIs (``begin_session`` / ``receive_hint`` / ``end_session``).  It
-registers itself as a clock observer, so sampling happens whenever the
-virtual clock passes a scheduled instant — asynchronously to, and
-invisible from, guest activity.
+The orchestration engine lives in :mod:`repro.core.service` now:
+:class:`~repro.core.service.WitnessService` owns the heavyweight
+resources and vends per-guest :class:`~repro.core.service.WitnessSession`
+handles.  This module keeps the original single-session surface —
+``VWitness`` and ``install_vwitness`` — as thin shims so every
+pre-existing call site works unchanged: a ``VWitness`` is a dedicated
+one-machine service plus the session handle currently open on it.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-from repro.core.caches import DifferentialDetector, DigestCache
-from repro.core.display import DisplayResult, DisplayValidator
-from repro.core.interaction import InteractionTracker, Violation
-from repro.core.pof import check_pof_consistency, extract_pofs
-from repro.core.sampler import ScreenshotSampler
-from repro.core.submission import CertificationDecision, SubmissionValidator
-from repro.core.timing import SessionTiming
-from repro.core.verifiers import ImageVerifier, TextVerifier
+from repro.core.service import (
+    SessionReport,
+    TRUSTED_STACK,
+    WitnessConfig,
+    WitnessService,
+    WitnessSession,
+)
+from repro.core.submission import CertificationDecision
 from repro.crypto.ca import CertificateAuthority
 from repro.crypto.keys import MeasuredState, SealedSigningKey, generate_signing_key
-from repro.vision.components import Rect
 from repro.vspec.spec import VSpec
 from repro.web.hypervisor import Machine
 from repro.web.render import DEFAULT_POF, POFStyle
 
-
-@dataclass
-class SessionReport:
-    """Everything a session recorded (exposed for tests and benches)."""
-
-    display_ok: bool = True
-    frame_results: list = field(default_factory=list)
-    violations: list = field(default_factory=list)
-    timing: SessionTiming = field(default_factory=SessionTiming)
-    frames_sampled: int = 0
-    frames_skipped: int = 0
-    text_invocations: int = 0
-    image_invocations: int = 0
-
-    @property
-    def all_failures(self) -> list:
-        return [f for r in self.frame_results for f in r.failures]
+__all__ = ["SessionReport", "VWitness", "install_vwitness"]
 
 
 def install_vwitness(machine: Machine, ca: CertificateAuthority, subject: str = "client-1", **kwargs) -> "VWitness":
@@ -53,14 +34,7 @@ def install_vwitness(machine: Machine, ca: CertificateAuthority, subject: str = 
     Generates ``K_pri``, seals it to the measured trusted stack, and has
     the CA certify ``K_pub``.
     """
-    state = MeasuredState.measure(
-        {
-            "hypervisor": b"xen-4.17-analogue",
-            "vwitness-core": b"repro.core-v1",
-            "text-model": b"text-verifier-weights",
-            "image-model": b"image-verifier-weights",
-        }
-    )
+    state = MeasuredState.measure(dict(TRUSTED_STACK))
     key = generate_signing_key()
     sealed = SealedSigningKey(key, state)
     certificate = ca.issue(subject, key.public_key())
@@ -68,7 +42,13 @@ def install_vwitness(machine: Machine, ca: CertificateAuthority, subject: str = 
 
 
 class VWitness:
-    """The trusted witness component running in dom0."""
+    """The trusted witness component running in dom0 (compat shim).
+
+    Delegates to a private single-machine :class:`WitnessService`; the
+    kwargs of the historical constructor map onto a
+    :class:`WitnessConfig`.  New code should use the service API
+    directly — it shares models, key material and caches across guests.
+    """
 
     def __init__(
         self,
@@ -85,178 +65,93 @@ class VWitness:
         pof_style: POFStyle = DEFAULT_POF,
         check_background: bool = True,
     ) -> None:
+        config = WitnessConfig(
+            batched=batched,
+            caching=caching,
+            sampler_seed=sampler_seed,
+            periodic_sampling=periodic_sampling,
+            pof_style=pof_style,
+            check_background=check_background,
+        )
         self.machine = machine
-        self.submission = SubmissionValidator(sealed_key, measured_state, certificate)
-        if text_model is None or image_model is None:
-            from repro.nn.zoo import get_image_model, get_text_model  # lazy: trains on first use
+        self.service = WitnessService(
+            config=config,
+            text_model=text_model,
+            image_model=image_model,
+            sealed_key=sealed_key,
+            measured_state=measured_state,
+            certificate=certificate,
+        )
+        self._session: WitnessSession | None = None
+        self._last_report = SessionReport()
 
-            text_model = text_model or get_text_model("base")
-            image_model = image_model or get_image_model()
-        self.text_model = text_model
-        self.image_model = image_model
-        self.batched = batched
-        self.caching = caching
-        self.sampler_seed = sampler_seed
-        self.periodic_sampling = periodic_sampling
-        self.pof_style = pof_style
-        self.check_background = check_background
+    # -- compat attribute surface ------------------------------------------
 
-        self.vspec: VSpec | None = None
-        self.report = SessionReport()
-        self._sampler: ScreenshotSampler | None = None
-        self._display: DisplayValidator | None = None
-        self._tracker: InteractionTracker | None = None
-        self._text_verifier: TextVerifier | None = None
-        self._image_verifier: ImageVerifier | None = None
-        self._diff: DifferentialDetector | None = None
-        self._last_sample_ms = 0.0
-        self._last_offset = 0
-        self._observing = False
+    @property
+    def submission(self):
+        return self.service.submission
+
+    @property
+    def text_model(self):
+        return self.service.text_model
+
+    @property
+    def image_model(self):
+        return self.service.image_model
+
+    @property
+    def vspec(self) -> VSpec | None:
+        return self._session.vspec if self._session is not None else None
+
+    @property
+    def report(self) -> SessionReport:
+        """The active session's report, or the last ended session's."""
+        if self._session is not None:
+            return self._session.report
+        return self._last_report
 
     # -- extension-facing API ------------------------------------------------
 
     def begin_session(self, vspec: VSpec) -> None:
         """Start witnessing (the ``vWitness_begin`` API)."""
-        if self.vspec is not None:
+        if self._session is not None and self._session.active:
             raise RuntimeError("a session is already active")
-        t0 = time.perf_counter()
-        self.vspec = vspec
-        self.report = SessionReport()
-        cache = DigestCache() if self.caching else None
-        self._text_verifier = TextVerifier(self.text_model, batched=self.batched, cache=cache)
-        self._image_verifier = ImageVerifier(self.image_model, batched=self.batched, cache=cache)
-        self._display = DisplayValidator(
-            vspec,
-            self._text_verifier,
-            self._image_verifier,
-            pof_style=self.pof_style,
-            check_background=self.check_background,
+        # Pin the configured seed: every session of one VWitness samples on
+        # the same schedule, exactly like the historical single-session API.
+        self._session = self.service.open_session(
+            self.machine, sampler_seed=self.service.config.sampler_seed
         )
-        self._tracker = InteractionTracker(vspec, self.machine, self._text_verifier, self._image_verifier)
-        self._diff = DifferentialDetector() if self.caching else None
-        now = self.machine.clock.now()
-        self._last_sample_ms = now
-        self._sampler = ScreenshotSampler(now, seed=self.sampler_seed, periodic=self.periodic_sampling)
-        if not self._observing:
-            self.machine.clock.add_observer(self._on_clock)
-            self._observing = True
-        self.report.timing.t_init = time.perf_counter() - t0
-        # Clean-start checks (§V-A): sample immediately — the viewport must
-        # be at the top and all inputs in their initial (empty) state.
-        first = self._process_sample(now)
-        if first.offset_y != 0:
-            self.report.display_ok = False
-            self.report.violations.append(
-                Violation("clean-start", f"session began with viewport at offset {first.offset_y}")
-            )
+        self._session.begin_session(vspec)
 
     def receive_hint(self, hint) -> None:
-        """Queue an input hint and sample the display immediately.
-
-        Hints arrive through an explicit API call, so vWitness reacts by
-        taking an event-driven sample on top of the random schedule: the
-        POF and the hinted value are verified against the display at the
-        moment of the hint.  Extra samples only add observations — the
-        random schedule (the TOCTOU defense) is unaffected.
-        """
-        if self._tracker is None:
+        """Queue an input hint and sample the display immediately."""
+        if self._session is None or not self._session.active:
             raise RuntimeError("no active session")
-        self._tracker.receive_hint(hint)
-        self._process_sample(self.machine.clock.now())
+        self._session.receive_hint(hint)
 
     def end_session(self, request_body: dict) -> CertificationDecision:
-        """Validate the submission and certify (the ``vWitness_end`` API)."""
-        if self.vspec is None or self._tracker is None or self._sampler is None:
-            raise RuntimeError("no active session")
-        # Final sample: whatever is on screen at submission time counts.
-        self._process_sample(self.machine.clock.now())
-        t0 = time.perf_counter()
-        decision = self.submission.certify(
-            self.vspec,
-            request_body,
-            dict(self._tracker.tracked),
-            self.report.violations + self._tracker.violations,
-            self.report.display_ok,
-        )
-        self.report.timing.t_request = time.perf_counter() - t0
-        self.machine.clock.remove_observer(self._on_clock)
-        self._observing = False
-        self.vspec = None
+        """Validate the submission and certify (the ``vWitness_end`` API).
+
+        Teardown hygiene: the per-session sampler/tracker/display state is
+        dropped with the session handle, so a second ``end_session`` (or a
+        late ``receive_hint``) fails loudly instead of re-certifying stale
+        state.
+        """
+        if self._session is None:
+            raise RuntimeError(
+                "no active session: end_session may only follow begin_session"
+            )
+        session = self._session
+        try:
+            decision = session.end_session(request_body)
+        finally:
+            if not session.active:
+                self._last_report = session.report
+                self._session = None
         return decision
 
     @property
     def tracked_inputs(self) -> dict:
-        if self._tracker is None:
+        if self._session is None:
             raise RuntimeError("no active session")
-        return dict(self._tracker.tracked)
-
-    # -- sampling ----------------------------------------------------------------
-
-    def _on_clock(self, now_ms: float) -> None:
-        if self._sampler is None:
-            return
-        if self._sampler.due(now_ms):
-            self._process_sample(now_ms)
-
-    def _process_sample(self, now_ms: float) -> DisplayResult:
-        """One sampled frame through the full validation pipeline."""
-        assert self._display is not None and self._tracker is not None
-        t0 = time.perf_counter()
-        frame = self.machine.sample_framebuffer()
-        pixels = frame.pixels
-
-        changed = self._diff.changed(pixels) if self._diff is not None else None
-        nothing_changed = changed is not None and len(changed) == 0
-
-        if nothing_changed and not self._tracker.has_pending:
-            # Frame-cache fast path: identical frame, nothing pending.
-            result = DisplayResult(ok=True, offset_y=self._last_offset, skipped_unchanged=True)
-            self.report.frames_skipped += 1
-        else:
-            try:
-                offset, score = self._display.locate_viewport(pixels)
-            except ValueError as exc:
-                result = DisplayResult(ok=False)
-                self.report.display_ok = False
-                self.report.violations.append(Violation("viewport", str(exc)))
-                self._finish_frame(result, now_ms, t0)
-                return result
-            input_rects_frame = [
-                Rect(e.rect.x, e.rect.y - offset, e.rect.w, e.rect.h)
-                for e in self.vspec.input_entries()
-                if e.rect.y2 - offset > 0 and e.rect.y - offset < pixels.shape[0]
-            ]
-            pof_obs = extract_pofs(pixels, self.pof_style, input_rects=input_rects_frame)
-            if pof_obs.present:
-                for violation in check_pof_consistency(pof_obs, input_rects_frame):
-                    self.report.violations.append(Violation("pof-consistency", violation))
-            self._tracker.on_frame(
-                pixels, offset, pof_obs, self._last_sample_ms, now_ms
-            )
-            result = self._display.validate(
-                pixels,
-                tracked_inputs=self._tracker.tracked,
-                pof_obs=pof_obs,
-                changed_rects=changed,
-                viewport=(offset, score),
-            )
-            self._last_offset = result.offset_y
-            if not result.ok:
-                self.report.display_ok = False
-
-        self._finish_frame(result, now_ms, t0)
-        return result
-
-    def _finish_frame(self, result: DisplayResult, now_ms: float, t0: float) -> None:
-        elapsed = time.perf_counter() - t0
-        self.report.frame_results.append(result)
-        self.report.frames_sampled += 1
-        self.report.timing.frame_times.append(elapsed)
-        self.report.timing.frame_sample_times_ms.append(now_ms)
-        if self._text_verifier is not None:
-            self.report.text_invocations = self._text_verifier.invocations
-        if self._image_verifier is not None:
-            self.report.image_invocations = self._image_verifier.invocations
-        self._last_sample_ms = now_ms
-        if self._sampler is not None:
-            self._sampler.schedule_next(now_ms)
+        return self._session.tracked_inputs

@@ -9,6 +9,8 @@ and a dense head over the concatenated features producing one match logit.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.nn.layers import Layer
@@ -86,6 +88,10 @@ class MatcherModel:
         self.threshold = threshold
         self._obs_features: np.ndarray | None = None
         self._exp_features: np.ndarray | None = None
+        # Layers cache forward activations for backward, so a forward pass
+        # mutates shared state; concurrent inference on one (possibly
+        # zoo-memoized) model must serialize through this lock.
+        self.infer_lock = threading.Lock()
 
     # -- forward/backward --------------------------------------------------
 
@@ -119,7 +125,8 @@ class MatcherModel:
 
     def match_probability(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
         """P(observed is a benign rendering of expected), shape ``(N,)``."""
-        return sigmoid(self.forward(observed, expected)).reshape(-1)
+        with self.infer_lock:
+            return sigmoid(self.forward(observed, expected)).reshape(-1)
 
     def predict(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
         """Boolean match decision at the configured threshold."""
@@ -135,6 +142,7 @@ class MatcherModel:
         clone = MatcherModel(
             self.observed_branch, self.expected_branch, self.head, threshold=threshold
         )
+        clone.infer_lock = self.infer_lock  # shared branches, shared lock
         return clone
 
     # -- parameters ------------------------------------------------------------
@@ -182,6 +190,7 @@ class ChannelPairMatcher:
             raise ValueError(f"threshold must be in (0,1), got {threshold}")
         self.network = network
         self.threshold = threshold
+        self.infer_lock = threading.Lock()
 
     def forward(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
         if observed.shape != expected.shape:
@@ -196,14 +205,17 @@ class ChannelPairMatcher:
         return d_stacked[:, :1], d_stacked[:, 1:]
 
     def match_probability(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
-        return sigmoid(self.forward(observed, expected)).reshape(-1)
+        with self.infer_lock:
+            return sigmoid(self.forward(observed, expected)).reshape(-1)
 
     def predict(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
         return self.match_probability(observed, expected) >= self.threshold
 
     def with_threshold(self, threshold: float) -> "ChannelPairMatcher":
         """A parameter-sharing view with a different detection threshold."""
-        return ChannelPairMatcher(self.network, threshold=threshold)
+        clone = ChannelPairMatcher(self.network, threshold=threshold)
+        clone.infer_lock = self.infer_lock  # shared network, shared lock
+        return clone
 
     def params(self) -> dict:
         return self.network.params()

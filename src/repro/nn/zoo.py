@@ -22,6 +22,7 @@ image-base g2/g3 graphics matcher (icons + natural patches)
 from __future__ import annotations
 
 import os
+import threading
 
 import numpy as np
 
@@ -165,18 +166,61 @@ def _cache_path(name: str) -> str:
     return os.path.join(model_cache_dir(), f"{name}-{profile}.npz")
 
 
+# ---------------------------------------------------------------------------
+# Process-wide model registry
+# ---------------------------------------------------------------------------
+
+#: Memoized trained models, keyed by (model name, profile, cache dir).  The
+#: disk cache already avoids *retraining* across processes; this registry
+#: avoids re-*loading* (and, on a cold disk cache, re-training) within one
+#: process, so a second witness or service constructed anywhere reuses the
+#: exact same model objects.  The lock is held across load/train so that
+#: concurrent first requests for one model build it exactly once.
+_REGISTRY: dict = {}
+_REGISTRY_LOCK = threading.RLock()
+_REGISTRY_STATS = {"hits": 0, "loads": 0, "trains": 0}
+
+
+def model_registry_stats() -> dict:
+    """Snapshot of registry activity: ``hits``/``loads``/``trains``/``entries``.
+
+    ``trains`` counts from-scratch training runs; tests assert it stays
+    flat when a second service spins up against warm models.
+    """
+    with _REGISTRY_LOCK:
+        return dict(_REGISTRY_STATS, entries=len(_REGISTRY))
+
+
+def clear_model_registry() -> None:
+    """Drop memoized models (tests only; the disk cache is untouched)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()
+        _REGISTRY_STATS.update(hits=0, loads=0, trains=0)
+
+
 def _load_or_train(name: str, builder, trainer):
-    path = _cache_path(name)
-    model = builder()
-    if os.path.exists(path):
-        try:
-            return load_model(model, path)
-        except ValueError:
-            os.remove(path)  # stale architecture; retrain below
-            model = builder()
-    model = trainer(model)
-    save_model(model, path)
-    return model
+    key = (name, _profile()["name"], model_cache_dir())
+    with _REGISTRY_LOCK:
+        cached = _REGISTRY.get(key)
+        if cached is not None:
+            _REGISTRY_STATS["hits"] += 1
+            return cached
+        path = _cache_path(name)
+        model = builder()
+        if os.path.exists(path):
+            try:
+                model = load_model(model, path)
+                _REGISTRY_STATS["loads"] += 1
+                _REGISTRY[key] = model
+                return model
+            except ValueError:
+                os.remove(path)  # stale architecture; retrain below
+                model = builder()
+        model = trainer(model)
+        _REGISTRY_STATS["trains"] += 1
+        save_model(model, path)
+        _REGISTRY[key] = model
+        return model
 
 
 def get_text_model(variant: str = "base") -> MatcherModel:

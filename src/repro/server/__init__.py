@@ -7,12 +7,20 @@
   iframes, add ``maxlength``, warn on POF-overriding CSS and unsupported
   elements.
 * :mod:`repro.server.webserver` — VSPEC issuance with fresh session IDs
-  and certified-request verification (signature, VSPEC echo, freshness).
+  and certified-request verification (signature, VSPEC echo, freshness),
+  plus :class:`~repro.server.webserver.WitnessedSite`, the one-object
+  deployment coupling a web server with a
+  :class:`~repro.core.service.WitnessService`.
 """
 
 from repro.server.generate import build_vspec
 from repro.server.compat import CompatReport, apply_compat_fixes, check_compatibility
-from repro.server.webserver import VerificationResult, WebServer
+from repro.server.webserver import (
+    ClientConnection,
+    VerificationResult,
+    WebServer,
+    WitnessedSite,
+)
 
 __all__ = [
     "build_vspec",
@@ -20,5 +28,7 @@ __all__ = [
     "check_compatibility",
     "CompatReport",
     "WebServer",
+    "WitnessedSite",
+    "ClientConnection",
     "VerificationResult",
 ]

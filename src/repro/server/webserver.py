@@ -4,6 +4,12 @@ Implements the server side of the workflow (paper §III-B): serving VSPECs
 tailored to the client width with fresh session IDs, and — on receiving a
 certified request — verifying the certificate chain, the signature, the
 VSPEC echo and session freshness (replay defense).
+
+:class:`WitnessedSite` couples a :class:`WebServer` with a
+:class:`~repro.core.service.WitnessService`: one long-lived deployment
+that provisions the witness once and connects any number of concurrent
+guest clients, each getting its own machine, browser, extension and
+witness session handle.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import copy
 import secrets
 from dataclasses import dataclass
 
+from repro.core.service import WitnessConfig, WitnessService, WitnessSession
 from repro.crypto.ca import CertificateAuthority, CertificateError
 from repro.crypto.signing import CertifiedRequest, SignatureError, verify_request
 from repro.server.generate import build_vspec
@@ -115,3 +122,102 @@ class WebServer:
     def accept_uncertified(self, body: dict) -> VerificationResult:
         """What happens to a bare request: rejected for missing certification."""
         return VerificationResult(False, "request lacks vWitness certification")
+
+
+@dataclass
+class ClientConnection:
+    """One guest client wired into a :class:`WitnessedSite` deployment.
+
+    Every connection must end in :meth:`submit` or :meth:`close` —
+    otherwise its witness session stays registered with the long-lived
+    service forever.  Use it as a context manager to guarantee that.
+    """
+
+    machine: object
+    browser: object
+    extension: object
+    witness: WitnessSession
+    vspec: VSpec
+
+    def submit_body(self, **overrides) -> dict:
+        """The request body the page would build, plus ``overrides``."""
+        body = dict(self.browser.page.form_values())
+        body["session_id"] = self.vspec.session_id
+        body.update(overrides)
+        return body
+
+    def submit(self, body: dict | None = None, **overrides):
+        """End the witness session over ``body`` (default: the page's own)."""
+        return self.extension.end_session(
+            body if body is not None else self.submit_body(**overrides)
+        )
+
+    def close(self) -> None:
+        """Abandon the connection without certifying (idempotent)."""
+        self.witness.close()
+
+    def __enter__(self) -> "ClientConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class WitnessedSite:
+    """A protected deployment: one web server plus one witness service.
+
+    Owns the CA, the :class:`WebServer` and the
+    :class:`~repro.core.service.WitnessService` (provisioned once —
+    models, sealed key, certificate, shared cache) and vends fully wired
+    client connections via :meth:`connect`, so examples and benchmarks
+    need none of the machine/browser/extension boilerplate.
+    """
+
+    def __init__(
+        self,
+        ca: CertificateAuthority | None = None,
+        config: WitnessConfig | None = None,
+        *,
+        text_model=None,
+        image_model=None,
+    ) -> None:
+        self.ca = ca or CertificateAuthority()
+        self.server = WebServer(self.ca)
+        self.service = WitnessService(
+            self.ca, config, text_model=text_model, image_model=image_model
+        )
+
+    def register_page(self, page_id: str, page: Page, validation=None) -> None:
+        self.server.register_page(page_id, page, validation)
+
+    def connect(self, page_id: str, display=(640, 480), stack=None) -> ClientConnection:
+        """Wire up one guest client and begin its witnessed session.
+
+        End every connection with ``submit()`` or ``close()`` (or use it
+        as a context manager) so the service drops the session handle.
+        """
+        from repro.web.browser import Browser
+        from repro.web.extension import BrowserExtension
+        from repro.web.hypervisor import Machine
+
+        machine = Machine(*display)
+        kwargs = {"stack": stack} if stack is not None else {}
+        browser = Browser(machine, self.server.serve_page(page_id), **kwargs)
+        witness = self.service.open_session(machine)
+        try:
+            extension = BrowserExtension(browser, self.server, witness)
+            vspec = extension.acquire_vspecs(page_id)
+            browser.paint()
+            extension.begin_session()
+        except BaseException:
+            # Wiring failed mid-way (e.g. a raising frame-0 hook): the
+            # caller never gets a handle, so release the session here.
+            witness.close()
+            raise
+        return ClientConnection(machine, browser, extension, witness, vspec)
+
+    def verify(self, decision) -> VerificationResult:
+        """Server-side verification of a certified decision's request."""
+        if decision.request is None:
+            return VerificationResult(False, "request was not certified by the witness")
+        return self.server.verify(decision.request)
