@@ -38,13 +38,25 @@ from repro.web.user import HonestUser
 
 @dataclass
 class FirstFrameResult:
-    """One first-frame validation measurement."""
+    """One first-frame validation measurement (incl. plan-size stats)."""
 
     seed: int
     ok: bool
     seconds: float
     text_invocations: int
     image_invocations: int
+    plan_text_units: int = 0
+    plan_image_pairs: int = 0
+    text_forwards: int = 0
+    image_forwards: int = 0
+
+    @property
+    def plan_units(self) -> int:
+        return self.plan_text_units + self.plan_image_pairs
+
+    @property
+    def forwards(self) -> int:
+        return self.text_forwards + self.image_forwards
 
 
 def jotform_first_frame(seed: int, text_model, image_model, batched: bool) -> FirstFrameResult:
@@ -69,6 +81,10 @@ def jotform_first_frame(seed: int, text_model, image_model, batched: bool) -> Fi
         seconds=seconds,
         text_invocations=result.text_invocations,
         image_invocations=result.image_invocations,
+        plan_text_units=result.plan_text_units,
+        plan_image_pairs=result.plan_image_pairs,
+        text_forwards=result.text_forwards,
+        image_forwards=result.image_forwards,
     )
 
 

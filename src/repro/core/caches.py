@@ -6,6 +6,12 @@ with differential detection (only re-validating regions that changed
 between consecutive screenshots), they are what makes subsequent-frame
 validation an order of magnitude cheaper than the first frame
 (Table VIII vs Table IX).
+
+:class:`DigestCache` is a thread-safe LRU: a ``get`` hit refreshes the
+entry's recency and, at capacity, the least-recently-used entry is
+evicted — a shared cross-session cache under pressure keeps the verdicts
+sessions actually re-ask for.  ``None`` is reserved as the miss signal
+and cannot be stored.
 """
 
 from __future__ import annotations
@@ -18,20 +24,40 @@ from repro.vision.diff import changed_regions
 from repro.vision.hashing import region_digest
 
 
+#: Internal miss marker: distinguishes "key absent" from any stored value
+#: in a single dict lookup, so hit/miss statistics and return semantics
+#: can never disagree (``None`` is additionally rejected at ``put`` time,
+#: because a ``None`` return is the public miss signal).
+_MISSING = object()
+
+
 class DigestCache:
-    """A dict-backed digest->verdict cache with hit/miss statistics.
+    """A dict-backed digest->verdict LRU cache with hit/miss statistics.
 
     Thread-safe: one cache may be shared across every session of a
     :class:`repro.core.service.WitnessService`.  Verifiers of different
     kinds must not share a flat key space (a text-tile digest must never
     satisfy an image-region lookup), so consumers take a namespaced view
     via :meth:`scoped` rather than writing raw keys.
+
+    Semantics:
+
+    * ``get`` returns the stored value, or ``None`` on a miss; every call
+      counts exactly one hit or one miss.  ``None`` is therefore not a
+      storable value — ``put(key, None)`` raises instead of silently
+      creating an entry that reads back as a miss while counting a hit.
+    * Eviction is least-recently-used: a ``get`` hit refreshes recency,
+      and at capacity the coldest entry is dropped — hot cross-session
+      entries survive pressure.  Overwriting an existing key never
+      evicts (the store does not grow).
     """
 
     def __init__(self, max_entries: int = 100_000) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
+        # dicts iterate in insertion order; recency is maintained by
+        # re-inserting on every hit, so the first key is always the LRU.
         self._store: dict = {}
         self._lock = threading.Lock()
         self.hits = 0
@@ -39,18 +65,24 @@ class DigestCache:
 
     def get(self, key: str):
         with self._lock:
-            value = self._store.get(key)
-            if value is None and key not in self._store:
+            value = self._store.pop(key, _MISSING)
+            if value is _MISSING:
                 self.misses += 1
                 return None
+            self._store[key] = value  # re-insert: most recently used
             self.hits += 1
             return value
 
     def put(self, key: str, value) -> None:
+        if value is None:
+            raise ValueError(
+                "DigestCache cannot store None: it is indistinguishable from a miss"
+            )
         with self._lock:
-            if len(self._store) >= self.max_entries:
-                # Drop the oldest entry (insertion order) — a simple FIFO cap.
-                self._store.pop(next(iter(self._store)))
+            if key in self._store:
+                self._store.pop(key)  # overwrite: refresh recency, no eviction
+            elif len(self._store) >= self.max_entries:
+                self._store.pop(next(iter(self._store)))  # evict the LRU entry
             self._store[key] = value
 
     def scoped(self, namespace: str) -> "ScopedDigestCache":

@@ -6,6 +6,18 @@ UI elements within the view port, (3) validate each element's rendering
 with the CNN verifiers.  Regions with no elements must match the page
 background.  Stateful inputs are validated against the appearance of the
 currently *tracked* state, and POF pixels are subtracted first.
+
+Step (3) is two-phase.  A **collect** pass walks the whole manifest and
+funnels every CNN unit input of the frame — glyph tiles from all text
+entries, 32x32 observed/expected pairs from all image regions — into one
+:class:`~repro.core.verifiers.ValidationPlan`, recording a deferred
+failure emitter per entry (structural/chrome checks are plain numpy and
+resolve during collection).  An **execute** pass then runs the plan as a
+single vectorized forward per model kind (plus one batched round per
+alignment-retry ring) and the emitters scatter verdicts back into
+per-entry :class:`ElementFailure`\\ s, in manifest order.  Whether those
+forwards are vectorized or per-unit is the verifiers' ``batched`` flag;
+the verdicts are identical either way.
 """
 
 from __future__ import annotations
@@ -15,7 +27,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.pof import POFObservation, mask_pofs
-from repro.core.verifiers import ImageVerifier, TextVerifier, structural_match
+from repro.core.verifiers import (
+    ImageVerifier,
+    TextVerifier,
+    ValidationPlan,
+    structural_match,
+)
 from repro.raster.text import char_advance
 from repro.vision.components import Rect
 from repro.vision.match import best_vertical_offset
@@ -48,6 +65,14 @@ class DisplayResult:
     image_invocations: int = 0
     entries_checked: int = 0
     skipped_unchanged: bool = False
+    # Plan-size statistics (frame-level batching observability): how many
+    # unit inputs the collect phase gathered and how many model forward
+    # passes the execute phase actually ran for this frame.
+    plan_text_units: int = 0
+    plan_image_pairs: int = 0
+    text_retry_rounds: int = 0
+    text_forwards: int = 0
+    image_forwards: int = 0
 
 
 class DisplayValidator:
@@ -120,6 +145,8 @@ class DisplayValidator:
         tracked_inputs = tracked_inputs or {}
         t0_text = self.text_verifier.invocations
         t0_image = self.image_verifier.invocations
+        t0_text_fwd = self.text_verifier.forwards
+        t0_image_fwd = self.image_verifier.forwards
         result = DisplayResult(ok=True)
 
         offset, score = viewport if viewport is not None else self.locate_viewport(frame_pixels)
@@ -148,54 +175,81 @@ class DisplayValidator:
             if not changed_rects:
                 result.skipped_unchanged = True
 
+        # Phase 1 (collect): gather every unit input of the frame into one
+        # plan; each entry registers a deferred emitter that scatters the
+        # executed verdicts back into per-entry failures, in entry order.
+        plan = ValidationPlan()
+        deferred: list = []
         for entry in entries:
-            self._validate_entry(entry, clean, offset, viewport, tracked_inputs, result)
+            self._collect_entry(entry, clean, offset, viewport, tracked_inputs, plan, deferred)
         result.entries_checked = len(entries)
+
+        # Phase 2 (execute): one vectorized forward per model kind (plus
+        # batched alignment-retry rings), then scatter.
+        text_verdicts = self.text_verifier.execute_plan(plan)
+        image_verdicts = self.image_verifier.execute_plan(plan)
+        for emit in deferred:
+            emit(result, text_verdicts, image_verdicts)
 
         if self.check_background and changed_rects is None:
             self._validate_background(clean, offset, viewport, result)
 
+        result.plan_text_units = plan.text_unit_count
+        result.plan_image_pairs = plan.image_pair_count
+        result.text_retry_rounds = plan.text_retry_rounds
         result.text_invocations = self.text_verifier.invocations - t0_text
         result.image_invocations = self.image_verifier.invocations - t0_image
+        result.text_forwards = self.text_verifier.forwards - t0_text_fwd
+        result.image_forwards = self.image_verifier.forwards - t0_image_fwd
         return result
 
-    # -- per-entry dispatch ----------------------------------------------------
+    # -- per-entry collection --------------------------------------------------
 
-    def _validate_entry(
+    def _collect_entry(
         self,
         entry: ManifestEntry,
         frame_pixels: np.ndarray,
         offset: int,
         viewport: Rect,
         tracked_inputs: dict,
-        result: DisplayResult,
+        plan: ValidationPlan,
+        deferred: list,
     ) -> None:
+        """Queue one entry's unit inputs and its deferred failure emitter.
+
+        Structural (non-CNN) checks resolve immediately during collection;
+        their verdicts still emit through ``deferred`` so failures appear
+        in manifest-entry order regardless of check kind.
+        """
         if entry.kind == "text":
             # Only fully visible cells are judged; half-scrolled glyphs are
             # validated once the viewport settles (paper: everything the
             # user can *see* is checked — a clipped glyph is checked as
             # part of the next frame it is fully visible in).
             visible_cells = [c for c in entry.chars if viewport.contains(c.rect)]
-            verdicts = self.text_verifier.verify_cells(
+            cell_range = plan.add_cells(
                 frame_pixels, visible_cells, offset_x=0, offset_y=offset,
                 background=self.vspec.background,
             )
-            for cell, verdict in zip(visible_cells, verdicts):
-                if not verdict:
-                    result.ok = False
-                    result.failures.append(
-                        ElementFailure("text", cell.rect.as_tuple(), f"character {cell.char!r} mismatch")
-                    )
+            deferred.append(self._text_emitter(visible_cells, cell_range))
         elif entry.kind == "image":
             region = self._observed_region(frame_pixels, entry.rect, offset, viewport)
             if region is None:
                 return  # only partially visible; skip until fully shown
             expected = self.vspec.expected_region(entry.rect)
-            if not self.image_verifier.verify_region(region, expected, self.vspec.background):
-                result.ok = False
-                result.failures.append(
-                    ElementFailure(entry.kind, entry.rect.as_tuple(), "region mismatch")
-                )
+            if region.shape != expected.shape:
+                deferred.append(_fixed_failure(entry.kind, entry.rect, "region mismatch"))
+                return
+            group = plan.add_region(region, expected, self.vspec.background)
+
+            def emit_image(result, _text_verdicts, image_verdicts, entry=entry, group=group):
+                if not image_verdicts[group]:
+                    result.ok = False
+                    result.failures.append(
+                        ElementFailure(entry.kind, entry.rect.as_tuple(), "region mismatch")
+                    )
+
+            deferred.append(emit_image)
         elif entry.kind == "button":
             # Button chrome is UI structure, not content imagery; the label
             # text has its own text entry in the manifest.
@@ -204,18 +258,16 @@ class DisplayValidator:
                 return
             expected = self.vspec.expected_region(entry.rect)
             if not structural_match(region, expected):
-                result.ok = False
-                result.failures.append(
-                    ElementFailure(entry.kind, entry.rect.as_tuple(), "button chrome mismatch")
-                )
+                deferred.append(_fixed_failure(entry.kind, entry.rect, "button chrome mismatch"))
         elif entry.kind == "input":
-            self._validate_text_input(entry, frame_pixels, offset, viewport, tracked_inputs, result)
+            self._collect_text_input(
+                entry, frame_pixels, offset, viewport, tracked_inputs, plan, deferred
+            )
         elif entry.kind in ("checkbox", "radio", "select"):
             state = str(tracked_inputs.get(entry.input_name, entry.initial_value))
             if state not in entry.state_appearances:
-                result.ok = False
-                result.failures.append(
-                    ElementFailure(entry.kind, entry.rect.as_tuple(), f"no appearance for state {state!r}")
+                deferred.append(
+                    _fixed_failure(entry.kind, entry.rect, f"no appearance for state {state!r}")
                 )
                 return
             region = self._observed_region(frame_pixels, entry.rect, offset, viewport)
@@ -223,45 +275,65 @@ class DisplayValidator:
                 return
             expected = entry.state_appearances[state]
             if not structural_match(region, expected):
-                result.ok = False
-                result.failures.append(
-                    ElementFailure(
-                        entry.kind, entry.rect.as_tuple(), f"does not display state {state!r}"
-                    )
+                deferred.append(
+                    _fixed_failure(entry.kind, entry.rect, f"does not display state {state!r}")
                 )
                 return
             if entry.kind == "select":
                 # The selected option's text is dynamic content: verify the
                 # characters with the text model on top of the chrome match.
-                self._verify_select_text(entry, state, frame_pixels, offset, result)
+                self._collect_select_text(entry, state, frame_pixels, offset, plan, deferred)
         elif entry.kind in ("scroll-v", "scroll-h"):
-            self._validate_scrollable(entry, frame_pixels, offset, viewport, result)
+            self._collect_scrollable(entry, frame_pixels, offset, viewport, plan, deferred)
         else:  # pragma: no cover - manifest kinds are closed
             raise ValueError(f"unknown entry kind {entry.kind!r}")
 
-    def _verify_select_text(
-        self, entry: ManifestEntry, state: str, frame_pixels: np.ndarray, offset: int, result: DisplayResult
+    def _text_emitter(self, cells: list, cell_range: slice):
+        """Emitter for plain text cells: one failure per mismatched glyph."""
+
+        def emit(result, text_verdicts, _image_verdicts):
+            for cell, verdict in zip(cells, text_verdicts[cell_range]):
+                if not verdict:
+                    result.ok = False
+                    result.failures.append(
+                        ElementFailure("text", cell.rect.as_tuple(), f"character {cell.char!r} mismatch")
+                    )
+
+        return emit
+
+    def _collect_select_text(
+        self,
+        entry: ManifestEntry,
+        state: str,
+        frame_pixels: np.ndarray,
+        offset: int,
+        plan: ValidationPlan,
+        deferred: list,
     ) -> None:
-        """Verify the displayed option string of a select box (14px text)."""
+        """Queue the displayed option string of a select box (14px text)."""
         advance = char_advance(14)
         cells = [
             CharCell(entry.rect.x + 6 + i * advance, entry.rect.y + 8, advance, 14, ch)
             for i, ch in enumerate(state)
             if ch != " "
         ]
-        verdicts = self.text_verifier.verify_cells(
+        cell_range = plan.add_cells(
             frame_pixels, cells, offset_x=0, offset_y=offset, background=252.0
         )
-        for cell, verdict in zip(cells, verdicts):
-            if not verdict:
-                result.ok = False
-                result.failures.append(
-                    ElementFailure(
-                        "select",
-                        cell.rect.as_tuple(),
-                        f"{entry.input_name}: option char {cell.char!r} mismatch",
+
+        def emit(result, text_verdicts, _image_verdicts, entry=entry, cells=cells):
+            for cell, verdict in zip(cells, text_verdicts[cell_range]):
+                if not verdict:
+                    result.ok = False
+                    result.failures.append(
+                        ElementFailure(
+                            "select",
+                            cell.rect.as_tuple(),
+                            f"{entry.input_name}: option char {cell.char!r} mismatch",
+                        )
                     )
-                )
+
+        deferred.append(emit)
 
     def _observed_region(
         self, frame_pixels: np.ndarray, rect: Rect, offset: int, viewport: Rect
@@ -272,14 +344,15 @@ class DisplayValidator:
         fy = rect.y - offset
         return frame_pixels[fy : fy + rect.h, rect.x : rect.x2]
 
-    def _validate_text_input(
+    def _collect_text_input(
         self,
         entry: ManifestEntry,
         frame_pixels: np.ndarray,
         offset: int,
         viewport: Rect,
         tracked_inputs: dict,
-        result: DisplayResult,
+        plan: ValidationPlan,
+        deferred: list,
     ) -> None:
         """A free-text input must display exactly the tracked value."""
         if not viewport.contains(entry.rect):
@@ -294,49 +367,61 @@ class DisplayValidator:
             for i, ch in enumerate(value)
             if ch != " " and origin_x + (i + 1) * advance < box.x2
         ]
-        verdicts = self.text_verifier.verify_cells(
+        cell_range = plan.add_cells(
             frame_pixels, cells, offset_x=0, offset_y=offset, background=252.0
         )
-        for cell, verdict in zip(cells, verdicts):
-            if not verdict:
-                result.ok = False
-                result.failures.append(
-                    ElementFailure(
-                        "input",
-                        cell.rect.as_tuple(),
-                        f"{entry.input_name}: displayed char != tracked {cell.char!r}",
-                    )
-                )
         # Beyond the value, the field must be empty (no extra content).
+        # Plain pixel statistics — resolved at collect time.
+        tail_clean = True
         tail_x = origin_x + len(value) * advance + 2
         if tail_x < box.x2 - 2:
             fy0 = box.y - offset + 2
             tail = frame_pixels[fy0 : box.y2 - offset - 2, tail_x : box.x2 - 2]
             if tail.size and float(np.mean(tail < 200.0)) > 0.005:
+                tail_clean = False
+
+        def emit(result, text_verdicts, _image_verdicts, entry=entry, cells=cells):
+            for cell, verdict in zip(cells, text_verdicts[cell_range]):
+                if not verdict:
+                    result.ok = False
+                    result.failures.append(
+                        ElementFailure(
+                            "input",
+                            cell.rect.as_tuple(),
+                            f"{entry.input_name}: displayed char != tracked {cell.char!r}",
+                        )
+                    )
+            if not tail_clean:
                 result.ok = False
                 result.failures.append(
                     ElementFailure(
                         "input",
-                        box.as_tuple(),
+                        entry.rect.as_tuple(),
                         f"{entry.input_name}: unexpected content beyond tracked value",
                     )
                 )
 
-    def _validate_scrollable(
+        deferred.append(emit)
+
+    def _collect_scrollable(
         self,
         entry: ManifestEntry,
         frame_pixels: np.ndarray,
         offset: int,
         viewport: Rect,
-        result: DisplayResult,
+        plan: ValidationPlan,
+        deferred: list,
     ) -> None:
-        """Nested-VSPEC validation of an independently scrollable element."""
+        """Nested-VSPEC validation of an independently scrollable element.
+
+        The nested viewport search is structural (numpy) and resolves at
+        collect time; the visible list rows' glyph tiles join the frame
+        plan.  Nested tiles carry no alignment-retry hook — the nested
+        offset search already aligned the interior raster.
+        """
         nested = self.vspec.nested.get(entry.nested_id)
         if nested is None:
-            result.ok = False
-            result.failures.append(
-                ElementFailure(entry.kind, entry.rect.as_tuple(), "missing nested VSPEC")
-            )
+            deferred.append(_fixed_failure(entry.kind, entry.rect, "missing nested VSPEC"))
             return
         if not viewport.contains(entry.rect):
             return
@@ -349,19 +434,17 @@ class DisplayValidator:
         expected = nested.expected
         pad_w = expected.shape[1] - interior.shape[1]
         if pad_w < 0:
-            result.ok = False
-            result.failures.append(
-                ElementFailure(entry.kind, entry.rect.as_tuple(), "observed wider than nested spec")
+            deferred.append(
+                _fixed_failure(entry.kind, entry.rect, "observed wider than nested spec")
             )
             return
         # Align widths (border crop makes the interior 2px narrower).
         expected_view = expected[:, 1 : 1 + interior.shape[1]] if pad_w else expected
         match = best_vertical_offset(interior, expected_view, stride=2)
         if match.score < VIEWPORT_SCORE_FLOOR:
-            result.ok = False
-            result.failures.append(
-                ElementFailure(
-                    entry.kind, entry.rect.as_tuple(), f"nested viewport unmatched (score={match.score:.2f})"
+            deferred.append(
+                _fixed_failure(
+                    entry.kind, entry.rect, f"nested viewport unmatched (score={match.score:.2f})"
                 )
             )
             return
@@ -373,23 +456,24 @@ class DisplayValidator:
             adjusted = [
                 CharCell(c.x - 1, c.y, c.w, c.h, c.char) for c in cells
             ]  # interior crop removed the 1px border column
-            verdicts = self.text_verifier.verify_tiles(
-                [
-                    _nested_tile(interior, c, match.offset)
-                    for c in adjusted
-                ],
+            cell_range = plan.add_tiles(
+                [_nested_tile(interior, c, match.offset) for c in adjusted],
                 [c.char for c in adjusted],
             )
-            for cell, verdict in zip(adjusted, verdicts):
-                if not verdict:
-                    result.ok = False
-                    result.failures.append(
-                        ElementFailure(
-                            "scroll-text",
-                            cell.rect.as_tuple(),
-                            f"list row character {cell.char!r} mismatch",
+
+            def emit(result, text_verdicts, _image_verdicts, cells=adjusted, cell_range=cell_range):
+                for cell, verdict in zip(cells, text_verdicts[cell_range]):
+                    if not verdict:
+                        result.ok = False
+                        result.failures.append(
+                            ElementFailure(
+                                "scroll-text",
+                                cell.rect.as_tuple(),
+                                f"list row character {cell.char!r} mismatch",
+                            )
                         )
-                    )
+
+            deferred.append(emit)
 
     def _validate_background(
         self, frame_pixels: np.ndarray, offset: int, viewport: Rect, result: DisplayResult
@@ -417,6 +501,21 @@ class DisplayValidator:
                     f"{bad_fraction * 100:.2f}% of background pixels off-color",
                 )
             )
+
+
+def _fixed_failure(kind: str, rect: Rect, reason: str):
+    """A deferred emitter for a failure already decided at collect time.
+
+    Structural checks resolve during collection but still emit through the
+    deferred list, so failures keep manifest-entry order next to
+    CNN-verdict failures.
+    """
+
+    def emit(result, _text_verdicts, _image_verdicts):
+        result.ok = False
+        result.failures.append(ElementFailure(kind, rect.as_tuple(), reason))
+
+    return emit
 
 
 def _nested_tile(interior: np.ndarray, cell: CharCell, nested_offset: int) -> np.ndarray:

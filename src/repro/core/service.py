@@ -73,14 +73,27 @@ class WitnessConfig:
     """
 
     text_model_variant: str = "base"
+    #: Plan-level batching: with ``True`` each frame's collected
+    #: ValidationPlan executes as one vectorized forward per model kind
+    #: (the paper's GPU setup); with ``False`` every unit input is its own
+    #: forward (the CPU setup).  Verdicts are identical either way.
     batched: bool = False
     caching: bool = True
     cache_entries: int = 100_000
+    #: Upper bound on the per-forward batch in batched mode (bounds peak
+    #: activation memory for large plans); ``None`` disables chunking.
+    predict_chunk: int | None = 512
     sampler_seed: int = 0
     periodic_sampling: bool = False
     pof_style: POFStyle = DEFAULT_POF
     check_background: bool = True
     subject: str = "client-1"
+
+    def __post_init__(self) -> None:
+        if self.predict_chunk is not None and self.predict_chunk < 1:
+            raise ValueError(
+                f"predict_chunk must be None (unchunked) or >= 1, got {self.predict_chunk}"
+            )
 
     def replace(self, **overrides) -> "WitnessConfig":
         """A copy of this config with ``overrides`` applied."""
@@ -99,10 +112,28 @@ class FrameOutcome:
     skipped_unchanged: bool
     failures: tuple
     new_violations: tuple
+    # Plan-size statistics: unit inputs collected and model forwards run
+    # for this frame (zero for skipped-unchanged frames).  In batched mode
+    # forwards stay O(1) per model kind regardless of plan size.
+    plan_text_units: int = 0
+    plan_image_pairs: int = 0
+    text_retry_rounds: int = 0
+    text_forwards: int = 0
+    image_forwards: int = 0
 
     @property
     def clean(self) -> bool:
         return self.ok and not self.new_violations
+
+    @property
+    def plan_units(self) -> int:
+        """Total unit inputs the frame's validation plan collected."""
+        return self.plan_text_units + self.plan_image_pairs
+
+    @property
+    def forwards(self) -> int:
+        """Total model forward passes the frame's plan executed."""
+        return self.text_forwards + self.image_forwards
 
 
 @dataclass
@@ -117,11 +148,23 @@ class SessionReport:
     frames_skipped: int = 0
     text_invocations: int = 0
     image_invocations: int = 0
+    text_forwards: int = 0
+    image_forwards: int = 0
     outcomes: list = field(default_factory=list)
 
     @property
     def all_failures(self) -> list:
         return [f for r in self.frame_results for f in r.failures]
+
+    @property
+    def plan_text_units(self) -> int:
+        """Unit inputs collected by every frame's text plan, summed."""
+        return sum(r.plan_text_units for r in self.frame_results)
+
+    @property
+    def plan_image_pairs(self) -> int:
+        """Unit inputs collected by every frame's image plan, summed."""
+        return sum(r.plan_image_pairs for r in self.frame_results)
 
 
 class SessionRegistry:
@@ -370,10 +413,16 @@ class WitnessSession:
         self.report = SessionReport()
         text_cache, image_cache = self.service.session_cache_views(self.config)
         self._text_verifier = TextVerifier(
-            self.service.text_model, batched=self.config.batched, cache=text_cache
+            self.service.text_model,
+            batched=self.config.batched,
+            cache=text_cache,
+            chunk_size=self.config.predict_chunk,
         )
         self._image_verifier = ImageVerifier(
-            self.service.image_model, batched=self.config.batched, cache=image_cache
+            self.service.image_model,
+            batched=self.config.batched,
+            cache=image_cache,
+            chunk_size=self.config.predict_chunk,
         )
         self._display = DisplayValidator(
             vspec,
@@ -575,8 +624,10 @@ class WitnessSession:
         self.report.timing.frame_sample_times_ms.append(now_ms)
         if self._text_verifier is not None:
             self.report.text_invocations = self._text_verifier.invocations
+            self.report.text_forwards = self._text_verifier.forwards
         if self._image_verifier is not None:
             self.report.image_invocations = self._image_verifier.invocations
+            self.report.image_forwards = self._image_verifier.forwards
         self._last_sample_ms = now_ms
         if self._sampler is not None:
             self._sampler.schedule_next(now_ms)
@@ -591,6 +642,11 @@ class WitnessSession:
             skipped_unchanged=result.skipped_unchanged,
             failures=tuple(result.failures),
             new_violations=new_violations,
+            plan_text_units=result.plan_text_units,
+            plan_image_pairs=result.plan_image_pairs,
+            text_retry_rounds=result.text_retry_rounds,
+            text_forwards=result.text_forwards,
+            image_forwards=result.image_forwards,
         )
         self.report.outcomes.append(outcome)
         # All hook dispatch happens last, after the frame's report/sampler

@@ -46,7 +46,9 @@ class VWitness:
 
     Delegates to a private single-machine :class:`WitnessService`; the
     kwargs of the historical constructor map onto a
-    :class:`WitnessConfig`.  New code should use the service API
+    :class:`WitnessConfig`.  ``batched=True`` enables frame-level plan
+    batching (one vectorized forward per model kind per frame, chunked at
+    ``predict_chunk`` unit inputs).  New code should use the service API
     directly — it shares models, key material and caches across guests.
     """
 
@@ -60,6 +62,7 @@ class VWitness:
         image_model=None,
         batched: bool = False,
         caching: bool = True,
+        predict_chunk: int | None = 512,
         sampler_seed: int = 0,
         periodic_sampling: bool = False,
         pof_style: POFStyle = DEFAULT_POF,
@@ -68,6 +71,7 @@ class VWitness:
         config = WitnessConfig(
             batched=batched,
             caching=caching,
+            predict_chunk=predict_chunk,
             sampler_seed=sampler_seed,
             periodic_sampling=periodic_sampling,
             pof_style=pof_style,

@@ -11,14 +11,30 @@ pair (paper Table II).  Both support:
 
 Each wrapper counts model invocations (the unit of Table VI) and caches
 verdicts keyed by a digest of the unit input (paper §IV-A Caching).
+
+Frame-level plan batching
+-------------------------
+
+Per-entry calls cap vectorization at one manifest entry.  A
+:class:`ValidationPlan` instead collects *every* unit input of a frame —
+glyph tiles from all text entries, 32x32 observed/expected pairs from all
+image regions — so :meth:`TextVerifier.execute_plan` and
+:meth:`ImageVerifier.execute_plan` can run the whole frame as one
+(chunked) vectorized forward per model kind, plus one extra batched round
+per alignment-retry offset ring for the cells that fail the nominal crop.
+The per-entry methods (``verify_cells``, ``verify_region``) are thin
+wrappers that build and execute a single-entry plan, so both modes share
+one code path and produce identical verdicts.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.nn.data import CHAR_TO_INDEX, collapse_char
-from repro.nn.model import MatcherModel
+from repro.nn.model import PREDICT_CHUNK, MatcherModel
 from repro.nn.tensorops import one_hot
 from repro.vision.hashing import region_digest
 from repro.vision.image import Image
@@ -129,17 +145,164 @@ def split_region_into_tiles(region: np.ndarray, background: float = 255.0) -> li
     return tiles
 
 
-class TextVerifier:
-    """Text model wrapper with caching, batching and invocation counting."""
+def _forwards_for(n: int, chunk_size: int | None) -> int:
+    """Model forward passes that a batch of ``n`` unit inputs costs."""
+    if chunk_size is None:
+        return 1
+    return -(-n // chunk_size)  # ceil division
 
-    def __init__(self, model: MatcherModel, batched: bool = False, cache=None) -> None:
+
+def _check_chunk_size(chunk_size: int | None) -> int | None:
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be None or >= 1, got {chunk_size}")
+    return chunk_size
+
+
+def _dedupe_pending(keys: list):
+    """Collapse pending unit inputs that share a cache key.
+
+    Repeated glyphs across a frame-level plan hash to the same key before
+    any verdict is cached (puts only land after the round's predict), so
+    without dedup every duplicate would be fed to the model.  Returns
+    ``(rep_positions, row_of)``: the positions (into the pending list)
+    that must actually be predicted, and each pending entry's row in that
+    predicted batch.  Keyless entries (no cache) are never collapsed.
+    """
+    rep_row: dict = {}
+    rep_positions: list = []
+    row_of: list = []
+    for j, key in enumerate(keys):
+        if key is not None and key in rep_row:
+            row_of.append(rep_row[key])
+            continue
+        row = len(rep_positions)
+        rep_positions.append(j)
+        if key is not None:
+            rep_row[key] = row
+        row_of.append(row)
+    return rep_positions, row_of
+
+
+@dataclass
+class TextUnit:
+    """One glyph-tile unit input collected into a :class:`ValidationPlan`.
+
+    ``retry`` is the alignment-search hook: ``retry(dx, dy)`` re-extracts
+    the tile at a one/two-pixel offset for cells that fail the nominal
+    crop.  ``None`` marks units with no alignment search (e.g. tiles cut
+    from a nested raster that was already offset-matched).
+    """
+
+    tile: np.ndarray
+    char: str
+    retry: object = None  # callable (dx, dy) -> np.ndarray, or None
+
+
+class ValidationPlan:
+    """Every verifier unit input of one frame, collected before execution.
+
+    The collect phase (:meth:`repro.core.display.DisplayValidator.validate`)
+    walks the whole manifest and funnels unit inputs here; the execute
+    phase then runs one vectorized (chunked) forward per model kind and
+    scatters verdicts back to the registered index ranges/groups.  Text
+    units keep a per-unit retry hook so the alignment-retry pyramid runs
+    as one batched round per offset ring across *all* failing cells of
+    the frame, instead of up to 12 serial rounds per entry.
+    """
+
+    def __init__(self) -> None:
+        self.text_units: list = []
+        self.image_pairs: list = []  # (observed 32x32, expected 32x32)
+        self.image_groups: list = []  # (start, stop) ranges into image_pairs
+        #: Retry rings actually executed (filled by TextVerifier.execute_plan).
+        self.text_retry_rounds = 0
+
+    # -- collection --------------------------------------------------------
+
+    def add_cells(
+        self,
+        frame_pixels: np.ndarray,
+        cells: list,
+        offset_x: int = 0,
+        offset_y: int = 0,
+        background: float = 255.0,
+    ) -> slice:
+        """Queue manifest character cells; returns their verdict slice."""
+        start = len(self.text_units)
+        for cell in cells:
+
+            def retry(dx, dy, _cell=cell):
+                return glyph_tile_from_frame(
+                    frame_pixels, _cell, offset_x + dx, offset_y + dy, background
+                )
+
+            self.text_units.append(
+                TextUnit(
+                    tile=glyph_tile_from_frame(frame_pixels, cell, offset_x, offset_y, background),
+                    char=cell.char,
+                    retry=retry,
+                )
+            )
+        return slice(start, len(self.text_units))
+
+    def add_tiles(self, tiles: list, chars: list) -> slice:
+        """Queue pre-extracted glyph tiles (no alignment retry)."""
+        if len(tiles) != len(chars):
+            raise ValueError(f"tiles/chars misaligned: {len(tiles)} vs {len(chars)}")
+        start = len(self.text_units)
+        self.text_units.extend(TextUnit(tile=t, char=c) for t, c in zip(tiles, chars))
+        return slice(start, len(self.text_units))
+
+    def add_region(self, observed: np.ndarray, expected: np.ndarray, background: float = 255.0) -> int:
+        """Queue an observed/expected region pair; returns its group index.
+
+        Both rasters are tiled into 32x32 unit inputs; the group verdict
+        is the AND over its tile pairs.  Shapes must already agree.
+        """
+        obs_tiles = split_region_into_tiles(np.asarray(observed, dtype=float), background)
+        exp_tiles = split_region_into_tiles(np.asarray(expected, dtype=float), background)
+        start = len(self.image_pairs)
+        self.image_pairs.extend((ot, et) for (ot, _), (et, _) in zip(obs_tiles, exp_tiles))
+        self.image_groups.append((start, len(self.image_pairs)))
+        return len(self.image_groups) - 1
+
+    # -- stats -------------------------------------------------------------
+
+    @property
+    def text_unit_count(self) -> int:
+        return len(self.text_units)
+
+    @property
+    def image_pair_count(self) -> int:
+        return len(self.image_pairs)
+
+
+class TextVerifier:
+    """Text model wrapper with caching, batching and invocation counting.
+
+    ``invocations`` counts unit inputs fed to the model (the unit of
+    Table VI); ``forwards`` counts actual model forward passes — in
+    batched mode one (chunked) forward covers many unit inputs, which is
+    where the paper's GPU-setup speedup comes from.
+    """
+
+    def __init__(
+        self,
+        model: MatcherModel,
+        batched: bool = False,
+        cache=None,
+        chunk_size: int | None = PREDICT_CHUNK,
+    ) -> None:
         self.model = model
         self.batched = batched
         self.cache = cache
+        self.chunk_size = _check_chunk_size(chunk_size)
         self.invocations = 0
+        self.forwards = 0
 
     def reset_counters(self) -> None:
         self.invocations = 0
+        self.forwards = 0
 
     def _expected_onehot(self, chars: list) -> np.ndarray:
         indices = [CHAR_TO_INDEX[collapse_char(c)] for c in chars]
@@ -165,22 +328,26 @@ class TextVerifier:
             pending_idx.append(i)
             keys.append(key)
         if pending_idx:
-            obs = np.stack([np.asarray(tiles[i], dtype=np.float32) / 255.0 for i in pending_idx])[
-                :, None, :, :
-            ]
-            exp = self._expected_onehot([chars[i] for i in pending_idx])
+            rep_positions, row_of = _dedupe_pending(keys)
+            obs = np.stack(
+                [np.asarray(tiles[pending_idx[j]], dtype=np.float32) / 255.0 for j in rep_positions]
+            )[:, None, :, :]
+            exp = self._expected_onehot([chars[pending_idx[j]] for j in rep_positions])
             if self.batched:
-                verdicts = self.model.predict(obs, exp)
-                self.invocations += len(pending_idx)
+                verdicts = self.model.predict(obs, exp, chunk_size=self.chunk_size)
+                self.invocations += len(rep_positions)
+                self.forwards += _forwards_for(len(rep_positions), self.chunk_size)
             else:
-                verdicts = np.zeros(len(pending_idx), dtype=bool)
-                for j in range(len(pending_idx)):
+                verdicts = np.zeros(len(rep_positions), dtype=bool)
+                for j in range(len(rep_positions)):
                     verdicts[j] = bool(self.model.predict(obs[j : j + 1], exp[j : j + 1])[0])
                     self.invocations += 1
-            for j, i in enumerate(pending_idx):
-                results[i] = verdicts[j]
+                    self.forwards += 1
+            for row, j in enumerate(rep_positions):
                 if self.cache is not None and keys[j] is not None:
-                    self.cache.put(keys[j], bool(verdicts[j]))
+                    self.cache.put(keys[j], bool(verdicts[row]))
+            for j, i in enumerate(pending_idx):
+                results[i] = verdicts[row_of[j]]
         return results
 
     #: Alignment search offsets for cells that fail at the nominal crop.
@@ -202,23 +369,34 @@ class TextVerifier:
         offset_y: int = 0,
         background: float = 255.0,
     ) -> np.ndarray:
-        """Verify manifest character cells against a sampled frame."""
-        tiles = [
-            glyph_tile_from_frame(frame_pixels, cell, offset_x, offset_y, background)
-            for cell in cells
-        ]
-        verdicts = self.verify_tiles(tiles, [c.char for c in cells])
-        failing = [i for i, v in enumerate(verdicts) if not v]
+        """Verify manifest character cells against a sampled frame.
+
+        Thin wrapper: builds a single-entry :class:`ValidationPlan` and
+        executes it, so per-entry and frame-level callers share one code
+        path (nominal round + batched retry rings).
+        """
+        plan = ValidationPlan()
+        plan.add_cells(frame_pixels, cells, offset_x, offset_y, background)
+        return self.execute_plan(plan)
+
+    def execute_plan(self, plan: ValidationPlan) -> np.ndarray:
+        """Verdicts for every text unit of a plan.
+
+        One vectorized (chunked) nominal round over all queued tiles,
+        then — for units that fail and carry a retry hook — one batched
+        round per offset ring of :data:`RETRY_OFFSETS` across all failing
+        units of the frame at once.
+        """
+        units = plan.text_units
+        verdicts = self.verify_tiles([u.tile for u in units], [u.char for u in units])
+        failing = [i for i, v in enumerate(verdicts) if not v and units[i].retry is not None]
+        rounds = 0
         for dx, dy in self.RETRY_OFFSETS:
             if not failing:
                 break
-            retry_tiles = [
-                glyph_tile_from_frame(
-                    frame_pixels, cells[i], offset_x + dx, offset_y + dy, background
-                )
-                for i in failing
-            ]
-            retry = self.verify_tiles(retry_tiles, [cells[i].char for i in failing])
+            rounds += 1
+            retry_tiles = [units[i].retry(dx, dy) for i in failing]
+            retry = self.verify_tiles(retry_tiles, [units[i].char for i in failing])
             still = []
             for j, i in enumerate(failing):
                 if retry[j]:
@@ -226,62 +404,108 @@ class TextVerifier:
                 else:
                     still.append(i)
             failing = still
+        plan.text_retry_rounds = rounds
         return verdicts
 
 
 class ImageVerifier:
-    """Graphics model wrapper: 32x32 observed/expected region matching."""
+    """Graphics model wrapper: 32x32 observed/expected region matching.
 
-    def __init__(self, model: MatcherModel, batched: bool = False, cache=None) -> None:
+    ``invocations``/``forwards`` follow the same semantics as
+    :class:`TextVerifier`: unit inputs fed to the model vs actual model
+    forward passes.
+    """
+
+    def __init__(
+        self,
+        model: MatcherModel,
+        batched: bool = False,
+        cache=None,
+        chunk_size: int | None = PREDICT_CHUNK,
+    ) -> None:
         self.model = model
         self.batched = batched
         self.cache = cache
+        self.chunk_size = _check_chunk_size(chunk_size)
         self.invocations = 0
+        self.forwards = 0
 
     def reset_counters(self) -> None:
         self.invocations = 0
+        self.forwards = 0
+
+    def verify_pairs(self, pairs: list) -> np.ndarray:
+        """Match verdicts for 32x32 ``(observed, expected)`` tile pairs."""
+        if not pairs:
+            return np.zeros(0, dtype=bool)
+        results = np.zeros(len(pairs), dtype=bool)
+        pending_idx = []
+        keys = []
+        for i, (ot, et) in enumerate(pairs):
+            key = None
+            if self.cache is not None:
+                key = f"img:{region_digest(ot)}:{region_digest(et)}"
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    continue
+            pending_idx.append(i)
+            keys.append(key)
+        if pending_idx:
+            rep_positions, row_of = _dedupe_pending(keys)
+            obs = (
+                np.stack([pairs[pending_idx[j]][0] for j in rep_positions]).astype(np.float32)[
+                    :, None, :, :
+                ]
+                / 255.0
+            )
+            exp = (
+                np.stack([pairs[pending_idx[j]][1] for j in rep_positions]).astype(np.float32)[
+                    :, None, :, :
+                ]
+                / 255.0
+            )
+            if self.batched:
+                verdicts = self.model.predict(obs, exp, chunk_size=self.chunk_size)
+                self.invocations += len(rep_positions)
+                self.forwards += _forwards_for(len(rep_positions), self.chunk_size)
+            else:
+                verdicts = np.zeros(len(rep_positions), dtype=bool)
+                for j in range(len(rep_positions)):
+                    verdicts[j] = bool(self.model.predict(obs[j : j + 1], exp[j : j + 1])[0])
+                    self.invocations += 1
+                    self.forwards += 1
+            for row, j in enumerate(rep_positions):
+                if self.cache is not None and keys[j] is not None:
+                    self.cache.put(keys[j], bool(verdicts[row]))
+            for j, i in enumerate(pending_idx):
+                results[i] = verdicts[row_of[j]]
+        return results
 
     def verify_region(self, observed: np.ndarray, expected: np.ndarray, background: float = 255.0) -> bool:
         """Match an observed region against its expected appearance.
 
-        Both rasters are tiled into 32x32 unit inputs; the region matches
+        Thin wrapper over a single-region :class:`ValidationPlan`: both
+        rasters are tiled into 32x32 unit inputs and the region matches
         only if every tile pair matches.
         """
         observed = np.asarray(observed, dtype=float)
         expected = np.asarray(expected, dtype=float)
         if observed.shape != expected.shape:
             return False
-        obs_tiles = split_region_into_tiles(observed, background)
-        exp_tiles = split_region_into_tiles(expected, background)
-        pairs = []
-        pending = []
-        keys = []
-        verdict_parts = []
-        for (ot, _), (et, _) in zip(obs_tiles, exp_tiles):
-            if self.cache is not None:
-                key = f"img:{region_digest(ot)}:{region_digest(et)}"
-                hit = self.cache.get(key)
-                if hit is not None:
-                    verdict_parts.append(bool(hit))
-                    continue
-                keys.append(key)
-            else:
-                keys.append(None)
-            pending.append((ot, et))
-        del pairs
-        if pending:
-            obs = np.stack([p[0] for p in pending]).astype(np.float32)[:, None, :, :] / 255.0
-            exp = np.stack([p[1] for p in pending]).astype(np.float32)[:, None, :, :] / 255.0
-            if self.batched:
-                verdicts = self.model.predict(obs, exp)
-                self.invocations += len(pending)
-            else:
-                verdicts = np.zeros(len(pending), dtype=bool)
-                for j in range(len(pending)):
-                    verdicts[j] = bool(self.model.predict(obs[j : j + 1], exp[j : j + 1])[0])
-                    self.invocations += 1
-            for j, verdict in enumerate(verdicts):
-                verdict_parts.append(bool(verdict))
-                if self.cache is not None and keys[j] is not None:
-                    self.cache.put(keys[j], bool(verdict))
-        return all(verdict_parts) if verdict_parts else True
+        plan = ValidationPlan()
+        group = plan.add_region(observed, expected, background)
+        return self.execute_plan(plan)[group]
+
+    def execute_plan(self, plan: ValidationPlan) -> list:
+        """Per-group verdicts for every image region of a plan.
+
+        All tile pairs of all regions go through one vectorized (chunked)
+        :meth:`verify_pairs` call; each group's verdict is the AND over
+        its tile range.
+        """
+        verdicts = self.verify_pairs(plan.image_pairs)
+        return [
+            bool(np.all(verdicts[start:stop])) if stop > start else True
+            for start, stop in plan.image_groups
+        ]

@@ -16,6 +16,29 @@ import numpy as np
 from repro.nn.layers import Layer
 from repro.nn.losses import sigmoid, softmax
 
+#: Default upper bound on the per-forward batch during inference.  Plan-level
+#: batching can hand a whole frame's unit inputs to one ``predict`` call;
+#: chunking bounds peak activation memory (conv im2col buffers grow linearly
+#: with batch size) without changing results — forwards are per-sample.
+PREDICT_CHUNK = 512
+
+
+def _chunked_probability(forward, observed, expected, chunk_size) -> np.ndarray:
+    """Sigmoid-of-forward over ``(observed, expected)`` in bounded chunks.
+
+    Caller holds the inference lock; layer activation caches are only valid
+    for the most recent forward, which is why chunks run inside one lock
+    acquisition rather than per-chunk.
+    """
+    n = observed.shape[0]
+    if chunk_size is None or n <= chunk_size:
+        return sigmoid(forward(observed, expected)).reshape(-1)
+    parts = [
+        sigmoid(forward(observed[i : i + chunk_size], expected[i : i + chunk_size])).reshape(-1)
+        for i in range(0, n, chunk_size)
+    ]
+    return np.concatenate(parts)
+
 
 class Sequential(Layer):
     """A chain of layers applied in order."""
@@ -123,14 +146,22 @@ class MatcherModel:
 
     # -- inference -----------------------------------------------------------
 
-    def match_probability(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
-        """P(observed is a benign rendering of expected), shape ``(N,)``."""
-        with self.infer_lock:
-            return sigmoid(self.forward(observed, expected)).reshape(-1)
+    def match_probability(
+        self, observed: np.ndarray, expected: np.ndarray, chunk_size: int | None = PREDICT_CHUNK
+    ) -> np.ndarray:
+        """P(observed is a benign rendering of expected), shape ``(N,)``.
 
-    def predict(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
+        Batches larger than ``chunk_size`` run as successive forwards under
+        one lock acquisition; ``chunk_size=None`` disables chunking.
+        """
+        with self.infer_lock:
+            return _chunked_probability(self.forward, observed, expected, chunk_size)
+
+    def predict(
+        self, observed: np.ndarray, expected: np.ndarray, chunk_size: int | None = PREDICT_CHUNK
+    ) -> np.ndarray:
         """Boolean match decision at the configured threshold."""
-        return self.match_probability(observed, expected) >= self.threshold
+        return self.match_probability(observed, expected, chunk_size) >= self.threshold
 
     def with_threshold(self, threshold: float) -> "MatcherModel":
         """A view of this model with a different detection threshold.
@@ -204,12 +235,16 @@ class ChannelPairMatcher:
         d_stacked = self.network.backward(grad_logits)
         return d_stacked[:, :1], d_stacked[:, 1:]
 
-    def match_probability(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
+    def match_probability(
+        self, observed: np.ndarray, expected: np.ndarray, chunk_size: int | None = PREDICT_CHUNK
+    ) -> np.ndarray:
         with self.infer_lock:
-            return sigmoid(self.forward(observed, expected)).reshape(-1)
+            return _chunked_probability(self.forward, observed, expected, chunk_size)
 
-    def predict(self, observed: np.ndarray, expected: np.ndarray) -> np.ndarray:
-        return self.match_probability(observed, expected) >= self.threshold
+    def predict(
+        self, observed: np.ndarray, expected: np.ndarray, chunk_size: int | None = PREDICT_CHUNK
+    ) -> np.ndarray:
+        return self.match_probability(observed, expected, chunk_size) >= self.threshold
 
     def with_threshold(self, threshold: float) -> "ChannelPairMatcher":
         """A parameter-sharing view with a different detection threshold."""

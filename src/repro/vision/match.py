@@ -49,11 +49,6 @@ def normalized_cross_correlation(patch_a, patch_b) -> float:
     return float((a @ b) / denom)
 
 
-def _axis_profiles(img: np.ndarray, axis: int) -> np.ndarray:
-    """Collapse the non-search axis to a 1-D mean profile (fast pre-filter)."""
-    return img.mean(axis=1 - axis if axis == 0 else 0)
-
-
 def best_vertical_offset(frame, long_image, stride: int = 1) -> MatchResult:
     """Locate ``frame`` inside ``long_image`` by vertical offset.
 

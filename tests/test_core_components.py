@@ -163,13 +163,50 @@ class TestCaches:
         assert cache.hits == 1 and cache.misses == 1
         assert cache.hit_rate == pytest.approx(0.5)
 
-    def test_fifo_cap(self):
+    def test_capacity_cap_evicts_coldest(self):
         cache = DigestCache(max_entries=2)
         cache.put("a", 1)
         cache.put("b", 2)
         cache.put("c", 3)
         assert len(cache) == 2
         assert cache.get("a") is None
+
+    def test_overwrite_at_capacity_does_not_evict(self):
+        # Overwriting a present key does not grow the store, so nothing
+        # unrelated may be evicted.
+        cache = DigestCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 3)
+        assert len(cache) == 2
+        assert cache.get("b") == 2
+        assert cache.get("a") == 3
+
+    def test_lru_get_refreshes_recency(self):
+        cache = DigestCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # "a" becomes most recently used
+        cache.put("c", 3)  # evicts "b", the coldest entry
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_none_put_rejected(self):
+        # None is the public miss signal; storing it would make stats and
+        # semantics disagree (a counted hit returned as a miss).
+        cache = DigestCache()
+        with pytest.raises(ValueError, match="None"):
+            cache.put("k", None)
+        assert len(cache) == 0
+        assert cache.get("k") is None
+        assert cache.hits == 0 and cache.misses == 1
+
+    def test_falsy_values_are_exact_hits(self):
+        cache = DigestCache()
+        cache.put("k", False)
+        assert cache.get("k") is False
+        assert cache.hits == 1 and cache.misses == 0
 
     def test_differential_detector_lifecycle(self):
         detector = DifferentialDetector()
