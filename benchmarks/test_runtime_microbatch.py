@@ -1,0 +1,105 @@
+"""Runtime micro-batching: inline vs shared executor on a concurrent fleet.
+
+The cross-session runtime exists for exactly one reason: N concurrent
+guests should not cost N independent small CNN forwards per validation
+round when one large forward covers them all.  This benchmark drives the
+same mixed-page guest fleet through one :class:`WitnessService` twice —
+``executor="inline"`` (each session forwards on its own thread) and
+``executor="shared"`` (rounds coalesce in the micro-batching runtime) —
+and compares sessions/sec and, the headline number, *total model
+forwards actually executed*.
+
+The acceptance bar: with 16 concurrent synthetic guests the shared
+executor must perform strictly fewer forwards than inline, with
+identical certification decisions.
+"""
+
+from benchmarks.conftest import record_result
+from benchmarks.harness import run_fleet_sessions
+
+#: The fleet sizes compared (concurrent guests); 16 is the acceptance
+#: configuration, the second point shows scaling.
+FLEETS = {"small": (16,), "paper": (16, 32)}
+
+#: Distinct generated forms across the fleet (guest i renders form
+#: ``i % PAGE_MIX``): a mixed fleet, not one page warmed N times.
+PAGE_MIX = 6
+
+
+def test_runtime_microbatch(benchmark, scale, text_model, image_model):
+    page_seeds = tuple(range(PAGE_MIX))
+
+    def run():
+        out = []
+        for guests in FLEETS[scale["name"]]:
+            row = {"guests": guests}
+            for mode in ("inline", "shared"):
+                fleet = run_fleet_sessions(
+                    guests,
+                    text_model,
+                    image_model,
+                    threads=guests,
+                    page_seeds=page_seeds,
+                    executor=mode,
+                    # Guests arrive concurrently (connect + first frame on
+                    # worker threads): the realistic pattern, and the one
+                    # where first-frame plans coalesce across sessions.
+                    concurrent_connect=True,
+                )
+                assert len(fleet.reports) == guests
+                row[mode] = fleet
+            inline, shared = row["inline"], row["shared"]
+            # Identical certification decisions, session by session...
+            assert [d.certified for d in shared.decisions] == [
+                d.certified for d in inline.decisions
+            ]
+            assert shared.certified == guests, (
+                f"{guests} guests: only {shared.certified} certified "
+                f"({[d.reason for d in shared.decisions if not d.certified]})"
+            )
+            # ...for strictly fewer model forwards (the tentpole claim).
+            assert shared.total_forwards < inline.total_forwards, (
+                f"{guests} guests: shared executor ran {shared.total_forwards} "
+                f"forwards vs {inline.total_forwards} inline — no coalescing happened"
+            )
+            out.append(row)
+        return out
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Runtime micro-batching: concurrent guest fleet, inline vs shared executor",
+        f"(mixed fleet over {PAGE_MIX} distinct forms; one WitnessService per run;",
+        " forwards = model forward passes actually executed, fleet-wide)",
+        "",
+        f"{'guests':>6} {'mode':<8} {'certified':>9} {'wall (s)':>9} {'sess/s':>7} "
+        f"{'forwards':>9} {'saved':>6} {'occupancy':>9} {'flush ms':>9}",
+    ]
+    for row in stats:
+        for mode in ("inline", "shared"):
+            fleet = row[mode]
+            runtime = fleet.runtime_stats.get("runtime")
+            if runtime is not None:
+                occupancy = runtime["histograms"]["batch_occupancy.text"]["mean"]
+                flush_ms = runtime["histograms"]["flush_wait_ms.text"]["mean"]
+                occupancy_s, flush_s = f"{occupancy:>9.1f}", f"{flush_ms:>9.2f}"
+            else:
+                occupancy_s, flush_s = f"{'-':>9}", f"{'-':>9}"
+            lines.append(
+                f"{row['guests']:>6} {mode:<8} {fleet.certified:>9} "
+                f"{fleet.wall_seconds:>9.2f} "
+                f"{row['guests'] / fleet.wall_seconds:>7.2f} "
+                f"{fleet.total_forwards:>9} {fleet.forwards_saved:>6} "
+                f"{occupancy_s} {flush_s}"
+            )
+    for row in stats:
+        inline, shared = row["inline"], row["shared"]
+        saved = inline.total_forwards - shared.total_forwards
+        lines.append("")
+        lines.append(
+            f"{row['guests']} guests: shared executor ran {shared.total_forwards} "
+            f"forwards vs {inline.total_forwards} inline "
+            f"({saved} fewer, {saved / inline.total_forwards:.0%}), "
+            "identical certification decisions."
+        )
+    record_result("runtime_microbatch", "\n".join(lines))

@@ -16,14 +16,15 @@ from benchmarks.harness import run_service_sessions
 MIN_CONCURRENT_SESSIONS = 8
 
 
-def test_service_session_throughput(benchmark, scale, text_model, image_model):
+def test_service_session_throughput(benchmark, scale, text_model, image_model, executor_mode):
     n = max(MIN_CONCURRENT_SESSIONS, scale["perf_pages"])
 
     def run():
         out = {}
         for label, threads in (("sequential", 1), ("8 threads", 8)):
             decisions, service, peak, wall = run_service_sessions(
-                n, text_model, image_model, threads=threads, batched=True
+                n, text_model, image_model, threads=threads, batched=True,
+                executor=executor_mode,
             )
             certified = sum(bool(d.certified) for d in decisions)
             cache = service.shared_cache
@@ -45,7 +46,7 @@ def test_service_session_throughput(benchmark, scale, text_model, image_model):
 
     lines = [
         "Service throughput: N concurrent guest sessions, one WitnessService",
-        f"(one warm model set shared by all sessions; N={n})",
+        f"(one warm model set shared by all sessions; N={n}; executor={executor_mode})",
         "",
         f"{'mode':<12} {'sessions':>8} {'certified':>9} {'peak':>5} "
         f"{'wall (s)':>9} {'sess/s':>8} {'cache hit':>9}",

@@ -12,7 +12,7 @@ from benchmarks.conftest import record_result
 from benchmarks.harness import run_interactive_session, summarize
 
 
-def test_table9_end_to_end(benchmark, scale, text_model, image_model):
+def test_table9_end_to_end(benchmark, scale, text_model, image_model, executor_mode):
     def run():
         out = {}
         for label, batched in (("CPU", False), ("GPU", True)):
@@ -21,7 +21,8 @@ def test_table9_end_to_end(benchmark, scale, text_model, image_model):
             certified = 0
             for seed in range(scale["perf_pages"]):
                 decision, report, _session = run_interactive_session(
-                    seed, text_model, image_model, batched=batched
+                    seed, text_model, image_model, batched=batched,
+                    executor=executor_mode,
                 )
                 certified += bool(decision.certified)
                 timing = report.timing

@@ -1,0 +1,26 @@
+"""Repo-level pytest configuration.
+
+Registers the ``--executor`` option here (the rootdir conftest is the
+only place option registration is guaranteed to load from, whatever
+subset of the tree is being run) so the service-level benchmarks can be
+pointed at the cross-session micro-batching runtime without code edits:
+
+    pytest benchmarks/test_service_throughput.py --executor=shared
+
+``REPRO_BENCH_EXECUTOR`` is the environment equivalent for CI matrices;
+the command-line option wins when both are set (resolution lives in the
+``executor_mode`` fixture of ``benchmarks/conftest.py``).
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--executor",
+        choices=("inline", "shared"),
+        default=None,
+        help=(
+            "Plan-execution mode for service-level benchmarks: 'inline' "
+            "(per-session, the default) or 'shared' (cross-session "
+            "micro-batching runtime)."
+        ),
+    )

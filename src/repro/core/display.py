@@ -85,12 +85,18 @@ class DisplayValidator:
         image_verifier: ImageVerifier,
         pof_style: POFStyle = DEFAULT_POF,
         check_background: bool = True,
+        runtime=None,
     ) -> None:
         self.vspec = vspec
         self.text_verifier = text_verifier
         self.image_verifier = image_verifier
         self.pof_style = pof_style
         self.check_background = check_background
+        #: Shared :class:`~repro.runtime.executor.ValidationExecutor`;
+        #: when set, the execute phase overlaps the text and image plans
+        #: on the runtime (and the verifiers coalesce their forwards with
+        #: every other session's rounds).
+        self.runtime = runtime
         self._padded_expected: np.ndarray | None = None
 
     # -- viewport -----------------------------------------------------------
@@ -185,9 +191,16 @@ class DisplayValidator:
         result.entries_checked = len(entries)
 
         # Phase 2 (execute): one vectorized forward per model kind (plus
-        # batched alignment-retry rings), then scatter.
-        text_verdicts = self.text_verifier.execute_plan(plan)
-        image_verdicts = self.image_verifier.execute_plan(plan)
+        # batched alignment-retry rings), then scatter.  On a shared
+        # runtime the two kinds execute concurrently and their forwards
+        # coalesce with concurrent sessions' rounds.
+        if self.runtime is not None:
+            text_verdicts, image_verdicts = self.runtime.execute_plan(
+                plan, self.text_verifier, self.image_verifier
+            )
+        else:
+            text_verdicts = self.text_verifier.execute_plan(plan)
+            image_verdicts = self.image_verifier.execute_plan(plan)
         for emit in deferred:
             emit(result, text_verdicts, image_verdicts)
 

@@ -43,6 +43,8 @@ from repro.core.submission import CertificationDecision, SubmissionValidator
 from repro.core.timing import SessionTiming
 from repro.core.verifiers import ImageVerifier, TextVerifier
 from repro.crypto.ca import CertificateAuthority
+from repro.runtime.backpressure import POLICIES
+from repro.runtime.executor import EXECUTOR_MODES, ValidationExecutor
 from repro.crypto.keys import MeasuredState, SealedSigningKey, generate_signing_key
 from repro.vision.components import Rect
 from repro.vspec.spec import VSpec
@@ -88,12 +90,57 @@ class WitnessConfig:
     pof_style: POFStyle = DEFAULT_POF
     check_background: bool = True
     subject: str = "client-1"
+    #: Plan execution strategy.  ``"inline"`` runs each session's plans on
+    #: the calling thread (the original path); ``"shared"`` routes model
+    #: forwards through the service's cross-session
+    #: :class:`~repro.runtime.executor.ValidationExecutor`, coalescing
+    #: concurrent sessions' rounds into global micro-batches.  Shared
+    #: execution presupposes plan batching (``batched=True``).
+    executor: str = "inline"
+    #: Shared-runtime knobs (ignored under ``executor="inline"``): flush a
+    #: micro-batch at this many pending units or after this deadline,
+    #: whichever first; bound admitted-but-unfinished units (``None`` =
+    #: unbounded) with ``"block"`` or ``"shed"`` overload handling; size
+    #: of the worker pool that overlaps text/image plan execution.
+    runtime_max_batch_units: int = 256
+    runtime_flush_deadline_ms: float = 2.0
+    runtime_max_inflight_units: int | None = 8192
+    runtime_admission: str = "block"
+    runtime_workers: int = 8
 
     def __post_init__(self) -> None:
         if self.predict_chunk is not None and self.predict_chunk < 1:
             raise ValueError(
                 f"predict_chunk must be None (unchunked) or >= 1, got {self.predict_chunk}"
             )
+        if self.executor not in EXECUTOR_MODES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_MODES}, got {self.executor!r}"
+            )
+        if self.executor == "shared" and not self.batched:
+            raise ValueError(
+                "executor='shared' coalesces vectorized rounds across sessions and "
+                "therefore requires batched=True"
+            )
+        if self.runtime_max_batch_units < 1:
+            raise ValueError(
+                f"runtime_max_batch_units must be >= 1, got {self.runtime_max_batch_units}"
+            )
+        if self.runtime_flush_deadline_ms < 0:
+            raise ValueError(
+                f"runtime_flush_deadline_ms must be >= 0, got {self.runtime_flush_deadline_ms}"
+            )
+        if self.runtime_max_inflight_units is not None and self.runtime_max_inflight_units < 1:
+            raise ValueError(
+                "runtime_max_inflight_units must be None (unbounded) or >= 1, "
+                f"got {self.runtime_max_inflight_units}"
+            )
+        if self.runtime_admission not in POLICIES:
+            raise ValueError(
+                f"runtime_admission must be one of {POLICIES}, got {self.runtime_admission!r}"
+            )
+        if self.runtime_workers < 1:
+            raise ValueError(f"runtime_workers must be >= 1, got {self.runtime_workers}")
 
     def replace(self, **overrides) -> "WitnessConfig":
         """A copy of this config with ``overrides`` applied."""
@@ -168,21 +215,29 @@ class SessionReport:
 
 
 class SessionRegistry:
-    """Thread-safe book-keeping of a service's live sessions."""
+    """Thread-safe book-keeping of a service's live sessions.
+
+    The lifetime statistics (``total_opened``, ``peak_active``) are
+    written under the registry lock and must be read under it too — bare
+    attributes let readers observe a torn pair (a ``total_opened`` that
+    already counts a session whose ``peak_active`` bump it misses), so
+    they are exposed as locked properties, and :meth:`stats` returns one
+    mutually consistent snapshot of all three numbers.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._sessions: dict = {}
         self._ids = itertools.count(1)
-        self.total_opened = 0
-        self.peak_active = 0
+        self._total_opened = 0
+        self._peak_active = 0
 
     def register(self, session: "WitnessSession") -> int:
         with self._lock:
             session_id = next(self._ids)
             self._sessions[session_id] = session
-            self.total_opened += 1
-            self.peak_active = max(self.peak_active, len(self._sessions))
+            self._total_opened += 1
+            self._peak_active = max(self._peak_active, len(self._sessions))
             return session_id
 
     def unregister(self, session: "WitnessSession") -> None:
@@ -193,6 +248,25 @@ class SessionRegistry:
         """The currently registered (not yet closed) sessions."""
         with self._lock:
             return list(self._sessions.values())
+
+    def stats(self) -> dict:
+        """One consistent snapshot of the registry's counters."""
+        with self._lock:
+            return {
+                "active": len(self._sessions),
+                "total_opened": self._total_opened,
+                "peak_active": self._peak_active,
+            }
+
+    @property
+    def total_opened(self) -> int:
+        with self._lock:
+            return self._total_opened
+
+    @property
+    def peak_active(self) -> int:
+        with self._lock:
+            return self._peak_active
 
     @property
     def active_count(self) -> int:
@@ -264,6 +338,11 @@ class WitnessService:
         )
         self.registry = SessionRegistry()
         self._hooks: dict = {"frame": [], "violation": [], "decision": []}
+        # The cross-session validation runtime: created lazily on the
+        # first session that asks for shared execution (inline-only
+        # services never pay for its threads).
+        self._runtime: ValidationExecutor | None = None
+        self._runtime_lock = threading.Lock()
 
     # -- observability hooks ----------------------------------------------
 
@@ -329,6 +408,75 @@ class WitnessService:
     @property
     def active_sessions(self) -> int:
         return self.registry.active_count
+
+    # -- validation runtime --------------------------------------------------
+
+    def session_runtime(self, cfg: WitnessConfig) -> ValidationExecutor | None:
+        """The shared executor for a session under ``cfg`` (or ``None``).
+
+        All shared-mode sessions of a service coalesce in *one* runtime;
+        its knobs come from the first config that asks for it (normally
+        the service config).
+        """
+        if cfg.executor != "shared":
+            return None
+        with self._runtime_lock:
+            if self._runtime is None or self._runtime.closed:
+                self._runtime = ValidationExecutor(
+                    self.text_model,
+                    self.image_model,
+                    max_batch_units=cfg.runtime_max_batch_units,
+                    flush_deadline_ms=cfg.runtime_flush_deadline_ms,
+                    chunk_size=cfg.predict_chunk,
+                    max_inflight_units=cfg.runtime_max_inflight_units,
+                    admission=cfg.runtime_admission,
+                    workers=cfg.runtime_workers,
+                )
+            return self._runtime
+
+    @property
+    def runtime(self) -> ValidationExecutor | None:
+        """The shared executor, if any session has instantiated it."""
+        return self._runtime
+
+    def runtime_stats(self) -> dict:
+        """One observability snapshot: executor mode, sessions, runtime.
+
+        ``sessions`` is the registry's consistent counter snapshot;
+        ``runtime`` holds the micro-batching metrics (counters, gauges,
+        histograms — see :mod:`repro.runtime.metrics`) and is ``None``
+        until a shared-mode session has run.
+        """
+        runtime = self._runtime
+        return {
+            "executor": self.config.executor,
+            "sessions": self.registry.stats(),
+            "cache_hit_rate": (
+                self.shared_cache.hit_rate if self.shared_cache is not None else None
+            ),
+            "runtime": runtime.stats() if runtime is not None else None,
+        }
+
+    def close(self) -> None:
+        """Release the service's runtime threads.  Idempotent.
+
+        Close a service after its sessions have ended: a still-open
+        shared-mode session holds a reference to the closed executor and
+        its next validation round will fail loudly rather than hang.  The
+        closed executor is retained so :meth:`runtime_stats` keeps
+        reporting its final counters; a later shared-mode session simply
+        gets a fresh one.
+        """
+        with self._runtime_lock:
+            runtime = self._runtime
+        if runtime is not None:
+            runtime.close()
+
+    def __enter__(self) -> "WitnessService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _dispatch(self, kind: str, session: "WitnessSession", payload) -> None:
         for callback in self._hooks[kind]:
@@ -412,17 +560,20 @@ class WitnessSession:
         self.vspec = vspec
         self.report = SessionReport()
         text_cache, image_cache = self.service.session_cache_views(self.config)
+        runtime = self.service.session_runtime(self.config)
         self._text_verifier = TextVerifier(
             self.service.text_model,
             batched=self.config.batched,
             cache=text_cache,
             chunk_size=self.config.predict_chunk,
+            runtime=runtime,
         )
         self._image_verifier = ImageVerifier(
             self.service.image_model,
             batched=self.config.batched,
             cache=image_cache,
             chunk_size=self.config.predict_chunk,
+            runtime=runtime,
         )
         self._display = DisplayValidator(
             vspec,
@@ -430,6 +581,7 @@ class WitnessSession:
             self._image_verifier,
             pof_style=self.config.pof_style,
             check_background=self.config.check_background,
+            runtime=runtime,
         )
         self._tracker = InteractionTracker(
             vspec, self.machine, self._text_verifier, self._image_verifier

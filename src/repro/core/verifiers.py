@@ -25,6 +25,17 @@ per alignment-retry offset ring for the cells that fail the nominal crop.
 The per-entry methods (``verify_cells``, ``verify_region``) are thin
 wrappers that build and execute a single-entry plan, so both modes share
 one code path and produce identical verdicts.
+
+Cross-session runtime
+---------------------
+
+Plan batching caps vectorization at one frame of one session.  A verifier
+constructed with a ``runtime`` (the service's shared
+:class:`~repro.runtime.executor.ValidationExecutor`) reroutes only the
+model forward itself through the runtime's coalescing micro-batcher, so
+concurrent sessions' rounds merge into global batches.  Everything else —
+cache lookups, duplicate collapsing, the alignment-retry rings — stays
+here, which is why rerouting cannot change a verdict.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ import numpy as np
 from repro.nn.data import CHAR_TO_INDEX, collapse_char
 from repro.nn.model import PREDICT_CHUNK, MatcherModel
 from repro.nn.tensorops import one_hot
+from repro.runtime.batcher import forwards_for
 from repro.vision.hashing import region_digest
 from repro.vision.image import Image
 from repro.vision.ops import resize_bilinear
@@ -143,13 +155,6 @@ def split_region_into_tiles(region: np.ndarray, background: float = 255.0) -> li
                 tile[: y1 - y0, : x1 - x0] = region[y0:y1, x0:x1]
             tiles.append((tile, (r, c)))
     return tiles
-
-
-def _forwards_for(n: int, chunk_size: int | None) -> int:
-    """Model forward passes that a batch of ``n`` unit inputs costs."""
-    if chunk_size is None:
-        return 1
-    return -(-n // chunk_size)  # ceil division
 
 
 def _check_chunk_size(chunk_size: int | None) -> int | None:
@@ -283,7 +288,10 @@ class TextVerifier:
     ``invocations`` counts unit inputs fed to the model (the unit of
     Table VI); ``forwards`` counts actual model forward passes — in
     batched mode one (chunked) forward covers many unit inputs, which is
-    where the paper's GPU-setup speedup comes from.
+    where the paper's GPU-setup speedup comes from.  With a ``runtime``
+    the forward coalesces with other sessions' rounds and ``forwards``
+    counts the submission's share of the flush (the chunk-forwards its
+    own rows rode in).
     """
 
     def __init__(
@@ -292,11 +300,15 @@ class TextVerifier:
         batched: bool = False,
         cache=None,
         chunk_size: int | None = PREDICT_CHUNK,
+        runtime=None,
     ) -> None:
+        if runtime is not None and not batched:
+            raise ValueError("a shared runtime requires batched=True")
         self.model = model
         self.batched = batched
         self.cache = cache
         self.chunk_size = _check_chunk_size(chunk_size)
+        self.runtime = runtime
         self.invocations = 0
         self.forwards = 0
 
@@ -334,9 +346,13 @@ class TextVerifier:
             )[:, None, :, :]
             exp = self._expected_onehot([chars[pending_idx[j]] for j in rep_positions])
             if self.batched:
-                verdicts = self.model.predict(obs, exp, chunk_size=self.chunk_size)
                 self.invocations += len(rep_positions)
-                self.forwards += _forwards_for(len(rep_positions), self.chunk_size)
+                if self.runtime is not None:
+                    verdicts, forwards = self.runtime.predict("text", obs, exp)
+                    self.forwards += forwards
+                else:
+                    verdicts = self.model.predict(obs, exp, chunk_size=self.chunk_size)
+                    self.forwards += forwards_for(len(rep_positions), self.chunk_size)
             else:
                 verdicts = np.zeros(len(rep_positions), dtype=bool)
                 for j in range(len(rep_positions)):
@@ -413,7 +429,7 @@ class ImageVerifier:
 
     ``invocations``/``forwards`` follow the same semantics as
     :class:`TextVerifier`: unit inputs fed to the model vs actual model
-    forward passes.
+    forward passes (a flush share when routed through a ``runtime``).
     """
 
     def __init__(
@@ -422,11 +438,15 @@ class ImageVerifier:
         batched: bool = False,
         cache=None,
         chunk_size: int | None = PREDICT_CHUNK,
+        runtime=None,
     ) -> None:
+        if runtime is not None and not batched:
+            raise ValueError("a shared runtime requires batched=True")
         self.model = model
         self.batched = batched
         self.cache = cache
         self.chunk_size = _check_chunk_size(chunk_size)
+        self.runtime = runtime
         self.invocations = 0
         self.forwards = 0
 
@@ -466,9 +486,13 @@ class ImageVerifier:
                 / 255.0
             )
             if self.batched:
-                verdicts = self.model.predict(obs, exp, chunk_size=self.chunk_size)
                 self.invocations += len(rep_positions)
-                self.forwards += _forwards_for(len(rep_positions), self.chunk_size)
+                if self.runtime is not None:
+                    verdicts, forwards = self.runtime.predict("image", obs, exp)
+                    self.forwards += forwards
+                else:
+                    verdicts = self.model.predict(obs, exp, chunk_size=self.chunk_size)
+                    self.forwards += forwards_for(len(rep_positions), self.chunk_size)
             else:
                 verdicts = np.zeros(len(rep_positions), dtype=bool)
                 for j in range(len(rep_positions)):

@@ -1,0 +1,34 @@
+"""Cross-session validation runtime (micro-batching, backpressure, metrics).
+
+The layer between :mod:`repro.core.service` and the CNN verifiers:
+
+* :mod:`repro.runtime.executor` — :class:`ValidationExecutor`, the shared
+  micro-batching executor sessions submit their validation rounds to;
+* :mod:`repro.runtime.batcher` — per-model-kind deadline/occupancy
+  coalescing of concurrent sessions' forwards;
+* :mod:`repro.runtime.backpressure` — bounded in-flight admission with
+  block/shed overload policies;
+* :mod:`repro.runtime.metrics` — the counters/gauges/histograms surfaced
+  by ``WitnessService.runtime_stats()``.
+
+Select it per service with ``WitnessConfig(executor="shared")``; the
+default ``"inline"`` keeps the original in-thread execution path.
+"""
+
+from repro.runtime.backpressure import AdmissionGate
+from repro.runtime.batcher import MicroBatcher, chunks_touched, forwards_for
+from repro.runtime.executor import EXECUTOR_MODES, ValidationExecutor
+from repro.runtime.metrics import Counter, Gauge, Histogram, RuntimeMetrics
+
+__all__ = [
+    "AdmissionGate",
+    "Counter",
+    "EXECUTOR_MODES",
+    "Gauge",
+    "Histogram",
+    "MicroBatcher",
+    "RuntimeMetrics",
+    "ValidationExecutor",
+    "chunks_touched",
+    "forwards_for",
+]

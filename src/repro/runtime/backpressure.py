@@ -1,0 +1,117 @@
+"""Admission control for the validation runtime.
+
+The micro-batching executor must not let an unbounded number of unit
+inputs pile up between submission and flush: every queued tile pins
+float32 pixels, and a burst of guests would otherwise trade latency for
+memory without limit.  :class:`AdmissionGate` bounds the *in-flight*
+units — admitted but not yet verdict-scattered — and applies one of two
+overload policies:
+
+* ``"block"`` — the submitting session thread waits for room.  Natural
+  backpressure: guests queue at the door instead of inside the runtime.
+* ``"shed"`` — the submission is refused (``acquire`` returns ``False``)
+  and the caller falls back to executing its own forward inline, losing
+  coalescing but never correctness.
+
+A submission larger than the whole bound is admitted once the runtime is
+otherwise empty (it must run *somewhere*, and alone-in-the-runtime is the
+bounded-memory way to run it), so no plan size can deadlock the gate.
+While such a submission waits under the ``block`` policy the gate drains:
+new admissions pause until the oversized one is in, so a stream of small
+rounds can never starve a large plan.
+"""
+
+from __future__ import annotations
+
+import threading
+
+POLICIES = ("block", "shed")
+
+
+class AdmissionGate:
+    """Bounds in-flight validation units across every submitting session."""
+
+    def __init__(
+        self,
+        max_inflight_units: int | None,
+        policy: str = "block",
+        block_timeout: float = 30.0,
+    ) -> None:
+        if max_inflight_units is not None and max_inflight_units < 1:
+            raise ValueError(
+                f"max_inflight_units must be None (unbounded) or >= 1, got {max_inflight_units}"
+            )
+        if policy not in POLICIES:
+            raise ValueError(f"admission policy must be one of {POLICIES}, got {policy!r}")
+        self.max_inflight_units = max_inflight_units
+        self.policy = policy
+        self.block_timeout = block_timeout
+        self._cond = threading.Condition()
+        self._inflight = 0
+        # Oversized submissions currently waiting for the runtime to
+        # empty; while any exist, normal admissions pause (anti-starvation
+        # drain) — small rounds must not be able to keep inflight > 0
+        # forever while a big plan waits.
+        self._drain_waiters = 0
+        #: Times a submitter had to wait (block policy) or was refused
+        #: (shed policy); the executor mirrors these into RuntimeMetrics.
+        self.blocked = 0
+        self.shed = 0
+
+    @property
+    def inflight_units(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    def _oversized(self, units: int) -> bool:
+        return self.max_inflight_units is not None and units > self.max_inflight_units
+
+    def _has_room(self, units: int) -> bool:
+        if self.max_inflight_units is None:
+            return True
+        if self._inflight == 0:
+            # Oversized submissions run alone rather than never; an
+            # ordinary round may take the empty runtime only when no
+            # oversized plan is waiting for exactly this moment.
+            return not self._drain_waiters or self._oversized(units)
+        if self._oversized(units):
+            return False
+        if self._drain_waiters:
+            return False  # draining for an oversized waiter: hold the door
+        return self._inflight + units <= self.max_inflight_units
+
+    def acquire(self, units: int) -> bool:
+        """Admit ``units``; ``False`` means shed (policy ``"shed"`` only)."""
+        if units < 0:
+            raise ValueError(f"cannot admit a negative unit count: {units}")
+        with self._cond:
+            if not self._has_room(units):
+                if self.policy == "shed":
+                    self.shed += 1
+                    return False
+                self.blocked += 1
+                draining = self._oversized(units)
+                if draining:
+                    self._drain_waiters += 1
+                try:
+                    granted = self._cond.wait_for(
+                        lambda: self._has_room(units), timeout=self.block_timeout
+                    )
+                finally:
+                    if draining:
+                        self._drain_waiters -= 1
+                if not granted:
+                    raise RuntimeError(
+                        f"admission gate blocked for over {self.block_timeout}s "
+                        f"({self._inflight} units in flight, limit "
+                        f"{self.max_inflight_units}); the runtime is stalled"
+                    )
+            self._inflight += units
+            return True
+
+    def release(self, units: int) -> None:
+        with self._cond:
+            self._inflight -= units
+            if self._inflight < 0:  # pragma: no cover - guards a caller bug
+                raise RuntimeError("admission gate released more units than admitted")
+            self._cond.notify_all()

@@ -1,0 +1,221 @@
+"""Cross-session micro-batching of model forwards.
+
+One :class:`MicroBatcher` serves one model kind (text or image).  Any
+number of session threads call :meth:`submit` with the unit-input rows of
+their current validation round; the batcher coalesces the pending rows of
+*all* sessions and a dedicated flusher thread runs them as one chunked
+model forward when either
+
+* the pending units reach ``max_batch_units`` (occupancy flush), or
+* the oldest pending submission has waited ``flush_deadline`` seconds
+  (latency flush — an idle fleet never stalls a lone guest for long).
+
+Verdicts scatter back to each submission's slice of the batch and the
+submitting threads wake with exactly the rows they asked about.  Because
+the underlying CNN forward is row-independent (convolutions and dense
+layers treat batch rows separately), coalescing is a pure execution
+strategy: each row's verdict is bit-identical to running it alone.
+
+The flusher thread executes its own flushes: flushes never borrow the
+submitters' threads nor any shared pool, so a full pool can delay
+coalescing but can never deadlock it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.runtime.metrics import RuntimeMetrics
+
+#: Bucket bounds for millisecond-scale latency histograms.
+LATENCY_BUCKETS_MS = (0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000)
+
+
+def forwards_for(units: int, chunk_size: int | None) -> int:
+    """Model forward passes a batch of ``units`` rows costs when chunked."""
+    if units <= 0:
+        return 0
+    if chunk_size is None:
+        return 1
+    return -(-units // chunk_size)  # ceil division
+
+
+def chunks_touched(start: int, stop: int, chunk_size: int | None) -> int:
+    """How many of a flush's chunk-forwards rows ``[start, stop)`` land in.
+
+    This is the fair per-submission share of a coalesced flush: a
+    submission is charged only for the forwards its own rows rode in,
+    which several submissions may share.
+    """
+    if stop <= start:
+        return 0
+    if chunk_size is None:
+        return 1
+    return (stop - 1) // chunk_size - start // chunk_size + 1
+
+
+class _Submission:
+    """One session's pending rows and its rendezvous with the flusher."""
+
+    __slots__ = ("observed", "expected", "units", "enqueued_at", "done", "verdicts", "forwards", "error")
+
+    def __init__(self, observed: np.ndarray, expected: np.ndarray) -> None:
+        self.observed = observed
+        self.expected = expected
+        self.units = observed.shape[0]
+        self.enqueued_at = time.monotonic()
+        self.done = threading.Event()
+        self.verdicts: np.ndarray | None = None
+        self.forwards = 0
+        self.error: BaseException | None = None
+
+
+class MicroBatcher:
+    """Deadline/occupancy-flushed coalescer for one model kind."""
+
+    def __init__(
+        self,
+        kind: str,
+        predict_fn,
+        *,
+        chunk_size: int | None = 512,
+        max_batch_units: int = 256,
+        flush_deadline: float = 0.002,
+        metrics: RuntimeMetrics | None = None,
+        submit_timeout: float = 60.0,
+    ) -> None:
+        if max_batch_units < 1:
+            raise ValueError(f"max_batch_units must be >= 1, got {max_batch_units}")
+        if flush_deadline < 0:
+            raise ValueError(f"flush_deadline must be >= 0, got {flush_deadline}")
+        self.kind = kind
+        self.predict_fn = predict_fn
+        self.chunk_size = chunk_size
+        self.max_batch_units = max_batch_units
+        self.flush_deadline = flush_deadline
+        self.submit_timeout = submit_timeout
+        self.metrics = metrics or RuntimeMetrics()
+        self._cond = threading.Condition()
+        self._pending: list = []
+        self._pending_units = 0
+        self._closed = False
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name=f"repro-runtime-{kind}-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # -- submission (session threads) --------------------------------------
+
+    def submit(self, observed: np.ndarray, expected: np.ndarray):
+        """Coalesced verdicts for these rows: ``(verdicts, forwards_share)``.
+
+        Blocks until the rows have ridden a flush; ``forwards_share`` is
+        the number of chunk-forwards of that flush the rows touched (the
+        submission's amortized cost, for per-session accounting).
+        """
+        if observed.shape[0] != expected.shape[0]:
+            raise ValueError(
+                f"observed/expected row mismatch: {observed.shape[0]} vs {expected.shape[0]}"
+            )
+        if observed.shape[0] == 0:
+            return np.zeros(0, dtype=bool), 0
+        sub = _Submission(observed, expected)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError(f"{self.kind} micro-batcher is closed")
+            self._pending.append(sub)
+            self._pending_units += sub.units
+            self.metrics.gauge(f"queue_depth.{self.kind}").set(self._pending_units)
+            self._cond.notify_all()
+        if not sub.done.wait(self.submit_timeout):
+            raise RuntimeError(
+                f"{self.kind} micro-batch flush did not complete within "
+                f"{self.submit_timeout}s ({sub.units} units pending)"
+            )
+        if sub.error is not None:
+            raise sub.error
+        return sub.verdicts, sub.forwards
+
+    # -- flushing (dedicated thread) ----------------------------------------
+
+    def _take_batch(self) -> list:
+        """Block until a flush is due, then atomically take the batch.
+
+        Returns an empty list only at shutdown with nothing pending.
+        """
+        with self._cond:
+            while True:
+                if self._pending:
+                    if self._closed or self._pending_units >= self.max_batch_units:
+                        break
+                    age = time.monotonic() - self._pending[0].enqueued_at
+                    if age >= self.flush_deadline:
+                        break
+                    self._cond.wait(self.flush_deadline - age)
+                elif self._closed:
+                    return []
+                else:
+                    self._cond.wait()
+            batch = self._pending
+            self._pending = []
+            self._pending_units = 0
+            self.metrics.gauge(f"queue_depth.{self.kind}").set(0)
+            return batch
+
+    def _flush_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: list) -> None:
+        kind = self.kind
+        units = sum(sub.units for sub in batch)
+        wait_ms = (time.monotonic() - min(sub.enqueued_at for sub in batch)) * 1000.0
+        try:
+            observed = np.concatenate([sub.observed for sub in batch], axis=0)
+            expected = np.concatenate([sub.expected for sub in batch], axis=0)
+            verdicts = np.asarray(self.predict_fn(observed, expected, self.chunk_size))
+            start = 0
+            for sub in batch:
+                stop = start + sub.units
+                sub.verdicts = verdicts[start:stop]
+                sub.forwards = chunks_touched(start, stop, self.chunk_size)
+                start = stop
+        except BaseException as exc:  # propagate to every waiting submitter
+            for sub in batch:
+                sub.error = exc
+            self.metrics.counter(f"flush_errors.{kind}").inc()
+        else:
+            actual = forwards_for(units, self.chunk_size)
+            solo = sum(forwards_for(sub.units, self.chunk_size) for sub in batch)
+            self.metrics.counter(f"flushes_total.{kind}").inc()
+            self.metrics.counter(f"units_total.{kind}").inc(units)
+            self.metrics.counter(f"forwards_total.{kind}").inc(actual)
+            self.metrics.counter(f"forwards_saved_total.{kind}").inc(solo - actual)
+            self.metrics.histogram(f"batch_occupancy.{kind}").observe(units)
+            self.metrics.histogram(f"submissions_per_flush.{kind}").observe(len(batch))
+            self.metrics.histogram(
+                f"flush_wait_ms.{kind}", buckets=LATENCY_BUCKETS_MS
+            ).observe(wait_ms)
+        finally:
+            for sub in batch:
+                sub.done.set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Flush whatever is pending and stop the flusher.  Idempotent."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._flusher.join(timeout)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed

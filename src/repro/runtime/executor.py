@@ -1,0 +1,180 @@
+"""The shared validation executor: one runtime, many witness sessions.
+
+:class:`ValidationExecutor` is the layer between
+:class:`~repro.core.service.WitnessService` and the CNN verifiers.  In
+``executor="inline"`` mode (the default) each session executes its own
+:class:`~repro.core.verifiers.ValidationPlan` on the calling thread —
+the paper's prototype shape.  In ``executor="shared"`` mode every
+session routes its model forwards here instead:
+
+* :meth:`predict` coalesces the rows of concurrent sessions' validation
+  rounds into global micro-batches per model kind (one
+  :class:`~repro.runtime.batcher.MicroBatcher` each), flushed on a
+  max-units threshold or a deadline, whichever comes first;
+* an :class:`~repro.runtime.backpressure.AdmissionGate` bounds in-flight
+  units — submitters block at the door or shed to an inline forward;
+* :meth:`execute_plan` overlaps a frame's text plan (with its
+  alignment-retry rounds) and image plan on a small worker pool, so the
+  two model kinds batch and execute concurrently;
+* a :class:`~repro.runtime.metrics.RuntimeMetrics` registry records
+  queue depths, batch occupancy, flush latency and forwards saved,
+  surfaced through ``WitnessService.runtime_stats()``.
+
+Because the verifiers keep all caching/dedup/retry logic and only the
+forward itself is rerouted, shared-executor verdicts are bit-identical
+to inline execution (property-tested in ``tests/test_runtime.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.runtime.backpressure import POLICIES, AdmissionGate
+from repro.runtime.batcher import MicroBatcher, forwards_for
+from repro.runtime.metrics import RuntimeMetrics
+
+#: Valid ``WitnessConfig.executor`` modes.
+EXECUTOR_MODES = ("inline", "shared")
+
+KINDS = ("text", "image")
+
+
+class ValidationExecutor:
+    """Micro-batching, admission-controlled executor shared by sessions."""
+
+    def __init__(
+        self,
+        text_model,
+        image_model,
+        *,
+        max_batch_units: int = 256,
+        flush_deadline_ms: float = 2.0,
+        chunk_size: int | None = 512,
+        max_inflight_units: int | None = 8192,
+        admission: str = "block",
+        workers: int = 8,
+        submit_timeout: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if admission not in POLICIES:
+            raise ValueError(f"admission must be one of {POLICIES}, got {admission!r}")
+        self.metrics = RuntimeMetrics()
+        self.gate = AdmissionGate(max_inflight_units, policy=admission)
+        self._models = {"text": text_model, "image": image_model}
+        self._batchers = {
+            kind: MicroBatcher(
+                kind,
+                self._models[kind].predict,
+                chunk_size=chunk_size,
+                max_batch_units=max_batch_units,
+                flush_deadline=flush_deadline_ms / 1000.0,
+                metrics=self.metrics,
+                submit_timeout=submit_timeout,
+            )
+            for kind in KINDS
+        }
+        self.chunk_size = chunk_size
+        # Overlap pool: only ever runs verifier-side plan execution (which
+        # blocks waiting on flushes); flushes themselves run on the
+        # batchers' own flusher threads, so pool exhaustion cannot
+        # deadlock — it only serializes the overlap.
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-runtime-plan"
+        )
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+    # -- the verifier-facing forward ----------------------------------------
+
+    def predict(self, kind: str, observed: np.ndarray, expected: np.ndarray):
+        """Coalesced match verdicts: ``(bool ndarray, forwards_share)``.
+
+        Rows must be model-ready (normalized float32, expected already
+        one-hot/stacked) — exactly what the verifiers hand their models.
+        Under ``shed`` admission an over-capacity submission runs its own
+        inline forward instead of queueing; verdicts are identical either
+        way.
+        """
+        if kind not in KINDS:
+            raise ValueError(f"unknown model kind {kind!r}")
+        units = int(observed.shape[0])
+        if units == 0:
+            return np.zeros(0, dtype=bool), 0
+        self.metrics.counter(f"submissions_total.{kind}").inc()
+        if not self.gate.acquire(units):
+            # Shed: bounded memory wins over coalescing for this round.
+            self.metrics.counter("sheds_total").inc()
+            forwards = forwards_for(units, self.chunk_size)
+            self.metrics.counter(f"forwards_total.{kind}").inc(forwards)
+            verdicts = np.asarray(
+                self._models[kind].predict(observed, expected, self.chunk_size)
+            )
+            return verdicts, forwards
+        try:
+            return self._batchers[kind].submit(observed, expected)
+        finally:
+            self.gate.release(units)
+
+    # -- the display-facing plan execution -----------------------------------
+
+    def execute_plan(self, plan, text_verifier, image_verifier):
+        """``(text_verdicts, image_verdicts)`` for one frame's plan.
+
+        The image side runs on the overlap pool while the text side (and
+        its alignment-retry rounds) runs on the calling session thread;
+        both sides' forwards coalesce with every other session's rounds.
+        """
+        image_future = None
+        if plan.image_pair_count:
+            image_future = self._pool.submit(image_verifier.execute_plan, plan)
+        text_verdicts = text_verifier.execute_plan(plan)
+        if image_future is None:
+            image_verdicts = image_verifier.execute_plan(plan)  # empty: trivial
+        else:
+            image_verdicts = image_future.result()
+        return text_verdicts, image_verdicts
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One JSON-serializable snapshot of the runtime's state."""
+        self.metrics.gauge("inflight_units").set(self.gate.inflight_units)
+        self.metrics.gauge("admission_blocked_total").set(self.gate.blocked)
+        self.metrics.gauge("admission_shed_total").set(self.gate.shed)
+        snapshot = self.metrics.snapshot()
+        counters = snapshot["counters"]
+        snapshot["forwards_total"] = sum(
+            value for name, value in counters.items() if name.startswith("forwards_total.")
+        )
+        snapshot["forwards_saved_total"] = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("forwards_saved_total.")
+        )
+        return snapshot
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Flush pending batches and stop the runtime.  Idempotent."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for batcher in self._batchers.values():
+            batcher.close(timeout)
+        self._pool.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ValidationExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

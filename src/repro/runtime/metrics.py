@@ -1,0 +1,157 @@
+"""Runtime observability: counters, gauges and histograms.
+
+A :class:`RuntimeMetrics` registry is the single observability surface of
+the validation runtime (:mod:`repro.runtime.executor`).  It is deliberately
+Prometheus-shaped — monotonic counters, point-in-time gauges, bucketed
+histograms — so a deployment can lift :meth:`RuntimeMetrics.snapshot`
+straight into its metrics endpoint, but it has no external dependencies:
+instruments are plain objects sharing one lock.
+
+Instrument names are dotted paths (``flushes_total.text``,
+``batch_occupancy.image``); the per-kind suffix keeps the two model kinds
+separately observable without a label system.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Default histogram bucket upper bounds.  Chosen to cover both unit
+#: counts (batch occupancy: 1..thousands) and millisecond latencies
+#: (flush waits: sub-ms..seconds) without per-instrument tuning.
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A bucketed distribution with count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds; observations above the last
+    bound land in the implicit overflow bucket (reported as ``inf``).
+    """
+
+    def __init__(self, lock: threading.Lock, buckets=DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram buckets must be sorted and non-empty: {buckets!r}")
+        self._lock = lock
+        self.bounds = tuple(buckets)
+        self._bucket_counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._bucket_counts[i] += 1
+                    return
+            self._bucket_counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            buckets = {}
+            for bound, count in zip(self.bounds, self._bucket_counts):
+                buckets[f"le_{bound:g}"] = count
+            buckets["le_inf"] = self._bucket_counts[-1]
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self._sum / self._count if self._count else 0.0,
+                "min": self._min,
+                "max": self._max,
+                "buckets": buckets,
+            }
+
+
+class RuntimeMetrics:
+    """Create-or-get registry of named instruments with one atomic snapshot.
+
+    One registry belongs to one :class:`~repro.runtime.executor.\
+ValidationExecutor`; :meth:`repro.core.service.WitnessService.runtime_stats`
+    surfaces its :meth:`snapshot`.
+    """
+
+    def __init__(self) -> None:
+        # One lock for registration, a second shared by every instrument:
+        # snapshot() then sees each instrument atomically without holding
+        # up registration, and instruments stay cheap to create.
+        self._registry_lock = threading.Lock()
+        self._data_lock = threading.Lock()
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._registry_lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(self._data_lock)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._registry_lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(self._data_lock)
+            return self._gauges[name]
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> Histogram:
+        with self._registry_lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(self._data_lock, buckets)
+            return self._histograms[name]
+
+    def snapshot(self) -> dict:
+        """All instruments as plain nested dicts (JSON-serializable)."""
+        with self._registry_lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {name: h.snapshot() for name, h in sorted(histograms.items())},
+        }

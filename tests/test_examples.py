@@ -29,7 +29,7 @@ def _run_example(name: str) -> None:
 
 @pytest.mark.parametrize(
     "script",
-    ["quickstart.py", "banking_attack.py", "voting_clickjacking.py"],
+    ["quickstart.py", "banking_attack.py", "voting_clickjacking.py", "fleet_simulation.py"],
 )
 def test_example_runs(script, text_model, image_model, monkeypatch):
     # Examples call the zoo themselves; models are already cached by the

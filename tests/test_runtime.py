@@ -1,0 +1,583 @@
+"""The cross-session validation runtime: coalescing, backpressure, parity.
+
+Three layers of coverage:
+
+* unit tests of the runtime building blocks (metrics instruments, the
+  admission gate, the micro-batcher, the executor facade) against fake
+  models, where flush/backpressure behavior can be forced
+  deterministically;
+* the parity property: routing a session's model forwards through the
+  shared executor — including concurrently with other sessions — is a
+  pure execution strategy, bit-identical to inline execution on
+  randomized tampered/shifted frames;
+* service-level integration: many short-lived shared-mode sessions
+  through one :class:`WitnessService`, with consistent registry and
+  runtime statistics.
+"""
+
+import copy
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.caches import DigestCache
+from repro.core.display import DisplayValidator
+from repro.core.service import SessionRegistry, WitnessConfig, WitnessService
+from repro.core.verifiers import ImageVerifier, TextVerifier
+from repro.crypto import CertificateAuthority
+from repro.datasets.forms import jotform_page
+from repro.raster.stacks import stack_registry
+from repro.runtime import (
+    AdmissionGate,
+    MicroBatcher,
+    RuntimeMetrics,
+    ValidationExecutor,
+    chunks_touched,
+    forwards_for,
+)
+from repro.server.generate import build_vspec
+from repro.server.webserver import WitnessedSite
+from repro.web import HonestUser
+from repro.web.browser import Browser
+from repro.web.hypervisor import Machine
+
+from tests.conftest import make_transfer_page
+
+
+class FakeModel:
+    """Row-independent deterministic stand-in for a matcher model."""
+
+    def __init__(self, delay: float = 0.0):
+        self.forwards = 0
+        self.delay = delay
+        self._lock = threading.Lock()
+
+    def predict(self, observed, expected, chunk_size=None):
+        with self._lock:
+            self.forwards += forwards_for(len(observed), chunk_size)
+        if self.delay:
+            import time
+
+            time.sleep(self.delay)
+        return observed.reshape(len(observed), -1).sum(axis=1) > 0
+
+
+def rows(n: int, value: float = 1.0) -> np.ndarray:
+    return np.full((n, 1, 2, 2), value, dtype=np.float32)
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        metrics = RuntimeMetrics()
+        metrics.counter("c").inc()
+        metrics.counter("c").inc(4)
+        metrics.gauge("g").set(3.5)
+        metrics.gauge("g").add(-1.5)
+        hist = metrics.histogram("h", buckets=(1, 10))
+        for v in (0.5, 5, 100):
+            hist.observe(v)
+        snap = metrics.snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 2.0
+        h = snap["histograms"]["h"]
+        assert h["count"] == 3 and h["min"] == 0.5 and h["max"] == 100
+        assert h["buckets"] == {"le_1": 1, "le_10": 1, "le_inf": 1}
+        assert h["mean"] == pytest.approx((0.5 + 5 + 100) / 3)
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError, match="only go up"):
+            RuntimeMetrics().counter("c").inc(-1)
+
+    def test_instruments_are_create_or_get(self):
+        metrics = RuntimeMetrics()
+        assert metrics.counter("x") is metrics.counter("x")
+        assert metrics.histogram("y") is metrics.histogram("y")
+
+
+class TestForwardAccounting:
+    def test_forwards_for(self):
+        assert forwards_for(0, 512) == 0
+        assert forwards_for(1, None) == 1
+        assert forwards_for(512, 512) == 1
+        assert forwards_for(513, 512) == 2
+
+    def test_chunks_touched(self):
+        # Rows [0, 5) of a chunk-4 flush span chunks 0 and 1.
+        assert chunks_touched(0, 5, 4) == 2
+        assert chunks_touched(4, 8, 4) == 1
+        assert chunks_touched(3, 4, 4) == 1
+        assert chunks_touched(2, 2, 4) == 0
+        assert chunks_touched(0, 100, None) == 1
+
+
+class TestAdmissionGate:
+    def test_shed_when_full(self):
+        gate = AdmissionGate(10, policy="shed")
+        assert gate.acquire(8)
+        assert not gate.acquire(5)
+        assert gate.shed == 1
+        gate.release(8)
+        assert gate.acquire(5)
+
+    def test_block_until_released(self):
+        gate = AdmissionGate(10, policy="block", block_timeout=5.0)
+        assert gate.acquire(9)
+        admitted = []
+
+        def second():
+            admitted.append(gate.acquire(5))
+
+        t = threading.Thread(target=second)
+        t.start()
+        t.join(0.05)
+        assert t.is_alive(), "second submission should be waiting for room"
+        gate.release(9)
+        t.join(2.0)
+        assert admitted == [True]
+        assert gate.blocked == 1
+        gate.release(5)
+        assert gate.inflight_units == 0
+
+    def test_block_timeout_raises(self):
+        gate = AdmissionGate(4, policy="block", block_timeout=0.05)
+        gate.acquire(4)
+        with pytest.raises(RuntimeError, match="stalled"):
+            gate.acquire(1)
+
+    def test_oversized_submission_admitted_alone(self):
+        gate = AdmissionGate(4, policy="block")
+        assert gate.acquire(100)  # empty runtime: must run somewhere
+        gate.release(100)
+        gate = AdmissionGate(4, policy="shed")
+        assert gate.acquire(100)
+
+    def test_oversized_waiter_drains_instead_of_starving(self):
+        """Small rounds must not be admitted past a waiting oversized plan."""
+        gate = AdmissionGate(4, policy="block", block_timeout=5.0)
+        assert gate.acquire(2)
+        admitted = []
+        oversized = threading.Thread(target=lambda: admitted.append(gate.acquire(100)))
+        oversized.start()
+        while gate._drain_waiters == 0:  # the big plan is now at the door
+            pass
+        # A small round that would normally fit (2 + 2 <= 4) must wait
+        # behind the draining gate rather than keep inflight pinned > 0.
+        small = threading.Thread(target=lambda: admitted.append(gate.acquire(2)))
+        small.start()
+        small.join(0.05)
+        assert small.is_alive(), "small round was admitted past the oversized waiter"
+        gate.release(2)  # runtime empties: the oversized plan goes first
+        oversized.join(2.0)
+        assert admitted == [True]
+        gate.release(100)
+        small.join(2.0)
+        assert admitted == [True, True]
+        gate.release(2)
+        assert gate.inflight_units == 0
+
+    def test_empty_runtime_still_held_for_a_drain_waiter(self):
+        """A small round arriving at the exact moment the runtime empties
+        must not jump ahead of a waiting oversized plan."""
+        gate = AdmissionGate(4, policy="block")
+        gate._drain_waiters = 1  # an oversized plan is at the door
+        assert not gate._has_room(2)  # ordinary round: wait behind it
+        assert gate._has_room(100)  # the oversized plan itself: admitted
+        gate._drain_waiters = 0
+        assert gate._has_room(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_inflight_units"):
+            AdmissionGate(0)
+        with pytest.raises(ValueError, match="policy"):
+            AdmissionGate(10, policy="drop")
+
+
+class TestMicroBatcher:
+    def test_concurrent_submissions_coalesce_into_one_flush(self):
+        model = FakeModel()
+        batcher = MicroBatcher(
+            "text", model.predict, max_batch_units=8, flush_deadline=2.0, chunk_size=None
+        )
+        try:
+            results = [None, None]
+
+            def submit(i):
+                results[i] = batcher.submit(rows(4, value=i), rows(4, value=i))
+
+            threads = [threading.Thread(target=submit, args=(i,)) for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(5.0)
+            # 4 + 4 units hit the occupancy threshold: one flush, one forward.
+            assert model.forwards == 1
+            v0, f0 = results[0]
+            v1, f1 = results[1]
+            assert not v0.any() and v1.all()  # value-0 rows sum to 0
+            assert f0 == f1 == 1  # both rode the same single chunk-forward
+            snap = batcher.metrics.snapshot()
+            assert snap["counters"]["flushes_total.text"] == 1
+            assert snap["counters"]["units_total.text"] == 8
+            assert snap["counters"]["forwards_saved_total.text"] == 1
+            assert snap["histograms"]["submissions_per_flush.text"]["max"] == 2
+            assert snap["histograms"]["batch_occupancy.text"]["max"] == 8
+        finally:
+            batcher.close()
+
+    def test_deadline_flushes_a_lone_submission(self):
+        model = FakeModel()
+        batcher = MicroBatcher(
+            "text", model.predict, max_batch_units=10_000, flush_deadline=0.01
+        )
+        try:
+            verdicts, forwards = batcher.submit(rows(3), rows(3))
+            assert verdicts.tolist() == [True, True, True]
+            assert forwards == 1
+            assert model.forwards == 1
+        finally:
+            batcher.close()
+
+    def test_error_propagates_to_every_submitter(self):
+        def explode(observed, expected, chunk_size=None):
+            raise ValueError("model bug")
+
+        batcher = MicroBatcher("text", explode, max_batch_units=1, flush_deadline=0.0)
+        try:
+            with pytest.raises(ValueError, match="model bug"):
+                batcher.submit(rows(2), rows(2))
+            snap = batcher.metrics.snapshot()
+            assert snap["counters"]["flush_errors.text"] == 1
+        finally:
+            batcher.close()
+
+    def test_close_is_idempotent_and_rejects_new_submissions(self):
+        batcher = MicroBatcher("text", FakeModel().predict)
+        batcher.close()
+        batcher.close()
+        assert batcher.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(rows(1), rows(1))
+
+    def test_empty_submission_short_circuits(self):
+        model = FakeModel()
+        batcher = MicroBatcher("text", model.predict)
+        try:
+            verdicts, forwards = batcher.submit(rows(0), rows(0))
+            assert len(verdicts) == 0 and forwards == 0
+            assert model.forwards == 0
+        finally:
+            batcher.close()
+
+    def test_row_count_mismatch_rejected(self):
+        batcher = MicroBatcher("text", FakeModel().predict)
+        try:
+            with pytest.raises(ValueError, match="row mismatch"):
+                batcher.submit(rows(2), rows(3))
+        finally:
+            batcher.close()
+
+
+class TestValidationExecutor:
+    def make(self, **kwargs) -> tuple:
+        text, image = FakeModel(), FakeModel()
+        defaults = dict(max_batch_units=4, flush_deadline_ms=1.0, chunk_size=None)
+        defaults.update(kwargs)
+        return ValidationExecutor(text, image, **defaults), text, image
+
+    def test_predict_routes_per_kind(self):
+        executor, text, image = self.make()
+        with executor:
+            verdicts, _ = executor.predict("text", rows(2), rows(2))
+            assert verdicts.all()
+            verdicts, _ = executor.predict("image", rows(3, 0.0), rows(3, 0.0))
+            assert not verdicts.any()
+            assert text.forwards == 1 and image.forwards == 1
+        with pytest.raises(ValueError, match="unknown model kind"):
+            self.make()[0].predict("audio", rows(1), rows(1))
+
+    def test_shed_falls_back_to_inline_forward(self):
+        executor, text, _ = self.make(max_inflight_units=2, admission="shed")
+        with executor:
+            release = threading.Event()
+
+            def slow_predict(observed, expected, chunk_size=None):
+                release.wait(5.0)
+                return FakeModel().predict(observed, expected, chunk_size)
+
+            executor._batchers["text"].predict_fn = slow_predict
+            # Occupy the gate with a flush that cannot finish yet...
+            occupant = threading.Thread(
+                target=executor.predict, args=("text", rows(2), rows(2))
+            )
+            occupant.start()
+            while executor.gate.inflight_units < 2:
+                pass
+            # ...so this submission sheds and runs inline — still correct.
+            verdicts, forwards = executor.predict("text", rows(3), rows(3))
+            release.set()
+            occupant.join(5.0)
+            assert verdicts.all() and forwards == 1
+            assert executor.stats()["counters"]["sheds_total"] == 1
+
+    def test_stats_aggregates_forwards(self):
+        executor, _, _ = self.make()
+        with executor:
+            executor.predict("text", rows(2), rows(2))
+            executor.predict("image", rows(2), rows(2))
+            stats = executor.stats()
+            assert stats["forwards_total"] == 2
+            assert stats["counters"]["submissions_total.text"] == 1
+            assert stats["counters"]["submissions_total.image"] == 1
+            assert "queue_depth.text" in stats["gauges"]
+        assert executor.closed
+
+    def test_empty_rows_do_not_touch_the_gate(self):
+        executor, text, _ = self.make(max_inflight_units=1)
+        with executor:
+            verdicts, forwards = executor.predict("text", rows(0), rows(0))
+            assert len(verdicts) == 0 and forwards == 0
+            assert text.forwards == 0
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ValidationExecutor(FakeModel(), FakeModel(), workers=0)
+        with pytest.raises(ValueError, match="admission"):
+            ValidationExecutor(FakeModel(), FakeModel(), admission="nope")
+
+
+# -- parity: shared execution must be invisible in the verdicts -------------
+
+
+def _render(seed: int):
+    page = jotform_page(seed % 50)
+    vspec = build_vspec(copy.deepcopy(page), f"rt-{seed}")
+    machine = Machine(640, min(600, vspec.height))
+    browser = Browser(
+        machine, copy.deepcopy(page), stack=stack_registry()[seed % len(stack_registry())]
+    )
+    browser.paint()
+    return vspec, machine
+
+
+def _tamper(frame: np.ndarray, vspec, kind: str, rng) -> np.ndarray:
+    if kind == "fill":
+        y = int(rng.integers(0, max(frame.shape[0] - 30, 1)))
+        x = int(rng.integers(0, max(frame.shape[1] - 60, 1)))
+        frame = frame.copy()
+        frame[y : y + 24, x : x + 48] = 120.0
+    elif kind == "shift":
+        frame = np.vstack([np.full((1, frame.shape[1]), vspec.background), frame[:-1]])
+    return frame
+
+
+def _validator(vspec, text_model, image_model, runtime=None) -> DisplayValidator:
+    cache = DigestCache()
+    return DisplayValidator(
+        vspec,
+        TextVerifier(text_model, batched=True, cache=cache.scoped("text"), runtime=runtime),
+        ImageVerifier(image_model, batched=True, cache=cache.scoped("image"), runtime=runtime),
+        runtime=runtime,
+    )
+
+
+def _assert_results_equal(shared, inline):
+    assert shared.ok == inline.ok
+    assert shared.offset_y == inline.offset_y
+    assert shared.failures == inline.failures
+    assert shared.entries_checked == inline.entries_checked
+    assert shared.plan_text_units == inline.plan_text_units
+    assert shared.plan_image_pairs == inline.plan_image_pairs
+    assert shared.text_retry_rounds == inline.text_retry_rounds
+    assert shared.text_invocations == inline.text_invocations
+    assert shared.image_invocations == inline.image_invocations
+
+
+class TestSharedInlineParity:
+    @settings(max_examples=4, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        tampers=st.lists(st.sampled_from(["none", "fill", "shift"]), min_size=2, max_size=3),
+    )
+    def test_concurrent_shared_sessions_match_inline(
+        self, text_model, image_model, seed, tampers
+    ):
+        """N sessions' frames through one executor == each frame inline."""
+        rng = np.random.default_rng(seed)
+        frames = []
+        for i, kind in enumerate(tampers):
+            vspec, machine = _render(seed + i)
+            frames.append((vspec, _tamper(machine.sample_framebuffer().pixels, vspec, kind, rng)))
+
+        inline_results = [
+            _validator(vspec, text_model, image_model).validate(frame)
+            for vspec, frame in frames
+        ]
+        with ValidationExecutor(
+            text_model, image_model, max_batch_units=64, flush_deadline_ms=1.0
+        ) as executor:
+            with ThreadPoolExecutor(max_workers=len(frames)) as pool:
+                shared_results = list(
+                    pool.map(
+                        lambda pair: _validator(
+                            pair[0], text_model, image_model, runtime=executor
+                        ).validate(pair[1]),
+                        frames,
+                    )
+                )
+        for shared, inline in zip(shared_results, inline_results):
+            _assert_results_equal(shared, inline)
+
+    def test_shed_admission_keeps_verdicts_identical(self, text_model, image_model):
+        """Overload shedding degrades coalescing, never correctness."""
+        vspec, machine = _render(11)
+        frame = machine.sample_framebuffer().pixels
+        inline = _validator(vspec, text_model, image_model).validate(frame)
+        with ValidationExecutor(
+            text_model,
+            image_model,
+            max_inflight_units=1,  # absurdly tight: every round sheds or runs alone
+            admission="shed",
+            flush_deadline_ms=0.5,
+        ) as executor:
+            shared = _validator(vspec, text_model, image_model, runtime=executor).validate(frame)
+        _assert_results_equal(shared, inline)
+
+
+# -- service integration -----------------------------------------------------
+
+
+def _drive(pair):
+    index, client = pair
+    user = HonestUser(client.browser)
+    user.fill_text_input("recipient", f"ACC-{index}")
+    user.fill_text_input("amount", str(10 + index))
+    user.toggle_checkbox("confirm", True)
+    return client.submit()
+
+
+class TestServiceRuntime:
+    def test_shared_config_requires_batched(self):
+        with pytest.raises(ValueError, match="batched=True"):
+            WitnessConfig(executor="shared")
+        with pytest.raises(ValueError, match="executor"):
+            WitnessConfig(executor="turbo")
+        with pytest.raises(ValueError, match="runtime_admission"):
+            WitnessConfig(batched=True, executor="shared", runtime_admission="drop")
+        with pytest.raises(ValueError, match="runtime_max_batch_units"):
+            WitnessConfig(batched=True, executor="shared", runtime_max_batch_units=0)
+        with pytest.raises(ValueError, match="runtime_flush_deadline_ms"):
+            WitnessConfig(batched=True, executor="shared", runtime_flush_deadline_ms=-1)
+        with pytest.raises(ValueError, match="runtime_workers"):
+            WitnessConfig(batched=True, executor="shared", runtime_workers=0)
+        with pytest.raises(ValueError, match="runtime_max_inflight_units"):
+            WitnessConfig(batched=True, executor="shared", runtime_max_inflight_units=0)
+
+    def test_inline_service_never_builds_a_runtime(self, text_model, image_model):
+        ca = CertificateAuthority()
+        with WitnessService(
+            ca, WitnessConfig(batched=True), text_model=text_model, image_model=image_model
+        ) as service:
+            session = service.open_session(Machine(640, 480))
+            assert service.runtime is None
+            stats = service.runtime_stats()
+            assert stats["executor"] == "inline"
+            assert stats["runtime"] is None
+            assert stats["sessions"]["active"] == 1
+            session.close()
+
+    def test_runtime_stats_shape(self, text_model, image_model):
+        site = WitnessedSite(
+            config=WitnessConfig(batched=True, executor="shared"),
+            text_model=text_model,
+            image_model=image_model,
+        )
+        site.register_page("transfer", make_transfer_page())
+        with site.service:
+            client = site.connect("transfer")
+            _drive((0, client))
+            stats = site.service.runtime_stats()
+            assert stats["executor"] == "shared"
+            assert stats["sessions"] == {"active": 0, "total_opened": 1, "peak_active": 1}
+            runtime = stats["runtime"]
+            assert runtime["counters"]["submissions_total.text"] > 0
+            assert runtime["forwards_total"] > 0
+            assert runtime["forwards_saved_total"] >= 0
+            assert "flush_wait_ms.text" in runtime["histograms"]
+        # close() stops the executor but keeps its final counters readable.
+        assert site.service.runtime is not None and site.service.runtime.closed
+        after = site.service.runtime_stats()["runtime"]
+        assert after["counters"] == runtime["counters"]
+
+    def test_many_short_lived_shared_sessions(self, text_model, image_model):
+        """Stress: a churn of short sessions through one shared runtime."""
+        site = WitnessedSite(
+            config=WitnessConfig(batched=True, executor="shared"),
+            text_model=text_model,
+            image_model=image_model,
+        )
+        site.register_page("transfer", make_transfer_page())
+        with site.service:
+            decisions = []
+            for wave in range(3):  # short-lived: sessions open and die in waves
+                clients = [site.connect("transfer") for _ in range(6)]
+                with ThreadPoolExecutor(max_workers=6) as pool:
+                    decisions.extend(pool.map(_drive, enumerate(clients)))
+            assert all(d.certified for d in decisions), [d.reason for d in decisions]
+            stats = site.service.runtime_stats()
+            assert stats["sessions"] == {
+                "active": 0,
+                "total_opened": 18,
+                "peak_active": 6,
+            }
+            runtime = stats["runtime"]
+            assert runtime["counters"]["units_total.text"] > 0
+            assert runtime["gauges"]["inflight_units"] == 0
+            occupancy = runtime["histograms"]["batch_occupancy.text"]
+            assert occupancy["count"] == runtime["counters"]["flushes_total.text"]
+
+    def test_sessions_share_one_runtime_and_recreate_after_close(
+        self, text_model, image_model
+    ):
+        ca = CertificateAuthority()
+        config = WitnessConfig(batched=True, executor="shared")
+        service = WitnessService(ca, config, text_model=text_model, image_model=image_model)
+        first = service.session_runtime(config)
+        assert service.session_runtime(config) is first
+        service.close()
+        assert first.closed
+        second = service.session_runtime(config)
+        assert second is not first and not second.closed
+        service.close()
+
+
+class TestRegistryStats:
+    def test_stats_snapshot_is_consistent_under_churn(self):
+        registry = SessionRegistry()
+
+        class StubSession:
+            id = 0
+
+        def churn():
+            for _ in range(200):
+                session = StubSession()
+                session.id = registry.register(session)
+                snap = registry.stats()
+                # A snapshot can never tear: every opened session is
+                # either active or was active before this peak.
+                assert snap["peak_active"] >= snap["active"]
+                assert snap["total_opened"] >= snap["active"]
+                registry.unregister(session)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        final = registry.stats()
+        assert final == {"active": 0, "total_opened": 800, "peak_active": final["peak_active"]}
+        assert registry.total_opened == 800
+        assert 1 <= registry.peak_active <= 4
