@@ -12,11 +12,16 @@ closer to the original evaluation.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: Machine-readable per-benchmark key metrics, merged benchmark-by-
+#: benchmark so the perf trajectory stays diffable across PRs.
+SUMMARY_PATH = os.path.join(RESULTS_DIR, "bench_summary.json")
 
 SCALES = {
     "small": {
@@ -68,6 +73,23 @@ def executor_mode(request) -> str:
 
 
 @pytest.fixture(scope="session")
+def inference_mode(request) -> str:
+    """``"frozen"`` or ``"training"``: which inference engine the
+    service-level benchmarks run (``--inference`` / ``REPRO_BENCH_INFERENCE``)."""
+    from repro.nn.infer import INFERENCE_MODES
+
+    option = request.config.getoption("--inference", default=None)
+    if option is not None:
+        return option
+    env = os.environ.get("REPRO_BENCH_INFERENCE", "frozen")
+    if env not in INFERENCE_MODES:
+        raise ValueError(
+            f"REPRO_BENCH_INFERENCE must be one of {INFERENCE_MODES}, got {env!r}"
+        )
+    return env
+
+
+@pytest.fixture(scope="session")
 def text_model():
     from repro.nn.zoo import get_text_model
 
@@ -89,3 +111,25 @@ def record_result(name: str, content: str) -> str:
         fh.write(content.rstrip() + "\n")
     print(f"\n{content}\n[written to {path}]")
     return path
+
+
+def record_metrics(name: str, metrics: dict) -> str:
+    """Merge one benchmark's key metrics into ``bench_summary.json``.
+
+    Each benchmark owns one top-level key; re-running a single benchmark
+    updates only its own entry, so the summary accumulates across partial
+    runs and its diffs track the perf trajectory PR over PR.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    data: dict = {}
+    if os.path.exists(SUMMARY_PATH):
+        try:
+            with open(SUMMARY_PATH) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    data[name] = metrics
+    with open(SUMMARY_PATH, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return SUMMARY_PATH

@@ -65,7 +65,9 @@ class FirstFrameResult:
         return self.text_forwards + self.image_forwards
 
 
-def jotform_first_frame(seed: int, text_model, image_model, batched: bool) -> FirstFrameResult:
+def jotform_first_frame(
+    seed: int, text_model, image_model, batched: bool, inference: str = "frozen"
+) -> FirstFrameResult:
     """Validate the first display frame of a generated form."""
     page = jotform_page(seed)
     vspec = build_vspec(copy.deepcopy(page), f"jf-{seed}")
@@ -75,8 +77,12 @@ def jotform_first_frame(seed: int, text_model, image_model, batched: bool) -> Fi
     browser.paint()
     frame = machine.sample_framebuffer().pixels
     cache = DigestCache()
-    text_verifier = TextVerifier(text_model, batched=batched, cache=cache.scoped("text"))
-    image_verifier = ImageVerifier(image_model, batched=batched, cache=cache.scoped("image"))
+    text_verifier = TextVerifier(
+        text_model, batched=batched, cache=cache.scoped("text"), inference=inference
+    )
+    image_verifier = ImageVerifier(
+        image_model, batched=batched, cache=cache.scoped("image"), inference=inference
+    )
     validator = DisplayValidator(vspec, text_verifier, image_verifier)
     t0 = time.perf_counter()
     result = validator.validate(frame)
@@ -120,6 +126,7 @@ def run_interactive_session(
     batched: bool,
     caching: bool = True,
     executor: str = "inline",
+    inference: str = "frozen",
 ):
     """A full witnessed session on a generated form with an honest user.
 
@@ -146,6 +153,7 @@ def run_interactive_session(
             caching=caching,
             sampler_seed=seed,
             executor=executor if batched else "inline",
+            inference=inference,
         ),
         text_model=text_model,
         image_model=image_model,
@@ -285,34 +293,6 @@ def run_fleet_sessions(
             wall_seconds=wall,
             runtime_stats=site.service.runtime_stats(),
         )
-
-
-def run_service_sessions(
-    n_sessions: int,
-    text_model,
-    image_model,
-    *,
-    threads: int = 1,
-    page_seed: int = 0,
-    batched: bool = True,
-    executor: str = "inline",
-):
-    """Compatibility wrapper over :func:`run_fleet_sessions`.
-
-    Returns the original ``(decisions, service, peak_active,
-    wall_seconds)`` tuple for the table benchmarks that predate
-    :class:`FleetResult`.
-    """
-    fleet = run_fleet_sessions(
-        n_sessions,
-        text_model,
-        image_model,
-        threads=threads,
-        page_seeds=(page_seed,),
-        batched=batched,
-        executor=executor,
-    )
-    return fleet.decisions, fleet.service, fleet.peak_active, fleet.wall_seconds
 
 
 def summarize(values) -> dict:

@@ -4,12 +4,33 @@ The paper fits ``T(frame0) ~ c_t * x_t + c_g * x_g`` over the Jotform
 set and observes the graphics coefficient exceeds the text one ("it is
 more expensive to invoke the graphic model as it takes two graphics as
 input and has to do two feature extractions").
+
+De-flaking: the fit runs over wall-clock timings of single frames, so a
+burst of machine load (CI neighbors, thermal throttling) used to drown
+the per-invocation signal and trip the assertions.  Instead of the old
+"re-measure once and hope" retry, every page is now timed
+``TIMING_REPEATS`` times on ``time.perf_counter`` and contributes its
+*median* — load spikes hit individual runs, medians shrug them off — and
+the per-page spread doubles as a load gauge: when the machine is
+measurably noisy the R^2 floor relaxes (the regression *shape* is still
+asserted, just with a tolerance that acknowledges the measured noise).
 """
 
 import numpy as np
 
-from benchmarks.conftest import record_result
+from benchmarks.conftest import record_metrics, record_result
 from benchmarks.harness import jotform_first_frame
+
+#: Timed runs per page; each page contributes its median.
+TIMING_REPEATS = 5
+
+#: Relative per-page spread (max-min over median) below which the
+#: machine counts as quiet.
+QUIET_SPREAD = 0.25
+
+#: R^2 floors: quiet machine vs measurably loaded machine.
+R2_FLOOR_QUIET = 0.5
+R2_FLOOR_LOADED = 0.3
 
 
 def _fit(results):
@@ -25,6 +46,25 @@ def _fit(results):
     return tuple(float(c) for c in coef), r2
 
 
+def _measure_page(seed, text_model, image_model):
+    """Median-of-k measurement of one page's first-frame validation.
+
+    Invocation counts are deterministic across repeats (same page, same
+    models); only the wall-clock varies, so the median re-attaches to the
+    first run's counts.  Returns ``(result, relative_spread)``.
+    """
+    from dataclasses import replace
+
+    runs = [
+        jotform_first_frame(seed, text_model, image_model, batched=False)
+        for _ in range(TIMING_REPEATS)
+    ]
+    seconds = np.asarray([r.seconds for r in runs])
+    median = float(np.median(seconds))
+    spread = float((seconds.max() - seconds.min()) / max(median, 1e-9))
+    return replace(runs[0], seconds=median), spread
+
+
 def test_figure5_invocation_regression(benchmark, scale, text_model, image_model):
     def run():
         # Warm-up (untimed): absorb one-off allocation costs so the fit
@@ -33,35 +73,38 @@ def test_figure5_invocation_regression(benchmark, scale, text_model, image_model
         # Sequential (CPU) mode: per-invocation cost is the quantity the
         # regression estimates.
         return [
-            jotform_first_frame(seed, text_model, image_model, batched=False)
+            _measure_page(seed, text_model, image_model)
             for seed in range(max(scale["perf_pages"], 8))
         ]
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    results = [r for r, _ in measured]
+    spreads = [s for _, s in measured]
+    load = float(np.median(spreads))
+    quiet = load < QUIET_SPREAD
+    r2_floor = R2_FLOOR_QUIET if quiet else R2_FLOOR_LOADED
 
     (c_text, c_graphics, intercept), r2 = _fit(results)
-    if r2 <= 0.5 or c_text <= 0:
-        # The fit is over wall-clock timings of single frames: a burst of
-        # machine load during the measured window (CI neighbors, thermal
-        # throttling) can drown the per-invocation signal.  One untimed
-        # re-measurement separates that noise from a real regression.
-        results = run()
-        (c_text, c_graphics, intercept), r2 = _fit(results)
 
     lines = [
         "Figure 5 — T(frame0) vs model invocations (Jotform, sequential mode)",
         "",
-        f"{'page':>5} {'x_text':>7} {'x_graphics':>11} {'T(frame0) s':>12}",
+        f"median of {TIMING_REPEATS} timed runs per page (time.perf_counter)",
+        "",
+        f"{'page':>5} {'x_text':>7} {'x_graphics':>11} {'T(frame0) s':>12} {'spread':>7}",
     ]
-    for r in results:
+    for r, s in measured:
         lines.append(
-            f"{r.seed:>5} {r.text_invocations:>7} {r.image_invocations:>11} {r.seconds:>12.3f}"
+            f"{r.seed:>5} {r.text_invocations:>7} {r.image_invocations:>11} "
+            f"{r.seconds:>12.3f} {s:>6.1%}"
         )
     shape_held = c_graphics > c_text
     lines += [
         "",
         f"least-squares fit: T = {c_text * 1000:.2f}ms * x_t + {c_graphics * 1000:.2f}ms * x_g "
         f"+ {intercept * 1000:.1f}ms   (R^2 = {r2:.3f})",
+        f"machine load gauge: median per-page spread {load:.1%} -> "
+        f"{'quiet' if quiet else 'loaded'}, R^2 floor {r2_floor}",
         "",
         "Paper's shape: per-invocation graphics cost exceeds per-invocation",
         "text cost, and T(frame0) is predictable from the counts.",
@@ -70,6 +113,21 @@ def test_figure5_invocation_regression(benchmark, scale, text_model, image_model
         "few pages carry graphics invocations, so c_g is noise-sensitive).",
     ]
     record_result("figure5_regression", "\n".join(lines))
+    record_metrics(
+        "figure5_regression",
+        {
+            "c_text_ms": round(c_text * 1000, 4),
+            "c_graphics_ms": round(c_graphics * 1000, 4),
+            "intercept_ms": round(intercept * 1000, 2),
+            "r2": round(r2, 4),
+            "load_spread": round(load, 4),
+            "r2_floor": r2_floor,
+            "timing_repeats": TIMING_REPEATS,
+        },
+    )
 
     assert c_text > 0
-    assert r2 > 0.5
+    assert r2 > r2_floor, (
+        f"R^2 {r2:.3f} below {'quiet' if quiet else 'load-relaxed'} floor "
+        f"{r2_floor} (median per-page spread {load:.1%})"
+    )

@@ -8,23 +8,29 @@ single service, sequential vs thread-pooled, reported as sessions per
 second.
 """
 
-from benchmarks.conftest import record_result
-from benchmarks.harness import run_service_sessions
+from benchmarks.conftest import record_metrics, record_result
+from benchmarks.harness import run_fleet_sessions
 
 #: The acceptance floor: one service must drive at least this many
 #: concurrent guest sessions over one warm model set.
 MIN_CONCURRENT_SESSIONS = 8
 
 
-def test_service_session_throughput(benchmark, scale, text_model, image_model, executor_mode):
+def test_service_session_throughput(
+    benchmark, scale, text_model, image_model, executor_mode, inference_mode
+):
     n = max(MIN_CONCURRENT_SESSIONS, scale["perf_pages"])
 
     def run():
         out = {}
         for label, threads in (("sequential", 1), ("8 threads", 8)):
-            decisions, service, peak, wall = run_service_sessions(
+            fleet = run_fleet_sessions(
                 n, text_model, image_model, threads=threads, batched=True,
                 executor=executor_mode,
+                config_overrides={"inference": inference_mode},
+            )
+            decisions, service, peak, wall = (
+                fleet.decisions, fleet.service, fleet.peak_active, fleet.wall_seconds,
             )
             certified = sum(bool(d.certified) for d in decisions)
             cache = service.shared_cache
@@ -46,7 +52,8 @@ def test_service_session_throughput(benchmark, scale, text_model, image_model, e
 
     lines = [
         "Service throughput: N concurrent guest sessions, one WitnessService",
-        f"(one warm model set shared by all sessions; N={n}; executor={executor_mode})",
+        f"(one warm model set shared by all sessions; N={n}; "
+        f"executor={executor_mode}; inference={inference_mode})",
         "",
         f"{'mode':<12} {'sessions':>8} {'certified':>9} {'peak':>5} "
         f"{'wall (s)':>9} {'sess/s':>8} {'cache hit':>9}",
@@ -58,3 +65,17 @@ def test_service_session_throughput(benchmark, scale, text_model, image_model, e
             f"{row['sessions_per_sec']:>8.2f} {row['cache_hit_rate']:>8.1%}"
         )
     record_result("service_throughput", "\n".join(lines))
+    record_metrics(
+        "service_throughput",
+        {
+            "executor": executor_mode,
+            "inference": inference_mode,
+            "sessions": n,
+            "sessions_per_sec_sequential": round(
+                stats["sequential"]["sessions_per_sec"], 2
+            ),
+            "sessions_per_sec_threaded": round(
+                stats["8 threads"]["sessions_per_sec"], 2
+            ),
+        },
+    )

@@ -5,11 +5,11 @@ reproduction's "GPU" analogue is the batched vectorized inference path,
 "CPU" the sequential one-invocation-at-a-time path.
 """
 
-from benchmarks.conftest import record_result
+from benchmarks.conftest import record_metrics, record_result
 from benchmarks.harness import jotform_first_frame, summarize
 
 
-def _clickbench_times(scale, image_model, batched: bool):
+def _clickbench_times(scale, image_model, batched: bool, inference: str):
     import gc
     import time
 
@@ -22,10 +22,15 @@ def _clickbench_times(scale, image_model, batched: bool):
     # buffer-allocation costs that dwarf steady-state validation when the
     # heap is churned by earlier suite activity; Table VIII measures the
     # latter.
-    validate_sample(samples[0], ImageVerifier(image_model, batched=batched, cache=DigestCache()))
+    validate_sample(
+        samples[0],
+        ImageVerifier(image_model, batched=batched, cache=DigestCache(), inference=inference),
+    )
     times = []
     for sample in samples:
-        verifier = ImageVerifier(image_model, batched=batched, cache=DigestCache())
+        verifier = ImageVerifier(
+            image_model, batched=batched, cache=DigestCache(), inference=inference
+        )
         # Collect before every timed sample: a GC pause inherited from
         # earlier suite activity landing inside one measurement skews the
         # per-sample mean far more than steady-state validation varies.
@@ -36,14 +41,16 @@ def _clickbench_times(scale, image_model, batched: bool):
     return times
 
 
-def test_table8_first_frame_times(benchmark, scale, text_model, image_model):
+def test_table8_first_frame_times(benchmark, scale, text_model, image_model, inference_mode):
     plan_stats = {}
 
     def run():
         out = {}
         for label, batched in (("CPU", False), ("GPU", True)):
             jot = [
-                jotform_first_frame(seed, text_model, image_model, batched=batched)
+                jotform_first_frame(
+                    seed, text_model, image_model, batched=batched, inference=inference_mode
+                )
                 for seed in range(scale["perf_pages"])
             ]
             out[(label, "Jotform")] = summarize(r.seconds for r in jot)
@@ -52,7 +59,7 @@ def test_table8_first_frame_times(benchmark, scale, text_model, image_model):
                 "forwards": summarize(r.forwards for r in jot),
             }
             out[(label, "Clickbench")] = summarize(
-                _clickbench_times(scale, image_model, batched)
+                _clickbench_times(scale, image_model, batched, inference_mode)
             )
         return out
 
@@ -60,6 +67,7 @@ def test_table8_first_frame_times(benchmark, scale, text_model, image_model):
 
     lines = [
         "Table VIII — T(frame0): first display frame validation time (s)",
+        f"(inference={inference_mode})",
         "",
         f"{'Setup':<6} {'Dataset':<12} {'Mean':>8} {'Max':>8} {'Min':>8} {'Stdev':>8}",
     ]
@@ -93,6 +101,18 @@ def test_table8_first_frame_times(benchmark, scale, text_model, image_model):
         "forwards to O(1) per model kind (plus retry rings).",
     ]
     record_result("table8_first_frame", "\n".join(lines))
+    record_metrics(
+        "table8_first_frame",
+        {
+            "inference": inference_mode,
+            "jotform_mean_s": {"cpu": round(cpu_jf, 4), "gpu": round(gpu_jf, 4)},
+            "clickbench_mean_s": {"cpu": round(cpu_cb, 4), "gpu": round(gpu_cb, 4)},
+            "forwards_per_frame": {
+                "cpu": round(plan_stats["CPU"]["forwards"]["mean"], 1),
+                "gpu": round(plan_stats["GPU"]["forwards"]["mean"], 1),
+            },
+        },
+    )
 
     assert gpu_cb < cpu_cb  # batching wins on the invocation-heavy dataset
     assert (cpu_cb / gpu_cb) > (cpu_jf / gpu_jf) * 0.8  # bigger win on Clickbench

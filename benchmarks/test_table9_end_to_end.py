@@ -8,11 +8,13 @@ validation-function + signing time.
 
 import numpy as np
 
-from benchmarks.conftest import record_result
+from benchmarks.conftest import record_metrics, record_result
 from benchmarks.harness import run_interactive_session, summarize
 
 
-def test_table9_end_to_end(benchmark, scale, text_model, image_model, executor_mode):
+def test_table9_end_to_end(
+    benchmark, scale, text_model, image_model, executor_mode, inference_mode
+):
     def run():
         out = {}
         for label, batched in (("CPU", False), ("GPU", True)):
@@ -22,7 +24,7 @@ def test_table9_end_to_end(benchmark, scale, text_model, image_model, executor_m
             for seed in range(scale["perf_pages"]):
                 decision, report, _session = run_interactive_session(
                     seed, text_model, image_model, batched=batched,
-                    executor=executor_mode,
+                    executor=executor_mode, inference=inference_mode,
                 )
                 certified += bool(decision.certified)
                 timing = report.timing
@@ -47,6 +49,7 @@ def test_table9_end_to_end(benchmark, scale, text_model, image_model, executor_m
 
     lines = [
         "Table IX — end-to-end performance (s)",
+        f"(executor={executor_mode}; inference={inference_mode})",
         "",
         f"{'Setup':<6} {'Init+First':>11} {'Sub.Mean':>9} {'Sub.Max':>8} {'Sub.Min':>8} "
         f"{'Sub.Stdev':>9} {'Valid.fn':>9}",
@@ -79,6 +82,25 @@ def test_table9_end_to_end(benchmark, scale, text_model, image_model, executor_m
         "batching: O(1) forwards per model kind per frame.",
     ]
     record_result("table9_end_to_end", "\n".join(lines))
+    record_metrics(
+        "table9_end_to_end",
+        {
+            "executor": executor_mode,
+            "inference": inference_mode,
+            "init_first_s": {
+                "cpu": round(stats["CPU"]["init_first"], 4),
+                "gpu": round(stats["GPU"]["init_first"], 4),
+            },
+            "subsequent_mean_s": {
+                "cpu": round(stats["CPU"]["subsequent"]["mean"], 4),
+                "gpu": round(stats["GPU"]["subsequent"]["mean"], 4),
+            },
+            "request_s": {
+                "cpu": round(stats["CPU"]["request"], 4),
+                "gpu": round(stats["GPU"]["request"], 4),
+            },
+        },
+    )
 
     for label in ("CPU", "GPU"):
         s = stats[label]

@@ -24,3 +24,14 @@ def pytest_addoption(parser):
             "micro-batching runtime)."
         ),
     )
+    parser.addoption(
+        "--inference",
+        choices=("frozen", "training"),
+        default=None,
+        help=(
+            "Inference engine for service-level benchmarks: 'frozen' "
+            "(compiled fused forward paths, the default) or 'training' "
+            "(the layer-by-layer Sequential forward). "
+            "REPRO_BENCH_INFERENCE is the environment equivalent."
+        ),
+    )

@@ -43,6 +43,7 @@ from repro.core.submission import CertificationDecision, SubmissionValidator
 from repro.core.timing import SessionTiming
 from repro.core.verifiers import ImageVerifier, TextVerifier
 from repro.crypto.ca import CertificateAuthority
+from repro.nn.infer import INFERENCE_MODES
 from repro.runtime.backpressure import POLICIES
 from repro.runtime.executor import EXECUTOR_MODES, ValidationExecutor
 from repro.crypto.keys import MeasuredState, SealedSigningKey, generate_signing_key
@@ -107,6 +108,14 @@ class WitnessConfig:
     runtime_max_inflight_units: int | None = 8192
     runtime_admission: str = "block"
     runtime_workers: int = 8
+    #: Which executable runs the model forwards (orthogonal to ``batched``
+    #: and ``executor``, which decide how unit inputs are *grouped*):
+    #: ``"frozen"`` (default) compiles each trained matcher once into its
+    #: fused, allocation-free float32 twin (:mod:`repro.nn.infer`);
+    #: ``"training"`` keeps the layer-by-layer ``Sequential`` forward.
+    #: Decisions are identical either way — the knob exists so every
+    #: benchmark can A/B the inference engine.
+    inference: str = "frozen"
 
     def __post_init__(self) -> None:
         if self.predict_chunk is not None and self.predict_chunk < 1:
@@ -141,6 +150,10 @@ class WitnessConfig:
             )
         if self.runtime_workers < 1:
             raise ValueError(f"runtime_workers must be >= 1, got {self.runtime_workers}")
+        if self.inference not in INFERENCE_MODES:
+            raise ValueError(
+                f"inference must be one of {INFERENCE_MODES}, got {self.inference!r}"
+            )
 
     def replace(self, **overrides) -> "WitnessConfig":
         """A copy of this config with ``overrides`` applied."""
@@ -431,6 +444,7 @@ class WitnessService:
                     max_inflight_units=cfg.runtime_max_inflight_units,
                     admission=cfg.runtime_admission,
                     workers=cfg.runtime_workers,
+                    inference=cfg.inference,
                 )
             return self._runtime
 
@@ -450,6 +464,7 @@ class WitnessService:
         runtime = self._runtime
         return {
             "executor": self.config.executor,
+            "inference": self.config.inference,
             "sessions": self.registry.stats(),
             "cache_hit_rate": (
                 self.shared_cache.hit_rate if self.shared_cache is not None else None
@@ -567,6 +582,7 @@ class WitnessSession:
             cache=text_cache,
             chunk_size=self.config.predict_chunk,
             runtime=runtime,
+            inference=self.config.inference,
         )
         self._image_verifier = ImageVerifier(
             self.service.image_model,
@@ -574,6 +590,7 @@ class WitnessSession:
             cache=image_cache,
             chunk_size=self.config.predict_chunk,
             runtime=runtime,
+            inference=self.config.inference,
         )
         self._display = DisplayValidator(
             vspec,

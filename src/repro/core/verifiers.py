@@ -36,6 +36,17 @@ model forward itself through the runtime's coalescing micro-batcher, so
 concurrent sessions' rounds merge into global batches.  Everything else —
 cache lookups, duplicate collapsing, the alignment-retry rings — stays
 here, which is why rerouting cannot change a verdict.
+
+Frozen inference
+----------------
+
+Independent of *where* a forward runs (inline, plan-batched, runtime) is
+*what* executes it: with ``inference="frozen"`` (the default) verifiers
+feed unit inputs to the model's compiled frozen twin
+(:mod:`repro.nn.infer`) — fused float32 stages over reused per-shape
+workspaces, no inference lock; ``inference="training"`` keeps the
+layer-by-layer ``Sequential`` forward.  Decisions are identical either
+way.
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn.data import CHAR_TO_INDEX, collapse_char
+from repro.nn.infer import predict_fn
 from repro.nn.model import PREDICT_CHUNK, MatcherModel
 from repro.nn.tensorops import one_hot
 from repro.runtime.batcher import forwards_for
@@ -301,6 +313,7 @@ class TextVerifier:
         cache=None,
         chunk_size: int | None = PREDICT_CHUNK,
         runtime=None,
+        inference: str = "frozen",
     ) -> None:
         if runtime is not None and not batched:
             raise ValueError("a shared runtime requires batched=True")
@@ -309,6 +322,8 @@ class TextVerifier:
         self.cache = cache
         self.chunk_size = _check_chunk_size(chunk_size)
         self.runtime = runtime
+        self.inference = inference
+        self._predict = predict_fn(model, inference)
         self.invocations = 0
         self.forwards = 0
 
@@ -318,7 +333,7 @@ class TextVerifier:
 
     def _expected_onehot(self, chars: list) -> np.ndarray:
         indices = [CHAR_TO_INDEX[collapse_char(c)] for c in chars]
-        return one_hot(indices, len(CHAR_TO_INDEX)).astype(np.float32)
+        return one_hot(indices, len(CHAR_TO_INDEX))
 
     def verify_tiles(self, tiles: list, chars: list) -> np.ndarray:
         """Match verdicts for (tile, expected char) pairs."""
@@ -351,12 +366,12 @@ class TextVerifier:
                     verdicts, forwards = self.runtime.predict("text", obs, exp)
                     self.forwards += forwards
                 else:
-                    verdicts = self.model.predict(obs, exp, chunk_size=self.chunk_size)
+                    verdicts = self._predict(obs, exp, chunk_size=self.chunk_size)
                     self.forwards += forwards_for(len(rep_positions), self.chunk_size)
             else:
                 verdicts = np.zeros(len(rep_positions), dtype=bool)
                 for j in range(len(rep_positions)):
-                    verdicts[j] = bool(self.model.predict(obs[j : j + 1], exp[j : j + 1])[0])
+                    verdicts[j] = bool(self._predict(obs[j : j + 1], exp[j : j + 1])[0])
                     self.invocations += 1
                     self.forwards += 1
             for row, j in enumerate(rep_positions):
@@ -439,6 +454,7 @@ class ImageVerifier:
         cache=None,
         chunk_size: int | None = PREDICT_CHUNK,
         runtime=None,
+        inference: str = "frozen",
     ) -> None:
         if runtime is not None and not batched:
             raise ValueError("a shared runtime requires batched=True")
@@ -447,6 +463,8 @@ class ImageVerifier:
         self.cache = cache
         self.chunk_size = _check_chunk_size(chunk_size)
         self.runtime = runtime
+        self.inference = inference
+        self._predict = predict_fn(model, inference)
         self.invocations = 0
         self.forwards = 0
 
@@ -491,12 +509,12 @@ class ImageVerifier:
                     verdicts, forwards = self.runtime.predict("image", obs, exp)
                     self.forwards += forwards
                 else:
-                    verdicts = self.model.predict(obs, exp, chunk_size=self.chunk_size)
+                    verdicts = self._predict(obs, exp, chunk_size=self.chunk_size)
                     self.forwards += forwards_for(len(rep_positions), self.chunk_size)
             else:
                 verdicts = np.zeros(len(rep_positions), dtype=bool)
                 for j in range(len(rep_positions)):
-                    verdicts[j] = bool(self.model.predict(obs[j : j + 1], exp[j : j + 1])[0])
+                    verdicts[j] = bool(self._predict(obs[j : j + 1], exp[j : j + 1])[0])
                     self.invocations += 1
                     self.forwards += 1
             for row, j in enumerate(rep_positions):

@@ -19,8 +19,19 @@ attack them with white-box adversarial examples:
 * :mod:`repro.nn.data` — training-corpus generation from the raster
   substrate (the paper's §IV-A data collection process).
 * :mod:`repro.nn.zoo` — named pretrained models with a disk cache.
+* :mod:`repro.nn.infer` — the frozen inference engine: trained matchers
+  compiled into allocation-free, fused float32 forward paths.
 """
 
+from repro.nn.infer import (
+    INFERENCE_MODES,
+    FrozenMatcher,
+    FrozenNet,
+    FrozenPairMatcher,
+    freeze,
+    frozen_twin,
+    invalidate_frozen,
+)
 from repro.nn.layers import Conv2D, Dense, Flatten, Layer, MaxPool2D, ReLU
 from repro.nn.model import MatcherModel, Sequential
 from repro.nn.losses import (
@@ -42,6 +53,13 @@ __all__ = [
     "ReLU",
     "Sequential",
     "MatcherModel",
+    "INFERENCE_MODES",
+    "FrozenNet",
+    "FrozenMatcher",
+    "FrozenPairMatcher",
+    "freeze",
+    "frozen_twin",
+    "invalidate_frozen",
     "sigmoid",
     "softmax",
     "bce_loss_with_logits",

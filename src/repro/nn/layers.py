@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensorops import col2im, conv_output_size, im2col
+from repro.nn.tensorops import DEFAULT_DTYPE, col2im, conv_output_size, im2col
 
 
 class Layer:
@@ -40,9 +40,11 @@ class Layer:
         return int(sum(p.size for p in self.params().values()))
 
 
-#: Training dtype.  float32 halves memory traffic with no measurable loss
-#: in verifier accuracy; gradient-check tests override this per layer.
-DEFAULT_DTYPE = np.float32
+#: Training dtype — canonical definition lives in ``repro.nn.tensorops``
+#: (imported above) so the array helpers and the layers agree on one
+#: default; re-exported here for backward compatibility.  float32 halves
+#: memory traffic with no measurable loss in verifier accuracy;
+#: gradient-check tests override it per layer with float64.
 
 
 def _he_init(rng: np.random.Generator, shape: tuple, fan_in: int, dtype) -> np.ndarray:

@@ -1,13 +1,28 @@
-"""Losses and activations on logits (numerically stable forms)."""
+"""Losses and activations on logits (numerically stable forms).
+
+Everything here is dtype-preserving for floating inputs: float32 logits
+produce float32 probabilities/gradients (the inference hot path never
+silently upcasts to float64), float64 gradient-check inputs keep float64
+precision.  Integer/bool inputs are computed in float64.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 
+def _as_float(arr) -> np.ndarray:
+    """``arr`` as a floating array, preserving an existing float dtype."""
+    z = np.asarray(arr)
+    if not np.issubdtype(z.dtype, np.floating):
+        return z.astype(np.float64)
+    return z
+
+
 def sigmoid(z: np.ndarray) -> np.ndarray:
-    """Stable logistic function."""
-    out = np.empty_like(z, dtype=float)
+    """Stable logistic function (dtype-preserving for float inputs)."""
+    z = _as_float(z)
+    out = np.empty_like(z)
     pos = z >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
     ez = np.exp(z[~pos])
@@ -16,7 +31,8 @@ def sigmoid(z: np.ndarray) -> np.ndarray:
 
 
 def softmax(z: np.ndarray) -> np.ndarray:
-    """Row-wise softmax of ``(N, K)`` logits."""
+    """Row-wise softmax of ``(N, K)`` logits (dtype-preserving)."""
+    z = _as_float(z)
     shifted = z - z.max(axis=1, keepdims=True)
     e = np.exp(shifted)
     return e / e.sum(axis=1, keepdims=True)
@@ -33,11 +49,11 @@ def bce_loss_with_logits(logits: np.ndarray, targets: np.ndarray) -> tuple:
         ``(loss, grad)`` — mean loss and gradient w.r.t. the logits with
         the same shape as ``logits``.
     """
-    z = np.asarray(logits, dtype=float)
-    t = np.asarray(targets, dtype=float).reshape(z.shape)
+    z = _as_float(logits)
+    t = np.asarray(targets, dtype=z.dtype).reshape(z.shape)
     # log(1 + exp(-|z|)) + max(z, 0) - z*t  is the stable BCE form.
-    loss = np.mean(np.log1p(np.exp(-np.abs(z))) + np.maximum(z, 0.0) - z * t)
-    grad = (sigmoid(z) - t) / z.size
+    loss = np.mean(np.log1p(np.exp(-np.abs(z))) + np.maximum(z, z.dtype.type(0)) - z * t)
+    grad = (sigmoid(z) - t) / z.dtype.type(z.size)
     return float(loss), grad
 
 
@@ -46,7 +62,7 @@ def ce_loss_with_logits(logits: np.ndarray, labels: np.ndarray) -> tuple:
 
     Returns ``(loss, grad)`` with ``grad`` shaped like ``logits``.
     """
-    z = np.asarray(logits, dtype=float)
+    z = _as_float(logits)
     y = np.asarray(labels, dtype=int)
     if z.ndim != 2:
         raise ValueError(f"expected (N, K) logits, got shape {z.shape}")
@@ -58,7 +74,7 @@ def ce_loss_with_logits(logits: np.ndarray, labels: np.ndarray) -> tuple:
     loss = float(-np.mean(np.log(picked)))
     grad = probs.copy()
     grad[np.arange(n), y] -= 1.0
-    return loss, grad / n
+    return loss, grad / z.dtype.type(n)
 
 
 def margin_loss(logits: np.ndarray, target_class: np.ndarray, kappa: float = 0.0) -> tuple:
@@ -67,7 +83,7 @@ def margin_loss(logits: np.ndarray, target_class: np.ndarray, kappa: float = 0.0
     Minimizing this pushes the target class above every other class by at
     least ``kappa``.  Returns ``(per_sample_loss, grad_wrt_logits)``.
     """
-    z = np.asarray(logits, dtype=float)
+    z = _as_float(logits)
     y = np.asarray(target_class, dtype=int)
     n, k = z.shape
     target_logit = z[np.arange(n), y]
@@ -91,10 +107,10 @@ def binary_margin_loss(logits: np.ndarray, target: np.ndarray, kappa: float = 0.
 
     ``target`` 1 means "push the logit positive (match)", 0 the opposite.
     """
-    z = np.asarray(logits, dtype=float).reshape(-1)
-    t = np.asarray(target, dtype=float).reshape(-1)
-    signs = np.where(t > 0.5, -1.0, 1.0)  # minimize -z for target 1
+    z = _as_float(logits).reshape(-1)
+    t = np.asarray(target, dtype=z.dtype).reshape(-1)
+    signs = np.where(t > 0.5, z.dtype.type(-1.0), z.dtype.type(1.0))  # minimize -z for target 1
     margin = signs * z
     active = margin > -kappa
-    grad = np.where(active, signs, 0.0).reshape(np.asarray(logits).shape)
+    grad = np.where(active, signs, z.dtype.type(0.0)).reshape(np.asarray(logits).shape)
     return margin, grad

@@ -146,22 +146,55 @@ class MatcherModel:
 
     # -- inference -----------------------------------------------------------
 
+    def _frozen_dispatch(self, frozen: bool | None):
+        """The frozen twin to route inference through, or ``None``.
+
+        ``frozen=None`` (the default) uses the memoized twin if one has
+        been attached (the zoo attaches one to every trained model);
+        ``True`` compiles one on demand; ``False`` forces the training
+        ``Sequential`` path — the knob benchmarks A/B against.
+        """
+        if frozen is None:
+            return getattr(self, "_frozen_twin", None)
+        if frozen:
+            from repro.nn.infer import frozen_twin
+
+            return frozen_twin(self)
+        return None
+
     def match_probability(
-        self, observed: np.ndarray, expected: np.ndarray, chunk_size: int | None = PREDICT_CHUNK
+        self,
+        observed: np.ndarray,
+        expected: np.ndarray,
+        chunk_size: int | None = PREDICT_CHUNK,
+        frozen: bool | None = None,
     ) -> np.ndarray:
         """P(observed is a benign rendering of expected), shape ``(N,)``.
 
         Batches larger than ``chunk_size`` run as successive forwards under
-        one lock acquisition; ``chunk_size=None`` disables chunking.
+        one lock acquisition; ``chunk_size=None`` disables chunking.  When
+        a frozen twin is attached (see ``frozen``), inference runs on its
+        fused, workspace-reusing forward — lock-free, since frozen
+        forwards keep no shared mutable state.
         """
+        twin = self._frozen_dispatch(frozen)
+        if twin is not None:
+            # Threshold views share branches but not thresholds; the twin
+            # only matters for its forward here, so probability routing is
+            # always safe.
+            return twin.match_probability(observed, expected, chunk_size)
         with self.infer_lock:
             return _chunked_probability(self.forward, observed, expected, chunk_size)
 
     def predict(
-        self, observed: np.ndarray, expected: np.ndarray, chunk_size: int | None = PREDICT_CHUNK
+        self,
+        observed: np.ndarray,
+        expected: np.ndarray,
+        chunk_size: int | None = PREDICT_CHUNK,
+        frozen: bool | None = None,
     ) -> np.ndarray:
         """Boolean match decision at the configured threshold."""
-        return self.match_probability(observed, expected, chunk_size) >= self.threshold
+        return self.match_probability(observed, expected, chunk_size, frozen) >= self.threshold
 
     def with_threshold(self, threshold: float) -> "MatcherModel":
         """A view of this model with a different detection threshold.
@@ -174,6 +207,11 @@ class MatcherModel:
             self.observed_branch, self.expected_branch, self.head, threshold=threshold
         )
         clone.infer_lock = self.infer_lock  # shared branches, shared lock
+        twin = getattr(self, "_frozen_twin", None)
+        if twin is not None:
+            # Inherit the compiled twin (shared nets/arenas) at the new
+            # threshold so threshold hardening keeps the frozen engine.
+            clone._frozen_twin = twin.with_threshold(threshold)
         return clone
 
     # -- parameters ------------------------------------------------------------
@@ -235,21 +273,37 @@ class ChannelPairMatcher:
         d_stacked = self.network.backward(grad_logits)
         return d_stacked[:, :1], d_stacked[:, 1:]
 
+    _frozen_dispatch = MatcherModel._frozen_dispatch
+
     def match_probability(
-        self, observed: np.ndarray, expected: np.ndarray, chunk_size: int | None = PREDICT_CHUNK
+        self,
+        observed: np.ndarray,
+        expected: np.ndarray,
+        chunk_size: int | None = PREDICT_CHUNK,
+        frozen: bool | None = None,
     ) -> np.ndarray:
+        twin = self._frozen_dispatch(frozen)
+        if twin is not None:
+            return twin.match_probability(observed, expected, chunk_size)
         with self.infer_lock:
             return _chunked_probability(self.forward, observed, expected, chunk_size)
 
     def predict(
-        self, observed: np.ndarray, expected: np.ndarray, chunk_size: int | None = PREDICT_CHUNK
+        self,
+        observed: np.ndarray,
+        expected: np.ndarray,
+        chunk_size: int | None = PREDICT_CHUNK,
+        frozen: bool | None = None,
     ) -> np.ndarray:
-        return self.match_probability(observed, expected, chunk_size) >= self.threshold
+        return self.match_probability(observed, expected, chunk_size, frozen) >= self.threshold
 
     def with_threshold(self, threshold: float) -> "ChannelPairMatcher":
         """A parameter-sharing view with a different detection threshold."""
         clone = ChannelPairMatcher(self.network, threshold=threshold)
         clone.infer_lock = self.infer_lock  # shared network, shared lock
+        twin = getattr(self, "_frozen_twin", None)
+        if twin is not None:
+            clone._frozen_twin = twin.with_threshold(threshold)
         return clone
 
     def params(self) -> dict:

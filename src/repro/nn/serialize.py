@@ -4,6 +4,16 @@ Architectures are rebuilt from code (the zoo's named builders); only the
 parameter arrays are stored, as an ``.npz`` keyed by the same names that
 ``params()`` exposes.  This mirrors how the paper ships Keras H5 /
 TensorFlow Lite weight files alongside known architectures.
+
+Frozen inference twins (:mod:`repro.nn.infer`) are deliberately **not**
+serialized: freezing is a cheap post-load compilation step (weight cast
++ fusion), and persisting compiled float32 snapshots next to the
+training float32/float64-agnostic parameters would create two files that
+can silently disagree.  The contract is: persist the *training* model,
+freeze after load.  ``save_model``/``load_model`` refuse frozen objects
+with a pointed error, and ``load_model`` invalidates any memoized twin
+on the target model so the zoo's memoization and a reload always agree
+on which weights the frozen representation caches.
 """
 
 from __future__ import annotations
@@ -13,8 +23,17 @@ import os
 import numpy as np
 
 
+def _reject_frozen(model, verb: str) -> None:
+    if getattr(model, "is_frozen", False):
+        raise TypeError(
+            f"cannot {verb} a frozen inference net: persist the training model "
+            "and re-freeze after load (repro.nn.infer.freeze / frozen_twin)"
+        )
+
+
 def save_model(model, path: str) -> None:
     """Write a model's parameters to ``path`` (``.npz``)."""
+    _reject_frozen(model, "save")
     params = model.params()
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
@@ -25,8 +44,10 @@ def load_model(model, path: str):
     """Load parameters saved by :func:`save_model` into ``model`` (in place).
 
     The model must have been built with the same architecture; any shape
-    mismatch raises ``ValueError`` rather than silently truncating.
+    mismatch raises ``ValueError`` rather than silently truncating.  Any
+    memoized frozen twin is dropped — it snapshots the pre-load weights.
     """
+    _reject_frozen(model, "load into")
     with np.load(path) as data:
         params = model.params()
         missing = set(params) - set(data.files)
@@ -43,4 +64,7 @@ def load_model(model, path: str):
                     f"shape mismatch for {name}: file {stored.shape} vs model {arr.shape}"
                 )
             arr[...] = stored
+    from repro.nn.infer import invalidate_frozen
+
+    invalidate_frozen(model)  # any memoized twin snapshots the pre-load weights
     return model

@@ -33,6 +33,7 @@ from repro.nn.data import (
     reference_text_dataset,
     text_dataset,
 )
+from repro.nn.infer import frozen_twin
 from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
 from repro.nn.model import ChannelPairMatcher, MatcherModel, Sequential
 from repro.nn.serialize import load_model, save_model
@@ -198,13 +199,27 @@ def clear_model_registry() -> None:
         _REGISTRY_STATS.update(hits=0, loads=0, trains=0)
 
 
+def _vend(model):
+    """Attach the memoized frozen inference twin before vending.
+
+    Freezing happens strictly post-load/post-train (weights are final),
+    so every consumer of a zoo model — verifiers, the runtime executor,
+    ``predict``'s automatic dispatch — shares one compiled twin.
+    Sequential reference classifiers are vended unfrozen; callers can
+    :func:`repro.nn.infer.freeze` them explicitly.
+    """
+    if hasattr(model, "match_probability"):
+        frozen_twin(model)
+    return model
+
+
 def _load_or_train(name: str, builder, trainer):
     key = (name, _profile()["name"], model_cache_dir())
     with _REGISTRY_LOCK:
         cached = _REGISTRY.get(key)
         if cached is not None:
             _REGISTRY_STATS["hits"] += 1
-            return cached
+            return _vend(cached)
         path = _cache_path(name)
         model = builder()
         if os.path.exists(path):
@@ -212,7 +227,7 @@ def _load_or_train(name: str, builder, trainer):
                 model = load_model(model, path)
                 _REGISTRY_STATS["loads"] += 1
                 _REGISTRY[key] = model
-                return model
+                return _vend(model)
             except ValueError:
                 os.remove(path)  # stale architecture; retrain below
                 model = builder()
@@ -220,7 +235,7 @@ def _load_or_train(name: str, builder, trainer):
         _REGISTRY_STATS["trains"] += 1
         save_model(model, path)
         _REGISTRY[key] = model
-        return model
+        return _vend(model)
 
 
 def get_text_model(variant: str = "base") -> MatcherModel:

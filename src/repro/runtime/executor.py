@@ -32,6 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.nn.infer import INFERENCE_MODES, predict_fn
 from repro.runtime.backpressure import POLICIES, AdmissionGate
 from repro.runtime.batcher import MicroBatcher, forwards_for
 from repro.runtime.metrics import RuntimeMetrics
@@ -57,18 +58,31 @@ class ValidationExecutor:
         admission: str = "block",
         workers: int = 8,
         submit_timeout: float = 60.0,
+        inference: str = "frozen",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if admission not in POLICIES:
             raise ValueError(f"admission must be one of {POLICIES}, got {admission!r}")
+        if inference not in INFERENCE_MODES:
+            raise ValueError(
+                f"inference must be one of {INFERENCE_MODES}, got {inference!r}"
+            )
         self.metrics = RuntimeMetrics()
         self.gate = AdmissionGate(max_inflight_units, policy=admission)
         self._models = {"text": text_model, "image": image_model}
+        self.inference = inference
+        # The forward each kind's flushes (and shed fallbacks) execute.
+        # Frozen twins are thread-confined by construction, so each
+        # flusher thread ends up with its own workspace arena replaying
+        # the same micro-batch shapes — the engine's best case.
+        self._predicts = {
+            kind: predict_fn(self._models[kind], inference) for kind in KINDS
+        }
         self._batchers = {
             kind: MicroBatcher(
                 kind,
-                self._models[kind].predict,
+                self._predicts[kind],
                 chunk_size=chunk_size,
                 max_batch_units=max_batch_units,
                 flush_deadline=flush_deadline_ms / 1000.0,
@@ -111,7 +125,7 @@ class ValidationExecutor:
             forwards = forwards_for(units, self.chunk_size)
             self.metrics.counter(f"forwards_total.{kind}").inc(forwards)
             verdicts = np.asarray(
-                self._models[kind].predict(observed, expected, self.chunk_size)
+                self._predicts[kind](observed, expected, self.chunk_size)
             )
             return verdicts, forwards
         try:

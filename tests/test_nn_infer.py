@@ -1,0 +1,416 @@
+"""The frozen inference engine: parity, workspaces, lifecycle.
+
+Covers the PR-4 tentpole guarantees:
+
+* decision parity between the frozen and training forward paths, both at
+  the model level (randomized honest/tampered matcher inputs through
+  trained models) and at the verifier level (frame-style unit inputs
+  through ``inference="frozen"`` vs ``"training"`` verifiers);
+* workspace arenas: shape-keyed reuse (repeated shapes allocate
+  nothing), thread confinement (one arena per thread), LRU eviction
+  under a shape storm;
+* compile-time constant folding of affine chains;
+* serialize/zoo agreement on when freezing happens.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.nn.data import CHARSET
+from repro.nn.infer import (
+    INFERENCE_MODES,
+    FrozenMatcher,
+    FrozenNet,
+    FrozenPairMatcher,
+    freeze,
+    frozen_twin,
+    invalidate_frozen,
+    predict_fn,
+)
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.model import Sequential
+from repro.nn.serialize import load_model, save_model
+from repro.nn.zoo import build_image_matcher, build_text_matcher, build_text_reference
+
+
+def _rand_text_inputs(rng, n):
+    obs = rng.random((n, 1, 32, 32), dtype=np.float32)
+    exp = rng.random((n, len(CHARSET))).astype(np.float32)
+    return obs, exp
+
+
+def _rand_image_inputs(rng, n):
+    return (
+        rng.random((n, 1, 32, 32), dtype=np.float32),
+        rng.random((n, 1, 32, 32), dtype=np.float32),
+    )
+
+
+class TestForwardParity:
+    """Frozen logits match training logits to float32 rounding; decisions
+    on trained models are identical (margins dwarf the drift)."""
+
+    def test_text_matcher_logits(self):
+        model = build_text_matcher(seed=7)
+        frozen = freeze(model)
+        obs, exp = _rand_text_inputs(np.random.default_rng(0), 17)
+        ref = model.forward(obs, exp)
+        got = frozen.forward(obs, exp)
+        assert got.dtype == np.float32
+        assert np.allclose(ref, got, rtol=1e-4, atol=1e-5)
+
+    def test_image_matcher_logits(self):
+        model = build_image_matcher(seed=11)
+        frozen = freeze(model)
+        obs, exp = _rand_image_inputs(np.random.default_rng(1), 13)
+        assert np.allclose(model.forward(obs, exp), frozen.forward(obs, exp), rtol=1e-4, atol=1e-5)
+
+    def test_classifier_sequential(self):
+        model = build_text_reference(seed=13)
+        frozen = freeze(model)
+        x = np.random.default_rng(2).random((9, 1, 32, 32), dtype=np.float32)
+        assert np.allclose(model.forward(x), frozen.forward(x), rtol=1e-4, atol=1e-5)
+        assert np.array_equal(model.predict(x), frozen.predict(x))
+
+    def test_dense_only_path_is_bit_identical(self):
+        # No conv stages -> no column reordering -> bit-for-bit equality.
+        rng = np.random.default_rng(3)
+        seq = Sequential(
+            [Dense(20, 16, rng=rng), ReLU(), Dense(16, 3, rng=rng)]
+        )
+        x = np.random.default_rng(4).random((11, 20), dtype=np.float32)
+        assert np.array_equal(seq.forward(x), freeze(seq).forward(x))
+
+    def test_chunked_match_probability_consistent(self):
+        model = build_text_matcher(seed=7)
+        frozen = freeze(model)
+        obs, exp = _rand_text_inputs(np.random.default_rng(5), 23)
+        full = frozen.match_probability(obs, exp, chunk_size=None)
+        chunked = frozen.match_probability(obs, exp, chunk_size=7)
+        # BLAS blocking differs with the GEMM's row count, so float32
+        # probabilities may differ in the last ulps across chunkings;
+        # decisions do not.
+        assert np.allclose(full, chunked, rtol=1e-5, atol=1e-6)
+        assert np.array_equal(full >= frozen.threshold, chunked >= frozen.threshold)
+
+    def test_empty_batch(self):
+        frozen = freeze(build_text_matcher(seed=7))
+        obs, exp = _rand_text_inputs(np.random.default_rng(6), 0)
+        assert frozen.predict(obs, exp).shape == (0,)
+
+    def test_threshold_views(self):
+        frozen = freeze(build_text_matcher(seed=7))
+        hard = frozen.with_threshold(0.99)
+        assert hard.threshold == 0.99
+        assert hard.observed_net is frozen.observed_net
+        with pytest.raises(ValueError):
+            frozen.with_threshold(1.5)
+
+    def test_input_validation(self):
+        frozen = freeze(build_image_matcher(seed=11))
+        good = np.zeros((2, 1, 32, 32), np.float32)
+        with pytest.raises(ValueError):
+            frozen.forward(good, np.zeros((2, 1, 16, 16), np.float32))
+        with pytest.raises(ValueError):
+            frozen.forward(np.zeros((2, 3, 32, 32), np.float32), np.zeros((2, 3, 32, 32), np.float32))
+
+    def test_freeze_rejects_unknown(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError, match="cannot freeze"):
+            freeze(Weird())
+
+
+class TestDecisionParityProperty:
+    """Randomized honest/tampered frames through both engine paths."""
+
+    def test_verifier_verdicts_identical(self, text_model, image_model):
+        """Property: for randomized honest and tampered unit inputs, the
+        frozen and training verifiers return the same verdict for every
+        unit, across many seeds."""
+        from repro.core.verifiers import ImageVerifier, TextVerifier
+        from repro.nn.data import image_dataset, text_dataset
+        from repro.raster.fonts import font_registry
+        from repro.raster.stacks import stack_registry
+
+        stacks = stack_registry()[:2]
+        obs, exp, _ = text_dataset(font_registry()[:2], stacks=stacks, seed=21)
+        rng = np.random.default_rng(21)
+        for trial in range(6):
+            pick = rng.choice(obs.shape[0], size=40, replace=False)
+            tiles = [np.asarray(obs[i, 0] * 255.0) for i in pick]
+            # Tamper a random half of the tiles with pixel noise.
+            tampered = rng.random(len(tiles)) < 0.5
+            for j, is_tampered in enumerate(tampered):
+                if is_tampered:
+                    noise = rng.normal(0, 90, tiles[j].shape)
+                    tiles[j] = np.clip(tiles[j] + noise, 0, 255)
+            chars = [CHARSET[int(i) % len(CHARSET)] for i in pick]
+            frozen_v = TextVerifier(text_model, batched=True, inference="frozen")
+            training_v = TextVerifier(text_model, batched=True, inference="training")
+            assert np.array_equal(
+                frozen_v.verify_tiles(tiles, chars), training_v.verify_tiles(tiles, chars)
+            ), f"text verdicts diverged on trial {trial}"
+
+        obs_i, exp_i, _ = image_dataset(stacks=stacks, seed=22)
+        for trial in range(4):
+            pick = rng.choice(obs_i.shape[0], size=24, replace=False)
+            pairs = [
+                (np.asarray(obs_i[i, 0] * 255.0), np.asarray(exp_i[i, 0] * 255.0))
+                for i in pick
+            ]
+            frozen_v = ImageVerifier(image_model, batched=True, inference="frozen")
+            training_v = ImageVerifier(image_model, batched=True, inference="training")
+            assert np.array_equal(
+                frozen_v.verify_pairs(pairs), training_v.verify_pairs(pairs)
+            ), f"image verdicts diverged on trial {trial}"
+
+    def test_sequential_mode_verdicts_identical(self, text_model):
+        from repro.core.verifiers import TextVerifier
+        from repro.nn.data import text_dataset
+        from repro.raster.fonts import font_registry
+
+        obs, _exp, _ = text_dataset(font_registry()[:1], seed=23)
+        tiles = [np.asarray(obs[i, 0] * 255.0) for i in range(12)]
+        chars = [CHARSET[i % len(CHARSET)] for i in range(12)]
+        frozen_v = TextVerifier(text_model, batched=False, inference="frozen")
+        training_v = TextVerifier(text_model, batched=False, inference="training")
+        assert np.array_equal(
+            frozen_v.verify_tiles(tiles, chars), training_v.verify_tiles(tiles, chars)
+        )
+
+    def test_session_decisions_identical(self, text_model, image_model):
+        """A full witnessed session certifies identically on both engines."""
+        from benchmarks.harness import run_interactive_session
+
+        for inference in INFERENCE_MODES:
+            decision, report, _ = run_interactive_session(
+                0, text_model, image_model, batched=True, inference=inference
+            )
+            assert decision.certified, f"inference={inference!r} failed to certify"
+
+
+class TestWorkspaceArena:
+    def test_repeated_shape_allocates_once(self):
+        frozen = freeze(build_text_matcher(seed=7))
+        rng = np.random.default_rng(7)
+        obs, exp = _rand_text_inputs(rng, 32)
+        frozen.predict(obs, exp)
+        allocations = lambda: sum(  # noqa: E731
+            a["allocations"] for arenas in frozen.workspace_stats().values() for a in arenas
+        )
+        first = allocations()
+        assert first > 0
+        for _ in range(4):
+            obs, exp = _rand_text_inputs(rng, 32)
+            frozen.predict(obs, exp)
+        assert allocations() == first, "repeated-shape forwards must not allocate"
+        hits = sum(a["hits"] for arenas in frozen.workspace_stats().values() for a in arenas)
+        assert hits > 0
+
+    def test_distinct_shapes_get_distinct_workspaces(self):
+        frozen = freeze(build_text_matcher(seed=7))
+        rng = np.random.default_rng(8)
+        for n in (4, 9, 4):
+            frozen.predict(*_rand_text_inputs(rng, n))
+        obs_stats = frozen.workspace_stats()["observed"]
+        assert sum(a["shapes"] for a in obs_stats) == 2
+
+    def test_eviction_bounds_shape_storm(self):
+        frozen = freeze(build_text_matcher(seed=7), max_shapes=2)
+        rng = np.random.default_rng(9)
+        for n in range(1, 9):  # eight distinct batch shapes
+            frozen.predict(*_rand_text_inputs(rng, n))
+        for net_stats in frozen.workspace_stats().values():
+            for arena in net_stats:
+                assert arena["shapes"] <= 2
+                assert arena["evictions"] > 0
+
+    def test_thread_confinement(self):
+        """Concurrent forwards share no workspaces and stay correct."""
+        model = build_text_matcher(seed=7)
+        frozen = freeze(model)
+        rng = np.random.default_rng(10)
+        obs, exp = _rand_text_inputs(rng, 20)
+        expected = model.predict(obs, exp, frozen=False)
+        barrier = threading.Barrier(4)
+
+        def worker(_):
+            barrier.wait()
+            out = []
+            for _ in range(25):
+                out.append(frozen.predict(obs, exp))
+            return out
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(worker, range(4)))
+        for per_thread in results:
+            for verdicts in per_thread:
+                assert np.array_equal(verdicts, expected)
+        # One arena per participating thread, each thread-confined.
+        obs_arenas = frozen.workspace_stats()["observed"]
+        assert len(obs_arenas) >= 4
+        threads = [a["thread"] for a in obs_arenas]
+        assert len(threads) == len(set(threads))
+
+    def test_runtime_flusher_threads_get_own_workspaces(self):
+        """Shared-runtime flushes run on dedicated flusher threads: after
+        traffic, the frozen twin's arenas are exactly the flusher's (the
+        submitting thread only enqueues).  Fresh models keep the twin's
+        arena registry hermetic — the zoo fixtures' twins accumulate (and
+        prune) arenas from earlier suite activity."""
+        from repro.runtime.executor import ValidationExecutor
+
+        text_model = build_text_matcher(seed=7)
+        image_model = build_image_matcher(seed=11)
+        executor = ValidationExecutor(text_model, image_model, inference="frozen")
+        rng = np.random.default_rng(11)
+        obs, exp = _rand_text_inputs(rng, 8)
+        obs_i, exp_i = _rand_image_inputs(rng, 6)
+        with executor:
+            executor.predict("text", obs, exp)
+            executor.predict("image", obs_i, exp_i)
+        arenas = frozen_twin(text_model).workspace_stats()["observed"]
+        assert len(arenas) == 1 and "flusher" in arenas[0]["thread"]
+
+
+class TestConstantFolding:
+    def test_dense_chain_folds_to_one_stage(self):
+        rng = np.random.default_rng(12)
+        seq = Sequential(
+            [Dense(12, 10, rng=rng), Dense(10, 8, rng=rng), Dense(8, 2, rng=rng)]
+        )
+        frozen = freeze(seq)
+        assert len(frozen.stages) == 1
+        x = np.random.default_rng(13).random((7, 12), dtype=np.float32)
+        assert np.allclose(seq.forward(x), frozen.forward(x), rtol=1e-5, atol=1e-6)
+
+    def test_relu_breaks_the_chain(self):
+        rng = np.random.default_rng(14)
+        seq = Sequential([Dense(6, 5, rng=rng), ReLU(), Dense(5, 3, rng=rng)])
+        frozen = freeze(seq)
+        assert len(frozen.stages) == 2  # fused Dense+ReLU, then Dense
+
+    def test_nested_sequentials_get_unique_stage_indices(self):
+        # A shared counter must thread through the recursion: duplicated
+        # indices alias workspace buffers (wrong shapes or, worse,
+        # silently corrupted activations).
+        rng = np.random.default_rng(30)
+        net = Sequential(
+            [
+                Sequential(
+                    [Sequential([Conv2D(1, 4, rng=rng), ReLU(), MaxPool2D(2), Flatten()])]
+                ),
+                Dense(4 * 16 * 16, 8, rng=rng),
+                ReLU(),
+            ]
+        )
+        frozen = freeze(net)
+        indices = [stage.index for stage in frozen.stages]
+        assert len(indices) == len(set(indices))
+        x = np.random.default_rng(31).random((3, 1, 32, 32), dtype=np.float32)
+        assert np.allclose(net.forward(x), frozen.forward(x), rtol=1e-4, atol=1e-5)
+
+    def test_conv_relu_fuses(self):
+        rng = np.random.default_rng(15)
+        seq = Sequential(
+            [Conv2D(1, 4, rng=rng), ReLU(), MaxPool2D(2), Flatten(), Dense(4 * 16 * 16, 2, rng=rng)]
+        )
+        frozen = freeze(seq)
+        assert len(frozen.stages) == 4  # conv+relu, pool, flatten, dense
+        x = np.random.default_rng(16).random((3, 1, 32, 32), dtype=np.float32)
+        assert np.allclose(seq.forward(x), frozen.forward(x), rtol=1e-4, atol=1e-5)
+
+
+class TestFreezeLifecycle:
+    def test_frozen_twin_is_memoized(self):
+        model = build_text_matcher(seed=7)
+        assert frozen_twin(model) is frozen_twin(model)
+        invalidate_frozen(model)
+        # a fresh twin after invalidation, still functional
+        obs, exp = _rand_text_inputs(np.random.default_rng(17), 3)
+        assert frozen_twin(model).predict(obs, exp).shape == (3,)
+
+    def test_model_predict_dispatches_to_twin(self):
+        model = build_text_matcher(seed=7)
+        obs, exp = _rand_text_inputs(np.random.default_rng(18), 5)
+        baseline = model.predict(obs, exp)  # no twin yet: training path
+        frozen_twin(model)
+        assert np.array_equal(model.predict(obs, exp), baseline)
+        assert np.array_equal(model.predict(obs, exp, frozen=False), baseline)
+
+    def test_with_threshold_inherits_twin(self):
+        model = build_text_matcher(seed=7)
+        base_twin = frozen_twin(model)
+        hard = model.with_threshold(0.99)
+        hard_twin = hard.__dict__.get("_frozen_twin")
+        assert hard_twin is not None and hard_twin.threshold == 0.99
+        # Shared compiled nets, not a recompile.
+        assert hard_twin.observed_net is base_twin.observed_net
+        obs, exp = _rand_text_inputs(np.random.default_rng(24), 5)
+        assert np.array_equal(
+            hard.predict(obs, exp), hard.predict(obs, exp, frozen=False)
+        )
+
+    def test_dead_thread_arenas_are_pruned(self):
+        frozen = freeze(build_text_matcher(seed=7))
+        obs, exp = _rand_text_inputs(np.random.default_rng(25), 3)
+        for _ in range(3):  # each thread leaves a dead arena behind
+            t = threading.Thread(target=frozen.predict, args=(obs, exp))
+            t.start()
+            t.join()
+        frozen.predict(obs, exp)  # registration on a live thread prunes
+        arenas = frozen.workspace_stats()["observed"]
+        assert len(arenas) == 1  # only the calling thread's arena remains
+
+    def test_zoo_models_carry_twins(self, text_model, image_model):
+        assert "_frozen_twin" in text_model.__dict__
+        assert "_frozen_twin" in image_model.__dict__
+        assert isinstance(text_model.__dict__["_frozen_twin"], FrozenMatcher)
+        assert isinstance(image_model.__dict__["_frozen_twin"], FrozenPairMatcher)
+
+    def test_predict_fn_modes(self, text_model):
+        with pytest.raises(ValueError, match="inference must be one of"):
+            predict_fn(text_model, "bogus")
+        obs, exp = _rand_text_inputs(np.random.default_rng(19), 4)
+        assert np.array_equal(
+            predict_fn(text_model, "frozen")(obs, exp),
+            predict_fn(text_model, "training")(obs, exp),
+        )
+
+    def test_serialize_refuses_frozen_and_invalidates_on_load(self, tmp_path):
+        model = build_text_matcher(seed=7)
+        frozen = freeze(model)
+        path = str(tmp_path / "m.npz")
+        with pytest.raises(TypeError, match="frozen"):
+            save_model(frozen, path)
+        with pytest.raises(TypeError, match="frozen"):
+            load_model(frozen, path)
+
+        save_model(model, path)
+        stale = frozen_twin(model)
+        # Mutate weights in place (as an optimizer step would)...
+        model.head.layers[-1].b += 5.0
+        # ...then reload: the twin must be dropped and rebuilt fresh.
+        load_model(model, path)
+        assert "_frozen_twin" not in model.__dict__
+        rebuilt = frozen_twin(model)
+        assert rebuilt is not stale
+        obs, exp = _rand_text_inputs(np.random.default_rng(20), 6)
+        assert np.allclose(
+            rebuilt.forward(obs, exp), model.forward(obs, exp), rtol=1e-4, atol=1e-5
+        )
+
+    def test_witness_config_validates_inference(self):
+        from repro.core.service import WitnessConfig
+
+        assert WitnessConfig().inference == "frozen"
+        WitnessConfig(inference="training")
+        with pytest.raises(ValueError, match="inference"):
+            WitnessConfig(inference="compiled")

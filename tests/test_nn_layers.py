@@ -225,3 +225,71 @@ class TestMatcherGradients:
         model = build_text_matcher(seed=1)
         with pytest.raises(ValueError):
             model.forward(np.zeros((2, 1, 32, 32), dtype=np.float32), np.zeros((3, 94), dtype=np.float32))
+
+
+class TestDtypeStability:
+    """The hot path must stay in DEFAULT_DTYPE end to end (PR-4 satellite):
+    no helper may silently upcast float32 inputs to float64, and float64
+    gradient-check inputs must keep their precision."""
+
+    def test_im2col_and_col2im_preserve_dtype(self):
+        for dtype in (np.float32, np.float64):
+            x = np.random.default_rng(0).random((2, 3, 8, 8)).astype(dtype)
+            col = im2col(x, kernel=3, stride=1, pad=1)
+            assert col.dtype == dtype
+            back = col2im(col, x.shape, kernel=3, stride=1, pad=1)
+            assert back.dtype == dtype
+
+    def test_one_hot_defaults_to_default_dtype(self):
+        from repro.nn.tensorops import DEFAULT_DTYPE
+
+        assert one_hot([0, 1], 3).dtype == DEFAULT_DTYPE
+        assert one_hot([0, 1], 3, dtype=np.float64).dtype == np.float64
+
+    def test_losses_and_activations_preserve_dtype(self):
+        from repro.nn.losses import binary_margin_loss, margin_loss, sigmoid, softmax
+
+        for dtype in (np.float32, np.float64):
+            z = np.random.default_rng(1).standard_normal((6, 4)).astype(dtype)
+            assert sigmoid(z).dtype == dtype
+            assert softmax(z).dtype == dtype
+            loss, grad = ce_loss_with_logits(z, np.array([0, 1, 2, 3, 0, 1]))
+            assert isinstance(loss, float) and grad.dtype == dtype
+            zb = z[:, :1]
+            loss, grad = bce_loss_with_logits(zb, np.ones_like(zb))
+            assert isinstance(loss, float) and grad.dtype == dtype
+            margin, grad = margin_loss(z, np.array([0, 1, 2, 3, 0, 1]))
+            assert margin.dtype == dtype and grad.dtype == dtype
+            margin, grad = binary_margin_loss(zb, np.ones(6))
+            assert margin.dtype == dtype and grad.dtype == dtype
+
+    def test_integer_logits_promote_to_float64(self):
+        from repro.nn.losses import sigmoid
+
+        assert sigmoid(np.array([0, 1, -1])).dtype == np.float64
+
+    def test_layer_forwards_preserve_float32(self):
+        rng = np.random.default_rng(2)
+        net = Sequential(
+            [
+                Conv2D(1, 4, rng=rng),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(4 * 16 * 16, 8, rng=rng),
+            ]
+        )
+        x = rng.random((2, 1, 32, 32), dtype=np.float32)
+        out = x
+        for layer in net.layers:
+            out = layer.forward(out)
+            assert out.dtype == np.float32, f"{type(layer).__name__} upcast to {out.dtype}"
+
+    def test_matcher_probability_stays_float32(self):
+        from repro.nn.zoo import build_text_matcher
+
+        model = build_text_matcher(seed=3)
+        obs = np.random.default_rng(4).random((3, 1, 32, 32), dtype=np.float32)
+        exp = one_hot([0, 1, 2], 94)
+        assert model.match_probability(obs, exp).dtype == np.float32
+        assert model.match_probability(obs, exp, frozen=True).dtype == np.float32
