@@ -36,7 +36,6 @@ from repro.raster.stacks import stack_registry
 from repro.server import WebServer
 from repro.server.generate import build_vspec
 from repro.web.browser import Browser
-from repro.web.elements import Checkbox, RadioGroup, ScrollableList, SelectBox, TextInput
 from repro.web.extension import BrowserExtension
 from repro.web.hypervisor import Machine
 from repro.web.user import HonestUser
@@ -102,21 +101,9 @@ def jotform_first_frame(
 
 def fill_page_as_user(user: HonestUser, page, entries: dict) -> None:
     """Drive the honest user through every field of a generated form."""
-    for element in page.elements:
-        name = getattr(element, "name", None)
-        if name is None or name not in entries:
-            continue
-        value = entries[name]
-        if isinstance(element, TextInput):
-            user.fill_text_input(name, value)
-        elif isinstance(element, Checkbox):
-            user.toggle_checkbox(name, value == "on")
-        elif isinstance(element, RadioGroup):
-            user.choose_radio(name, value)
-        elif isinstance(element, SelectBox):
-            user.choose_select(name, value)
-        elif isinstance(element, ScrollableList):
-            user.pick_list_item(name, value)
+    from repro.scenarios.scripts import fill_elements
+
+    fill_elements(user, page, entries)
 
 
 def run_interactive_session(

@@ -1,0 +1,54 @@
+"""Scenario-diversity soak: every archetype x script x engine combination.
+
+Drives the default scenario matrix (six page archetypes, four user
+scripts — see ``repro.scenarios``) through all six engine combinations
+(batched x sequential planning, shared x inline execution, frozen x
+training inference) and asserts **zero** decision/violation divergences,
+zero crashes, and zero script-contract breaches.  Records sessions/sec
+and the divergence count into ``bench_summary.json``.
+
+The suite's ``--executor``/``--inference`` knobs pick the *baseline*
+combination every other engine is compared against.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_metrics, record_result
+
+
+def test_soak_scenario_diversity(scale, text_model, image_model, executor_mode, inference_mode):
+    from repro.scenarios import baseline_combo, default_soak_specs, run_soak
+
+    specs = default_soak_specs()
+    seeds = (0, 1) if scale["name"] == "paper" else None
+    result = run_soak(
+        specs,
+        seeds=seeds,
+        baseline=baseline_combo(executor_mode, inference_mode),
+        text_model=text_model,
+        image_model=image_model,
+    )
+
+    content = result.summary()
+    record_result("soak", content)
+    record_metrics(
+        "soak",
+        {
+            "scenarios": result.scenarios,
+            "archetypes": len(result.archetypes),
+            "combos": len(result.combos),
+            "baseline": result.baseline,
+            "sessions_total": result.sessions_total,
+            "frames_total": result.frames_total,
+            "certified_total": result.certified_total,
+            "divergences": len(result.divergences),
+            "crashes": len(result.crashes),
+            "expectation_failures": len(result.expectation_failures),
+            "sessions_per_second": round(result.sessions_per_second, 3),
+            "forwards_per_combo": result.forwards_per_combo,
+        },
+    )
+
+    assert result.sessions_total >= 64, content
+    assert len(result.archetypes) >= 6, content
+    assert result.ok, content

@@ -13,7 +13,10 @@ VSPEC specification model (:mod:`repro.vspec`), server-side scripts
 (:mod:`repro.core`).  Adversarial attacks (:mod:`repro.adversarial`),
 threat-model attack implementations (:mod:`repro.attacks`), evaluation
 datasets (:mod:`repro.datasets`) and baselines (:mod:`repro.baselines`)
-reproduce the paper's §V-§VI evaluation.
+reproduce the paper's §V-§VI evaluation.  The scenario-diversity soak
+harness (:mod:`repro.scenarios`) generates witnessed sessions across
+page archetypes and user scripts and proves every engine combination
+computes bit-identical verdicts.
 
 Entry points:
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.pof import POFObservation, mask_pofs
+from repro.raster.stacks import reference_stack
 from repro.core.verifiers import (
     ImageVerifier,
     TextVerifier,
@@ -35,9 +36,10 @@ from repro.core.verifiers import (
 )
 from repro.raster.text import char_advance
 from repro.vision.components import Rect
+from repro.vision.image import Image
 from repro.vision.match import best_vertical_offset
 from repro.vspec.spec import CharCell, ManifestEntry, VSpec
-from repro.web.render import DEFAULT_POF, POFStyle
+from repro.web.render import DEFAULT_POF, POFStyle, draw_input_value
 
 #: Minimum NCC score for viewport identification; below this the frame
 #: does not look like any window of the expected page at all.
@@ -97,30 +99,101 @@ class DisplayValidator:
         #: on the runtime (and the verifiers coalesce their forwards with
         #: every other session's rounds).
         self.runtime = runtime
+        self._stateful_key: tuple | None = None
+        self._stateful_expected: np.ndarray | None = None
+        self._padded_key: tuple | None = None
         self._padded_expected: np.ndarray | None = None
 
     # -- viewport -----------------------------------------------------------
 
-    def locate_viewport(self, frame_pixels: np.ndarray):
-        """(offset_y, score) of the frame within the expected appearance."""
+    def _expected_for(self, tracked_inputs: dict | None) -> np.ndarray:
+        """The expected appearance under the currently *tracked* state.
+
+        The VSPEC raster shows every input empty/initial, but a sampled
+        mid-session frame shows whatever the user has entered so far.  On
+        pages with repetitive structure (tall forms), matching a filled
+        frame against the empty-state raster can make a *wrong* offset
+        outscore the true one — the soak harness caught exactly that —
+        so the search target composes the tracked state into the raster:
+        typed values drawn at each input's text origin (reference stack),
+        and each visual input's per-state appearance pasted in.  Cached
+        per tracked-state, which only changes on accepted hints.
+        """
+        tracked_inputs = tracked_inputs or {}
+        overlays: dict = {}
+        for entry in self.vspec.input_entries():
+            value = str(tracked_inputs.get(entry.input_name, entry.initial_value))
+            if value != str(entry.initial_value) and (
+                entry.kind == "input" or value in entry.state_appearances
+            ):
+                overlays[entry.input_name] = (entry, value)
+        if not overlays:
+            self._stateful_key = None
+            return self.vspec.expected
+        key = tuple(sorted((name, v) for name, (_e, v) in overlays.items()))
+        if key == self._stateful_key and self._stateful_expected is not None:
+            return self._stateful_expected
+        stack = reference_stack()
+        if self._stateful_key is not None and self._stateful_expected is not None:
+            # Incremental recomposition: during active typing the state
+            # changes nearly every frame, but almost always in a single
+            # field — restore just the changed entries' regions from the
+            # pristine raster and redraw those, instead of copying the
+            # whole page raster per keystroke.
+            canvas = Image(self._stateful_expected)
+            prev = dict(self._stateful_key)
+            new = {name: v for name, (_e, v) in overlays.items()}
+            stale = {n for n in set(prev) | set(new) if prev.get(n) != new.get(n)}
+            for name in stale:
+                box = self.vspec.entry_for_input(name).rect
+                canvas.pixels[box.y : box.y2, box.x : box.x2] = self.vspec.expected[
+                    box.y : box.y2, box.x : box.x2
+                ]
+            todo = [overlays[n] for n in stale if n in overlays]
+        else:
+            canvas = Image(self.vspec.expected.copy())
+            todo = list(overlays.values())
+        for entry, value in todo:
+            box = entry.rect
+            if entry.kind == "input":
+                # clear_interior wipes the baked initial value (drawing
+                # over it would overstrike) while preserving the border;
+                # the helper shares the renderer's origin/truncation.
+                draw_input_value(
+                    canvas, box, value, entry.text_size, stack, clear_interior=True
+                )
+            else:
+                canvas.pixels[box.y : box.y2, box.x : box.x2] = entry.state_appearances[value]
+        self._stateful_key = key
+        self._stateful_expected = canvas.pixels
+        return canvas.pixels
+
+    def locate_viewport(self, frame_pixels: np.ndarray, tracked_inputs: dict | None = None):
+        """(offset_y, score) of the frame within the expected appearance.
+
+        ``tracked_inputs`` (the interaction tracker's current state) keeps
+        the search target faithful to what an honest display shows
+        mid-session; omitting it matches against the initial-state raster.
+        """
         if frame_pixels.shape[1] != self.vspec.width:
             raise ValueError(
                 f"frame width {frame_pixels.shape[1]} != VSPEC width {self.vspec.width} "
                 "(dishonest extension width?)"
             )
-        expected = self.vspec.expected
+        expected = self._expected_for(tracked_inputs)
         if frame_pixels.shape[0] > self.vspec.height:
             # Page shorter than the client viewport: the browser shows
             # background below the page end, so the search target is the
-            # expected appearance padded with background rows.
-            if (
-                self._padded_expected is None
-                or self._padded_expected.shape[0] < frame_pixels.shape[0]
-            ):
+            # expected appearance padded with background rows.  Keyed by
+            # the tracked-state key (None = initial-state raster), never
+            # by array identity — a recycled id must not alias the cache.
+            pad_key = (self._stateful_key, frame_pixels.shape[0])
+            if self._padded_key != pad_key or self._padded_expected is None:
                 pad_rows = frame_pixels.shape[0] - self.vspec.height
                 self._padded_expected = np.vstack(
                     [expected, np.full((pad_rows, self.vspec.width), self.vspec.background)]
                 )
+                self._padded_key = pad_key
             expected = self._padded_expected
         match = best_vertical_offset(frame_pixels, expected, stride=4)
         return match.offset, match.score
@@ -155,7 +228,11 @@ class DisplayValidator:
         t0_image_fwd = self.image_verifier.forwards
         result = DisplayResult(ok=True)
 
-        offset, score = viewport if viewport is not None else self.locate_viewport(frame_pixels)
+        offset, score = (
+            viewport
+            if viewport is not None
+            else self.locate_viewport(frame_pixels, tracked_inputs)
+        )
         result.offset_y = offset
         result.viewport_score = score
         if score < VIEWPORT_SCORE_FLOOR:

@@ -56,9 +56,13 @@ def _bright_neighbours(frame_pixels: np.ndarray, rect: Rect, threshold: float = 
     h, w = frame_pixels.shape
     left = frame_pixels[rect.y : rect.y2, max(rect.x - 2, 0) : rect.x]
     right = frame_pixels[rect.y : rect.y2, rect.x2 : min(rect.x2 + 2, w)]
-    if left.size == 0 or right.size == 0:
+    # A flank clipped away by the frame edge carries no evidence either
+    # way: judge on the flanks that exist, so an honest caret within 2px
+    # of the frame's left/right edge is not rejected out of hand.
+    flanks = [f for f in (left, right) if f.size]
+    if not flanks:
         return False
-    return float(left.mean()) > threshold and float(right.mean()) > threshold
+    return all(float(f.mean()) > threshold for f in flanks)
 
 
 def extract_pofs(
@@ -100,10 +104,13 @@ def extract_pofs(
     # free-standing against the bright field background.  Candidates
     # inside a selection highlight are text strokes over the highlight
     # (thin glyph stems dim to caret-band intensities there), not carets —
-    # browsers hide the caret while a selection is showing.
+    # browsers hide the caret while a selection is showing.  The height
+    # floor is what keeps straight glyph stems ('l', '1', '|') out: on
+    # some stacks their ink lands in the caret band and their flanks are
+    # bright inter-glyph gaps, but they never reach caret height.
     caret_mask = _band_mask(frame_pixels, style.caret_intensity)
     for rect in connected_components(caret_mask):
-        if rect.w <= style.caret_width + 2 and rect.h >= 10 and in_search_area(rect):
+        if rect.w <= style.caret_width + 2 and rect.h >= style.caret_min_height and in_search_area(rect):
             if any(h.expanded(2).intersects(rect) for h in obs.highlights):
                 continue
             sub = caret_mask[rect.y : rect.y2, rect.x : rect.x2]

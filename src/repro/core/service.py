@@ -737,7 +737,9 @@ class WitnessSession:
             self.report.frames_skipped += 1
         else:
             try:
-                offset, score = self._display.locate_viewport(pixels)
+                offset, score = self._display.locate_viewport(
+                    pixels, self._tracker.tracked
+                )
             except ValueError as exc:
                 # Viewport failure subsumes the clean-start offset check.
                 self._clean_start_pending = False

@@ -53,7 +53,17 @@ def request_delay(timing: SessionTiming, session_seconds: float) -> float:
         return timing.t_init + timing.t_request
 
     n = len(timing.frame_times)
-    if timing.frame_sample_times_ms and len(timing.frame_sample_times_ms) == n:
+    if timing.frame_sample_times_ms:
+        if len(timing.frame_sample_times_ms) != n:
+            # A mismatch means the caller recorded the two lists out of
+            # lockstep — silently modelling uniform arrivals instead
+            # would hide the bookkeeping bug and skew every delay curve.
+            raise ValueError(
+                f"frame_sample_times_ms has {len(timing.frame_sample_times_ms)} "
+                f"entries but frame_times has {n}; the lists must be recorded "
+                "in lockstep (leave frame_sample_times_ms empty for uniform "
+                "arrivals)"
+            )
         span = max(timing.frame_sample_times_ms[-1], 1.0)
         arrivals = [
             session_seconds * (t / span) for t in timing.frame_sample_times_ms

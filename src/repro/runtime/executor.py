@@ -22,7 +22,9 @@ session routes its model forwards here instead:
 
 Because the verifiers keep all caching/dedup/retry logic and only the
 forward itself is rerouted, shared-executor verdicts are bit-identical
-to inline execution (property-tested in ``tests/test_runtime.py``).
+to inline execution (property-tested in ``tests/test_runtime.py``, and
+cross-checked against every other engine combination on generated
+dynamic sessions by the scenario soak, ``repro.scenarios``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,239 @@
+"""Page archetype generators for the scenario-diversity soak.
+
+Each archetype captures one display condition a real guest can produce —
+the conditions the ROADMAP's "as many scenarios as you can imagine"
+north-star calls out and the static short-form tests under-exercise:
+
+* ``tall-form`` — a form much taller than the viewport: the user scrolls
+  while filling, so validation sees every viewport offset.
+* ``wizard`` — a multi-step flow across several registered pages, one
+  witnessed session per step.
+* ``dashboard`` — a dense page mixing many text blocks, icons, logos and
+  natural-image patches around a small form.
+* ``nested-scroll`` — a :class:`~repro.web.elements.ScrollableList`
+  placed below the fold, so the independently scrollable element is
+  itself validated inside a scrolled viewport (nested VSPEC inside a
+  shifted outer viewport).
+* ``letterbox`` — a page *shorter* than the display: the browser
+  letterboxes with the page background and the viewport matcher must
+  pad the expected appearance.
+* ``mixed-stack`` — a Jotform-style page rendered on a randomized
+  rendering stack (driver/config variation beyond the six named stacks).
+
+All builders are deterministic in ``seed``: the same spec always yields
+the same page, so soak fingerprints are comparable across engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.forms import jotform_page
+from repro.raster.stacks import RenderStack, make_random_stack, stack_registry
+from repro.web.elements import (
+    Button,
+    Checkbox,
+    ImageElement,
+    Page,
+    RadioGroup,
+    ScrollableList,
+    SelectBox,
+    TextBlock,
+    TextInput,
+)
+
+#: The scenario archetypes the generator covers.
+ARCHETYPES = (
+    "tall-form",
+    "wizard",
+    "dashboard",
+    "nested-scroll",
+    "letterbox",
+    "mixed-stack",
+)
+
+#: Guest display (width, height) per archetype.  Heights are chosen so
+#: tall pages genuinely scroll and the letterbox page genuinely pads.
+DISPLAYS = {
+    "tall-form": (640, 360),
+    "wizard": (640, 480),
+    "dashboard": (640, 440),
+    "nested-scroll": (640, 400),
+    "letterbox": (640, 600),
+    "mixed-stack": (640, 480),
+}
+
+_FIELDS = [
+    ("first_name", "First name"),
+    ("last_name", "Last name"),
+    ("email", "Email address"),
+    ("phone", "Phone number"),
+    ("address", "Street address"),
+    ("city", "City"),
+    ("zip", "Postal code"),
+    ("company", "Company"),
+    ("amount", "Amount"),
+    ("account", "Account number"),
+    ("order_ref", "Order reference"),
+    ("date", "Preferred date"),
+]
+
+_SELECTS = [
+    ("country", ["Canada", "USA", "UK", "Germany", "Japan"]),
+    ("department", ["Sales", "Support", "Billing"]),
+    ("plan", ["Basic", "Plus", "Premium"]),
+]
+
+_RADIOS = [
+    ("contact_method", ["Email", "Phone"]),
+    ("urgency", ["Low", "Normal", "High"]),
+    ("shipping", ["Standard", "Express"]),
+]
+
+_CHECKBOXES = [
+    ("subscribe", "Subscribe to the newsletter"),
+    ("terms", "I agree to the terms"),
+    ("privacy", "I accept the privacy policy"),
+]
+
+_LISTS = [
+    ("topic", ["Billing", "Technical", "Account", "Sales", "Feedback", "Other"]),
+    ("timezone", ["UTC-8", "UTC-5", "UTC", "UTC+1", "UTC+8", "UTC+9"]),
+]
+
+_ICONS = ["lock", "envelope", "person", "star"]
+
+
+def _pick(rng: np.random.Generator, bank: list):
+    return bank[int(rng.integers(len(bank)))]
+
+
+def tall_form_page(seed: int, width: int = 640) -> Page:
+    """A long single-column form: 6-8 text fields plus choice widgets."""
+    rng = np.random.default_rng(11_000 + seed)
+    elements: list = [TextBlock("Please complete every section below.", 14)]
+    count = 6 + int(rng.integers(0, 3))
+    picked = rng.choice(len(_FIELDS), size=count, replace=False)
+    for j, idx in enumerate(picked):
+        name, label = _FIELDS[int(idx)]
+        elements.append(TextInput(name, label=label, max_length=24))
+        if j % 3 == 2:
+            elements.append(TextBlock(f"Section {j // 3 + 2}", 16))
+    name, options = _pick(rng, _RADIOS)
+    elements.append(RadioGroup(name, options))
+    name, label = _pick(rng, _CHECKBOXES)
+    elements.append(Checkbox(name, label))
+    elements.append(Button("Submit", action="submit"))
+    return Page(title=f"Tall form #{seed}", elements=elements, width=width)
+
+
+def wizard_pages(seed: int, width: int = 640) -> list:
+    """A three-step flow: contact -> choices -> confirmation."""
+    rng = np.random.default_rng(23_000 + seed)
+    contact = [TextBlock("Step 1 of 3: contact details", 16)]
+    picked = rng.choice(4, size=2, replace=False)  # first 4 banks are contact-ish
+    for idx in picked:
+        name, label = _FIELDS[int(idx)]
+        contact.append(TextInput(name, label=label, max_length=24))
+    contact.append(Button("Next", action="submit"))
+
+    choices = [TextBlock("Step 2 of 3: preferences", 16)]
+    name, options = _pick(rng, _SELECTS)
+    choices.append(SelectBox(name, options))
+    name, options = _pick(rng, _RADIOS)
+    choices.append(RadioGroup(name, options))
+    choices.append(Button("Next", action="submit"))
+
+    confirm = [TextBlock("Step 3 of 3: confirm your order", 16)]
+    name, label = _FIELDS[10]  # order_ref
+    confirm.append(TextInput(name, label=label, max_length=24))
+    name, label = _pick(rng, _CHECKBOXES)
+    confirm.append(Checkbox(name, label))
+    confirm.append(Button("Finish", action="submit"))
+
+    return [
+        Page(title=f"Wizard step 1 #{seed}", elements=contact, width=width),
+        Page(title=f"Wizard step 2 #{seed}", elements=choices, width=width),
+        Page(title=f"Wizard step 3 #{seed}", elements=confirm, width=width),
+    ]
+
+
+def dashboard_page(seed: int, width: int = 640) -> Page:
+    """A dense page: imagery and metric text around a small form."""
+    rng = np.random.default_rng(31_000 + seed)
+    elements: list = [
+        ImageElement("logo", int(rng.integers(1, 1000)), width=140, height=36),
+        TextBlock("Account overview", 18),
+    ]
+    for i in range(3):
+        elements.append(ImageElement("icon", _ICONS[int(rng.integers(len(_ICONS)))], width=32, height=32))
+        elements.append(TextBlock(f"Metric {i + 1}: {int(rng.integers(10, 99))} units", 14))
+    elements.append(ImageElement("patch", int(rng.integers(1, 1000)), width=96, height=48))
+    elements.append(TextBlock("Update your details", 16))
+    for idx in rng.choice(len(_FIELDS), size=2, replace=False):
+        name, label = _FIELDS[int(idx)]
+        elements.append(TextInput(name, label=label, max_length=24))
+    name, options = _pick(rng, _SELECTS)
+    elements.append(SelectBox(name, options))
+    elements.append(Button("Submit", action="submit"))
+    return Page(title=f"Dashboard #{seed}", elements=elements, width=width)
+
+
+def nested_scroll_page(seed: int, width: int = 640) -> Page:
+    """A ScrollableList pushed below the fold of a scrolling page."""
+    rng = np.random.default_rng(47_000 + seed)
+    elements: list = [TextBlock("Scroll down to pick a topic.", 14)]
+    for i in range(5):
+        elements.append(TextBlock(f"Notice {i + 1}: read before continuing.", 14))
+    for idx in rng.choice(len(_FIELDS), size=2, replace=False):
+        name, label = _FIELDS[int(idx)]
+        elements.append(TextInput(name, label=label, max_length=24))
+    name, items = _pick(rng, _LISTS)
+    elements.append(ScrollableList(name, items, visible_rows=3))
+    name, label = _pick(rng, _CHECKBOXES)
+    elements.append(Checkbox(name, label))
+    elements.append(Button("Submit", action="submit"))
+    return Page(title=f"Nested scroll #{seed}", elements=elements, width=width)
+
+
+def letterbox_page(seed: int, width: int = 640) -> Page:
+    """A page shorter than the display: the browser letterboxes below it."""
+    rng = np.random.default_rng(59_000 + seed)
+    name, label = _FIELDS[int(rng.integers(len(_FIELDS)))]
+    elements: list = [
+        TextBlock("Quick update", 16),
+        TextInput(name, label=label, max_length=24),
+        Checkbox(*_pick(rng, _CHECKBOXES)),
+        Button("Submit", action="submit"),
+    ]
+    return Page(title=f"Letterbox #{seed}", elements=elements, width=width)
+
+
+def build_archetype_pages(archetype: str, seed: int, width: int = 640) -> list:
+    """The page sequence of one archetype instance (most have one page)."""
+    if archetype == "tall-form":
+        return [tall_form_page(seed, width)]
+    if archetype == "wizard":
+        return wizard_pages(seed, width)
+    if archetype == "dashboard":
+        return [dashboard_page(seed, width)]
+    if archetype == "nested-scroll":
+        return [nested_scroll_page(seed, width)]
+    if archetype == "letterbox":
+        return [letterbox_page(seed, width)]
+    if archetype == "mixed-stack":
+        return [jotform_page(7_000 + seed, width)]
+    raise ValueError(f"unknown archetype {archetype!r}; expected one of {ARCHETYPES}")
+
+
+def archetype_stack(archetype: str, seed: int) -> RenderStack:
+    """The client rendering stack for one archetype instance.
+
+    Every archetype rotates through the named engine x platform grid;
+    ``mixed-stack`` instead draws a randomized stack, widening coverage
+    to driver/config variation.
+    """
+    if archetype == "mixed-stack":
+        return make_random_stack(1_000 + seed)
+    registry = stack_registry()
+    return registry[seed % len(registry)]

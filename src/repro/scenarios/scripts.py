@@ -1,0 +1,135 @@
+"""User scripts: how a guest behaves during one witnessed session step.
+
+Four behaviours, all driven through the hardware-event
+:class:`~repro.web.user.HonestUser` model (so interrupts, POFs and
+reflective validation happen exactly as in the paper's user model):
+
+* ``honest`` — fill every field, revisit the first text field if the
+  page scrolls (mid-session scroll-then-refocus), submit.
+* ``slow-typist`` — honest, but with a ~350ms keystroke cadence, so many
+  random samples land *between* keystrokes.
+* ``tampered`` — fill honestly, then malware rewrites a field value
+  directly in the page (no hardware I/O, no hint) and repaints; the
+  session then submits the tampered body.  Must never certify.
+* ``abandoning`` — fill roughly half the fields and walk away; the
+  session is closed without a submission.
+
+Scripts return the request body to submit, or ``None`` to abandon.
+"""
+
+from __future__ import annotations
+
+from repro.web.elements import (
+    Checkbox,
+    Page,
+    RadioGroup,
+    ScrollableList,
+    SelectBox,
+    TextInput,
+)
+from repro.web.user import HonestUser
+
+
+def fill_elements(user: HonestUser, page: Page, entries: dict, names=None) -> None:
+    """Drive the user through ``page``'s fields in flow order.
+
+    ``entries`` maps field name -> intended value; ``names`` (if given)
+    restricts the pass to a subset, preserving flow order.
+    """
+    for element in page.elements:
+        name = getattr(element, "name", None)
+        if name is None or name not in entries:
+            continue
+        if names is not None and name not in names:
+            continue
+        value = entries[name]
+        if isinstance(element, TextInput):
+            user.fill_text_input(name, value)
+        elif isinstance(element, Checkbox):
+            user.toggle_checkbox(name, value == "on")
+        elif isinstance(element, RadioGroup):
+            user.choose_radio(name, value)
+        elif isinstance(element, SelectBox):
+            user.choose_select(name, value)
+        elif isinstance(element, ScrollableList):
+            user.pick_list_item(name, value)
+
+
+def _settle(machine, total_ms: float = 240.0, step_ms: float = 120.0) -> None:
+    """Let the virtual clock run so pending random samples fire."""
+    elapsed = 0.0
+    while elapsed < total_ms:
+        machine.clock.advance(step_ms)
+        elapsed += step_ms
+
+
+def _first_text_input(page: Page, entries: dict) -> TextInput | None:
+    for element in page.elements:
+        if isinstance(element, TextInput) and element.name in entries:
+            return element
+    return None
+
+
+def _tamper_first_field(browser, entries: dict) -> None:
+    """Malware's move: rewrite a filled field's value behind the user.
+
+    Writes the page model directly (bypassing input events, so there is
+    no hardware I/O and no hint) and repaints — the display now shows a
+    value vWitness never saw the user enter.
+    """
+    target = _first_text_input(browser.page, entries)
+    if target is None:  # no text field: flip a checkbox instead
+        for element in browser.page.elements:
+            if isinstance(element, Checkbox):
+                element.checked = not element.checked
+                break
+    else:
+        value = str(entries[target.name])
+        forged = value[:-1] + ("X" if not value.endswith("X") else "Y") if value else "X"
+        target.value = forged
+        target.caret = len(forged)
+    browser.paint()
+
+
+def run_script(scenario, step: int, browser, vspec) -> dict | None:
+    """Run the scenario's user script on one wired-up session step.
+
+    Returns the request body to submit through the extension, or
+    ``None`` when the user abandons the session.
+    """
+    script = scenario.spec.script
+    entries = scenario.entries[step]
+    user = HonestUser(
+        browser,
+        typing_delay_ms=scenario.typing_delay_ms,
+        seed=scenario.spec.seed * 211 + step,
+    )
+    page = browser.page
+
+    if script == "abandoning":
+        names = list(entries)[: max(1, len(entries) // 2)]
+        fill_elements(user, page, entries, names=names)
+        _settle(browser.machine, total_ms=360.0)
+        return None
+
+    fill_elements(user, page, entries)
+
+    if script == "tampered":
+        _tamper_first_field(browser, entries)
+        _settle(browser.machine, total_ms=720.0)
+    elif browser.max_scroll > 0:
+        # Mid-session scroll-then-refocus: scroll back to the top and
+        # re-enter the first field, then let the sampler settle.  This is
+        # the interleaved scroll/focus/type sequence the soak exists to
+        # exercise at every viewport offset.
+        first = _first_text_input(page, entries)
+        if first is not None:
+            browser.scroll(-browser.page_height)
+            user.fill_text_input(first.name, str(entries[first.name]))
+        _settle(browser.machine)
+    else:
+        _settle(browser.machine)
+
+    body = dict(browser.page.form_values())
+    body["session_id"] = vspec.session_id
+    return body

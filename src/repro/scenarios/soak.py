@@ -1,0 +1,466 @@
+"""The deterministic scenario-diversity soak driver.
+
+Three PRs of fast paths gave the witness several ways to compute every
+verdict: plan-level batching vs sequential units, the shared
+cross-session executor vs inline execution, and frozen vs training
+inference.  Correctness claims only hold if they all *agree* — on every
+display condition a guest can produce.  ``run_soak`` is the machinery
+that proves it:
+
+* each :class:`~repro.scenarios.spec.ScenarioSpec` is instantiated
+  deterministically and driven through **every engine combination** in
+  :data:`ENGINE_COMBOS`;
+* each run is reduced to a :func:`session_fingerprint` — the decision,
+  the server-side verification verdict, the submitted body, and every
+  frame's (ok, offset, failures, violations) — scrubbed of
+  engine-dependent observability counters (plan sizes, forward counts,
+  wall-clock timings) and per-run nonces (session ids);
+* any fingerprint mismatch or crash is reported as a divergence.
+
+Fingerprints are bit-comparable because the whole simulation is virtual-
+clock deterministic: pinned sampler seeds, seeded user jitter, seeded
+page generation.  Wall time never enters a fingerprint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.service import WitnessConfig, WitnessService
+from repro.crypto.ca import CertificateAuthority
+from repro.scenarios.pages import ARCHETYPES
+from repro.scenarios.scripts import run_script
+from repro.scenarios.spec import Scenario, ScenarioSpec
+from repro.server.webserver import WebServer, connect_guest
+
+
+@dataclass(frozen=True)
+class EngineCombo:
+    """One way the witness can compute verdicts."""
+
+    name: str
+    batched: bool
+    executor: str
+    inference: str
+
+    def config(self, base: WitnessConfig | None = None) -> WitnessConfig:
+        base = base or WitnessConfig()
+        return base.replace(
+            batched=self.batched, executor=self.executor, inference=self.inference
+        )
+
+
+#: Every valid engine combination (``executor="shared"`` requires
+#: ``batched=True``, so the matrix has six cells, not eight).
+ENGINE_COMBOS = (
+    EngineCombo("batched-inline-frozen", batched=True, executor="inline", inference="frozen"),
+    EngineCombo("batched-inline-training", batched=True, executor="inline", inference="training"),
+    EngineCombo("sequential-inline-frozen", batched=False, executor="inline", inference="frozen"),
+    EngineCombo("sequential-inline-training", batched=False, executor="inline", inference="training"),
+    EngineCombo("batched-shared-frozen", batched=True, executor="shared", inference="frozen"),
+    EngineCombo("batched-shared-training", batched=True, executor="shared", inference="training"),
+)
+
+
+def combo_by_name(name: str) -> EngineCombo:
+    for combo in ENGINE_COMBOS:
+        if combo.name == name:
+            return combo
+    raise KeyError(f"unknown engine combo {name!r}")
+
+
+def baseline_combo(executor: str = "inline", inference: str = "frozen") -> EngineCombo:
+    """The combo matching the benchmark suite's ``--executor``/``--inference``
+    knobs (always a batched cell; shared execution presupposes batching)."""
+    return combo_by_name(f"batched-{executor}-{inference}")
+
+
+# -- fingerprints ----------------------------------------------------------
+
+
+def _frame_fingerprint(outcome) -> tuple:
+    return (
+        outcome.index,
+        round(outcome.sampled_at_ms, 6),
+        outcome.ok,
+        outcome.offset_y,
+        outcome.skipped_unchanged,
+        tuple((f.kind, tuple(f.rect), f.reason) for f in outcome.failures),
+        tuple((v.rule, v.detail) for v in outcome.new_violations),
+    )
+
+
+def session_fingerprint(decision, report, body: dict | None, server_verified) -> tuple:
+    """The engine-independent identity of one witnessed session.
+
+    Everything here must be bit-identical across engine combinations;
+    plan sizes, forward counts and wall-clock timings are deliberately
+    excluded (they are *supposed* to differ between engines), as is the
+    per-run ``session_id`` nonce.
+    """
+    return (
+        None if decision is None else (decision.certified, decision.reason),
+        server_verified,
+        None
+        if body is None
+        else tuple(sorted((k, str(v)) for k, v in body.items() if k != "session_id")),
+        report.display_ok,
+        tuple(_frame_fingerprint(o) for o in report.outcomes),
+    )
+
+
+@dataclass
+class ScenarioOutcome:
+    """One scenario instance driven under one engine combination."""
+
+    spec: ScenarioSpec
+    combo: str
+    fingerprint: tuple
+    sessions: int
+    frames: int
+    certified: int
+    #: Model forwards the scenario's sessions were charged (engine-
+    #: dependent by design — excluded from the fingerprint).
+    forwards: int = 0
+    expectation_failures: list = field(default_factory=list)
+
+
+def _expectation_failures(spec: ScenarioSpec, fingerprints: tuple) -> list:
+    """Check the script's contract: honest users certify (and the server
+    accepts the request), tampered sessions never certify, abandoned
+    sessions never reach a decision."""
+    failures = []
+    for i, (decision, verified, _body, _display_ok, _frames) in enumerate(fingerprints):
+        if spec.script in ("honest", "slow-typist"):
+            if decision is None or not decision[0]:
+                failures.append(f"session {i}: honest session did not certify ({decision})")
+            elif verified is not True:
+                failures.append(f"session {i}: certified request failed server verification")
+        elif spec.script == "tampered":
+            if decision is not None and decision[0]:
+                failures.append(f"session {i}: tampered session was certified")
+        elif spec.script == "abandoning":
+            if decision is not None:
+                failures.append(f"session {i}: abandoned session produced a decision")
+    return failures
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """Two engine combinations disagreed on one scenario."""
+
+    scenario: str
+    baseline: str
+    combo: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class Crash:
+    """One scenario run died instead of producing a fingerprint."""
+
+    scenario: str
+    combo: str
+    error: str
+
+
+@dataclass
+class SoakResult:
+    """Everything one soak produced."""
+
+    combos: tuple
+    baseline: str
+    scenarios: int
+    archetypes: tuple
+    sessions_total: int
+    frames_total: int
+    certified_total: int
+    sessions_per_combo: dict
+    #: Total model forwards per engine combination.  Decisions are
+    #: bit-identical across combos; this is where the combos are
+    #: *supposed* to differ (shared combos coalesce, batched combos
+    #: chunk) — surfaced so the soak also documents the cost spread.
+    forwards_per_combo: dict = field(default_factory=dict)
+    divergences: list = field(default_factory=list)
+    crashes: list = field(default_factory=list)
+    #: ``(scenario, combo, detail)`` script-contract breaches — an honest
+    #: session that did not certify, a tampered one that did, etc.
+    expectation_failures: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.crashes and not self.expectation_failures
+
+    @property
+    def sessions_per_second(self) -> float:
+        return self.sessions_total / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"soak: {self.scenarios} scenarios x {len(self.combos)} engine combos "
+            f"({', '.join(self.combos)})",
+            f"archetypes: {', '.join(self.archetypes)}",
+            f"sessions: {self.sessions_total} total ({self.certified_total} certified), "
+            f"{self.frames_total} frames, {self.wall_seconds:.1f}s wall "
+            f"({self.sessions_per_second:.2f} sessions/s)",
+            "forwards: "
+            + ", ".join(f"{name}={n}" for name, n in self.forwards_per_combo.items()),
+            f"divergences: {len(self.divergences)}  crashes: {len(self.crashes)}  "
+            f"expectation failures: {len(self.expectation_failures)}",
+        ]
+        for d in self.divergences:
+            lines.append(f"  DIVERGED {d.scenario}: {d.combo} vs {d.baseline}: {d.detail}")
+        for c in self.crashes:
+            lines.append(f"  CRASHED {c.scenario} under {c.combo}: {c.error}")
+        for scenario, combo, detail in self.expectation_failures:
+            lines.append(f"  UNEXPECTED {scenario} under {combo}: {detail}")
+        return "\n".join(lines)
+
+
+# -- driving ---------------------------------------------------------------
+
+
+def run_scenario(scenario: Scenario, service: WitnessService, server: WebServer | None = None) -> ScenarioOutcome:
+    """Drive one scenario instance against ``service``; returns its outcome.
+
+    Builds a fresh guest (machine, browser, extension, session handle)
+    per wizard step, pins the witness sampling seed from the scenario so
+    the schedule replays identically under every engine, and reduces the
+    whole flow to a fingerprint.
+    """
+    if server is None:
+        server = WebServer(service.ca) if service.ca is not None else None
+        if server is None:
+            raise ValueError("run_scenario needs a server or a service with a CA")
+    for page_id, page in scenario.pages:
+        server.register_page(page_id, page)
+
+    fingerprints = []
+    sessions = frames = certified = forwards = 0
+    for step, (page_id, _page) in enumerate(scenario.pages):
+        client = connect_guest(
+            server,
+            service,
+            page_id,
+            display=scenario.display,
+            stack=scenario.stack,
+            sampler_seed=scenario.step_sampler_seed(step),
+        )
+        try:
+            body = run_script(scenario, step, client.browser, client.vspec)
+            if body is None:
+                report = client.witness.report
+                fingerprints.append(session_fingerprint(None, report, None, None))
+            else:
+                decision = client.extension.end_session(body)
+                report = client.witness.report
+                verified = (
+                    bool(server.verify(decision.request)) if decision.request else None
+                )
+                fingerprints.append(session_fingerprint(decision, report, body, verified))
+                certified += int(decision.certified)
+            sessions += 1
+            frames += report.frames_sampled
+            forwards += report.text_forwards + report.image_forwards
+        finally:
+            client.close()
+    return ScenarioOutcome(
+        spec=scenario.spec,
+        combo="",
+        fingerprint=tuple(fingerprints),
+        sessions=sessions,
+        frames=frames,
+        certified=certified,
+        forwards=forwards,
+        expectation_failures=_expectation_failures(scenario.spec, tuple(fingerprints)),
+    )
+
+
+def _expand_specs(specs, seeds) -> list:
+    grid = []
+    for spec in specs:
+        if isinstance(spec, str):
+            spec = ScenarioSpec(archetype=spec)
+        if seeds is None:
+            grid.append(spec)
+        else:
+            grid.extend(spec.with_seed(spec.seed + s) for s in seeds)
+    return grid
+
+
+def _describe_divergence(base: tuple, other: tuple) -> str:
+    """The first structural difference between two scenario fingerprints."""
+    if len(base) != len(other):
+        return f"session count {len(other)} != {len(base)}"
+    names = ("decision", "server-verified", "body", "display_ok", "frames")
+    for s, (bs, os_) in enumerate(zip(base, other)):
+        for part, bp, op in zip(names, bs, os_):
+            if bp == op:
+                continue
+            if part == "frames":
+                if len(bp) != len(op):
+                    return f"session {s}: frame count {len(op)} != {len(bp)}"
+                fields = (
+                    "index", "sampled_at_ms", "ok", "offset_y",
+                    "skipped_unchanged", "failures", "violations",
+                )
+                for i, (bf, of_) in enumerate(zip(bp, op)):
+                    for fname, bv, ov in zip(fields, bf, of_):
+                        if bv != ov:
+                            return (
+                                f"session {s} frame {i}: {fname} differs: "
+                                f"{ov!r} != {bv!r}"[:400]
+                            )
+            return f"session {s}: {part} differs: {op!r} != {bp!r}"[:400]
+    return "fingerprints differ (structure)"
+
+
+def run_soak(
+    specs,
+    *,
+    seeds=None,
+    combos=ENGINE_COMBOS,
+    baseline: EngineCombo | str | None = None,
+    text_model=None,
+    image_model=None,
+    config: WitnessConfig | None = None,
+    threads: int = 1,
+) -> SoakResult:
+    """Drive every scenario through every engine combination and compare.
+
+    Args:
+        specs: :class:`ScenarioSpec` instances (or archetype names, which
+            become honest-script specs at seed 0).
+        seeds: optional seed offsets; each spec expands to one instance
+            per seed (``None`` keeps the specs as given).
+        combos: the engine combinations to cross-check.
+        baseline: the reference combo (name or instance); defaults to the
+            first of ``combos``.  Every other combo is compared to it.
+        config: base :class:`WitnessConfig` for runtime knobs; each
+            combo's batched/executor/inference fields are overlaid on it.
+        threads: drive this many scenario fleets concurrently within each
+            combo (>=2 exercises genuine cross-session coalescing on the
+            shared executor; fingerprints must *still* match, because
+            per-session verdicts do not depend on batch composition).
+
+    Returns a :class:`SoakResult`; ``result.ok`` is the soak's verdict.
+    """
+    if text_model is None or image_model is None:
+        from repro.nn.zoo import get_image_model, get_text_model
+
+        text_model = text_model or get_text_model("base")
+        image_model = image_model or get_image_model()
+
+    grid = _expand_specs(specs, seeds)
+    if isinstance(baseline, str):
+        baseline = combo_by_name(baseline)
+    combos = tuple(combos)
+    if baseline is None:
+        baseline = combos[0]
+    elif baseline not in combos:
+        combos = (baseline,) + tuple(c for c in combos if c != baseline)
+    ordered = (baseline,) + tuple(c for c in combos if c != baseline)
+
+    outcomes: dict = {}  # combo name -> {spec.key -> ScenarioOutcome}
+    forwards_per_combo: dict = {}
+    crashes: list = []
+    t0 = time.perf_counter()
+    for combo in ordered:
+        ca = CertificateAuthority()
+        service = WitnessService(
+            ca, combo.config(config), text_model=text_model, image_model=image_model
+        )
+        per_combo: dict = {}
+
+        def drive(spec: ScenarioSpec):
+            try:
+                outcome = run_scenario(spec.build(), service)
+                outcome.combo = combo.name
+                per_combo[spec.key] = outcome
+            except Exception as exc:  # noqa: BLE001 - a crash IS a finding
+                crashes.append(Crash(spec.key, combo.name, f"{type(exc).__name__}: {exc}"))
+
+        with service:
+            if threads > 1:
+                from concurrent.futures import ThreadPoolExecutor
+
+                with ThreadPoolExecutor(max_workers=threads) as pool:
+                    list(pool.map(drive, grid))
+            else:
+                for spec in grid:
+                    drive(spec)
+        outcomes[combo.name] = per_combo
+        # Shared combos' flushes are co-owned by many sessions: the
+        # runtime's global counter is authoritative there; inline combos
+        # sum exactly per session.
+        runtime = service.runtime_stats().get("runtime")
+        forwards_per_combo[combo.name] = (
+            runtime["forwards_total"]
+            if runtime is not None
+            else sum(o.forwards for o in per_combo.values())
+        )
+    wall = time.perf_counter() - t0
+
+    divergences: list = []
+    base_outcomes = outcomes[baseline.name]
+    for combo in ordered[1:]:
+        for key, outcome in outcomes[combo.name].items():
+            base = base_outcomes.get(key)
+            if base is None:
+                continue  # baseline crashed; already reported
+            if outcome.fingerprint != base.fingerprint:
+                divergences.append(
+                    Divergence(
+                        scenario=key,
+                        baseline=baseline.name,
+                        combo=combo.name,
+                        detail=_describe_divergence(base.fingerprint, outcome.fingerprint),
+                    )
+                )
+
+    all_outcomes = [o for per in outcomes.values() for o in per.values()]
+    expectation_failures = [
+        (o.spec.key, o.combo, detail)
+        for o in all_outcomes
+        for detail in o.expectation_failures
+    ]
+    return SoakResult(
+        combos=tuple(c.name for c in ordered),
+        baseline=baseline.name,
+        scenarios=len(grid),
+        archetypes=tuple(dict.fromkeys(s.archetype for s in grid)),
+        sessions_total=sum(o.sessions for o in all_outcomes),
+        frames_total=sum(o.frames for o in all_outcomes),
+        certified_total=sum(o.certified for o in all_outcomes),
+        sessions_per_combo={
+            name: sum(o.sessions for o in per.values()) for name, per in outcomes.items()
+        },
+        forwards_per_combo=forwards_per_combo,
+        divergences=divergences,
+        crashes=crashes,
+        expectation_failures=expectation_failures,
+        wall_seconds=wall,
+    )
+
+
+def default_soak_specs() -> list:
+    """The standard soak matrix: every archetype, every user script.
+
+    Ten scenario instances — twelve witnessed sessions per engine combo
+    (the wizard contributes three) — covering all six archetypes and all
+    four behaviour scripts.
+    """
+    return [
+        ScenarioSpec("tall-form", script="honest"),
+        ScenarioSpec("tall-form", script="tampered"),
+        ScenarioSpec("wizard", script="honest"),
+        ScenarioSpec("dashboard", script="honest"),
+        ScenarioSpec("dashboard", script="abandoning"),
+        ScenarioSpec("nested-scroll", script="honest"),
+        ScenarioSpec("nested-scroll", script="tampered"),
+        ScenarioSpec("letterbox", script="honest"),
+        ScenarioSpec("letterbox", script="slow-typist"),
+        ScenarioSpec("mixed-stack", script="honest"),
+    ]

@@ -1,0 +1,126 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names *what* to simulate — a page archetype, a
+user script, and a seed — without constructing anything.  ``build()``
+instantiates it into a :class:`Scenario`: concrete pristine pages, the
+user's intended entries, the rendering stack, the guest display size and
+the pinned witness sampling seed.  Everything downstream (the soak
+driver, property tests, benchmarks) consumes scenarios, so one spec
+replays bit-identically under every engine combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.datasets.forms import sample_user_entries
+from repro.raster.stacks import RenderStack, stack_by_name
+from repro.scenarios.pages import ARCHETYPES, DISPLAYS, archetype_stack, build_archetype_pages
+
+#: User behaviour scripts (see :mod:`repro.scenarios.scripts`).
+SCRIPTS = ("honest", "slow-typist", "tampered", "abandoning")
+
+#: Typing cadence per script (ms between keystrokes, before jitter).
+_TYPING_DELAY = {
+    "honest": 80.0,
+    "tampered": 80.0,
+    "abandoning": 80.0,
+    "slow-typist": 350.0,
+}
+
+#: Stride separating the derived sampler seeds of a scenario's steps.
+_STEP_SEED_STRIDE = 101
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario: archetype x user script x seed.
+
+    ``display``, ``stack_name``, ``sampler_seed`` and
+    ``typing_delay_ms`` override the archetype/script defaults when set;
+    leaving them ``None`` derives them deterministically from the seed so
+    a spec is fully reproducible from its three core fields.
+    """
+
+    archetype: str
+    script: str = "honest"
+    seed: int = 0
+    display: tuple | None = None
+    stack_name: str | None = None
+    sampler_seed: int | None = None
+    typing_delay_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.archetype not in ARCHETYPES:
+            raise ValueError(
+                f"unknown archetype {self.archetype!r}; expected one of {ARCHETYPES}"
+            )
+        if self.script not in SCRIPTS:
+            raise ValueError(f"unknown script {self.script!r}; expected one of {SCRIPTS}")
+
+    @property
+    def key(self) -> str:
+        """Stable identity used to pair runs across engine combinations."""
+        return f"{self.archetype}/{self.script}#{self.seed}"
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return replace(self, seed=seed)
+
+    def build(self) -> "Scenario":
+        """Instantiate the concrete, deterministic scenario."""
+        pages = build_archetype_pages(self.archetype, self.seed)
+        entries = [
+            sample_user_entries(page, self.seed * 13 + step)
+            for step, page in enumerate(pages)
+        ]
+        stack = (
+            stack_by_name(self.stack_name)
+            if self.stack_name is not None
+            else archetype_stack(self.archetype, self.seed)
+        )
+        display = self.display or DISPLAYS[self.archetype]
+        sampler_seed = (
+            self.sampler_seed
+            if self.sampler_seed is not None
+            else 100_000 + self.seed * 977 + ARCHETYPES.index(self.archetype)
+        )
+        delay = (
+            self.typing_delay_ms
+            if self.typing_delay_ms is not None
+            else _TYPING_DELAY[self.script]
+        )
+        return Scenario(
+            spec=self,
+            pages=[(f"{self.archetype}-{self.seed}-s{i}", p) for i, p in enumerate(pages)],
+            entries=entries,
+            stack=stack,
+            display=tuple(display),
+            sampler_seed=sampler_seed,
+            typing_delay_ms=delay,
+        )
+
+
+@dataclass
+class Scenario:
+    """A fully instantiated scenario, ready to be driven.
+
+    ``pages`` holds *pristine* server-side pages — drivers must serve
+    deep copies to clients (the :class:`~repro.server.WebServer` does
+    this) so one combo's session cannot leak state into the next.
+    """
+
+    spec: ScenarioSpec
+    pages: list  # [(page_id, Page), ...] in step order
+    entries: list  # per-step name -> intended value
+    stack: RenderStack
+    display: tuple
+    sampler_seed: int
+    typing_delay_ms: float
+
+    @property
+    def steps(self) -> int:
+        return len(self.pages)
+
+    def step_sampler_seed(self, step: int) -> int:
+        """The pinned witness sampling seed for one wizard step."""
+        return self.sampler_seed + step * _STEP_SEED_STRIDE

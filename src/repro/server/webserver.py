@@ -163,6 +163,43 @@ class ClientConnection:
         self.close()
 
 
+def connect_guest(
+    server: WebServer,
+    service: WitnessService,
+    page_id: str,
+    *,
+    display=(640, 480),
+    stack=None,
+    sampler_seed: int | None = None,
+) -> ClientConnection:
+    """Wire up one guest client against any server/service pair.
+
+    The single implementation of the machine/browser/extension/session
+    boilerplate: :meth:`WitnessedSite.connect` and the scenario soak both
+    delegate here.  ``sampler_seed`` pins the witness sampling schedule
+    (deterministic replay); ``None`` keeps the service's derived seeds.
+    """
+    from repro.web.browser import Browser
+    from repro.web.extension import BrowserExtension
+    from repro.web.hypervisor import Machine
+
+    machine = Machine(*display)
+    kwargs = {"stack": stack} if stack is not None else {}
+    browser = Browser(machine, server.serve_page(page_id), **kwargs)
+    witness = service.open_session(machine, sampler_seed=sampler_seed)
+    try:
+        extension = BrowserExtension(browser, server, witness)
+        vspec = extension.acquire_vspecs(page_id)
+        browser.paint()
+        extension.begin_session()
+    except BaseException:
+        # Wiring failed mid-way (e.g. a raising frame-0 hook): the
+        # caller never gets a handle, so release the session here.
+        witness.close()
+        raise
+    return ClientConnection(machine, browser, extension, witness, vspec)
+
+
 class WitnessedSite:
     """A protected deployment: one web server plus one witness service.
 
@@ -196,25 +233,7 @@ class WitnessedSite:
         End every connection with ``submit()`` or ``close()`` (or use it
         as a context manager) so the service drops the session handle.
         """
-        from repro.web.browser import Browser
-        from repro.web.extension import BrowserExtension
-        from repro.web.hypervisor import Machine
-
-        machine = Machine(*display)
-        kwargs = {"stack": stack} if stack is not None else {}
-        browser = Browser(machine, self.server.serve_page(page_id), **kwargs)
-        witness = self.service.open_session(machine)
-        try:
-            extension = BrowserExtension(browser, self.server, witness)
-            vspec = extension.acquire_vspecs(page_id)
-            browser.paint()
-            extension.begin_session()
-        except BaseException:
-            # Wiring failed mid-way (e.g. a raising frame-0 hook): the
-            # caller never gets a handle, so release the session here.
-            witness.close()
-            raise
-        return ClientConnection(machine, browser, extension, witness, vspec)
+        return connect_guest(self.server, self.service, page_id, display=display, stack=stack)
 
     def verify(self, decision) -> VerificationResult:
         """Server-side verification of a certified decision's request."""

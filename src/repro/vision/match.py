@@ -56,9 +56,11 @@ def best_vertical_offset(frame, long_image, stride: int = 1) -> MatchResult:
     height (the VSPEC expected appearance is rendered at the client width,
     at the page's full height).  Returns the offset of the best NCC match.
 
-    A coarse pass on 1-D row-mean profiles narrows the candidate offsets,
-    then full-frame NCC ranks the survivors — the same coarse-to-fine
-    strategy OpenCV users reach for with ``matchTemplate`` on large pages.
+    A coarse pass on ``stride``-fold downsampled pixels (2-D, so
+    horizontal structure still discriminates on vertically periodic
+    layouts) narrows the candidate offsets, then full-resolution NCC
+    ranks the survivors — the same coarse-to-fine strategy OpenCV users
+    reach for with ``matchTemplate`` on large pages.
     """
     f = as_array(frame)
     long_arr = as_array(long_image)
@@ -74,29 +76,33 @@ def best_vertical_offset(frame, long_image, stride: int = 1) -> MatchResult:
     if max_off == 0:
         return MatchResult(0, normalized_cross_correlation(f, long_arr))
 
-    # Coarse pass: correlate row-mean profiles at the given stride.  The
+    # Coarse pass: NCC on pixels downsampled ``stride``-fold in *both*
+    # axes.  Row-mean profiles are not enough here: they are blind to
+    # horizontal structure, and on pages with near-periodic vertical
+    # layout (tall forms: label + box + spacing repeats every ~60px)
+    # profile aliasing can rank the true offset below a dozen impostors,
+    # sending the fine pass to the wrong neighbourhood entirely.  The
     # final offset (the page bottom) is always included — it is the one
-    # position striding can otherwise skip entirely.
-    frame_profile = f.mean(axis=1)
-    long_profile = long_arr.mean(axis=1)
-    fp = frame_profile - frame_profile.mean()
-    n = fp.shape[0]
+    # position striding can otherwise skip.
+    n = f.shape[0]
+    f_ds = f[::stride, ::stride]
+    fd = f_ds - f_ds.mean()
+    fvar = float((fd * fd).sum())
     candidates = []
-    fvar = float(fp @ fp)
     offsets = list(range(0, max_off + 1, stride))
     if offsets[-1] != max_off:
         offsets.append(max_off)
     for off in offsets:
-        seg = long_profile[off : off + n]
-        sp = seg - seg.mean()
-        svar = float(sp @ sp)
+        seg = long_arr[off : off + n : stride, ::stride]
+        sd = seg - seg.mean()
+        svar = float((sd * sd).sum())
         if fvar < 1e-12 and svar < 1e-12:
             # Two blank strips: match them by mean intensity instead.
-            score = 1.0 if abs(frame_profile.mean() - seg.mean()) < 2.0 else 0.0
+            score = 1.0 if abs(float(f_ds.mean()) - float(seg.mean())) < 2.0 else 0.0
         elif fvar < 1e-12 or svar < 1e-12:
             score = 0.0
         else:
-            score = float((fp @ sp) / np.sqrt(fvar * svar))
+            score = float((fd * sd).sum() / np.sqrt(fvar * svar))
         candidates.append((score, off))
     candidates.sort(reverse=True)
 

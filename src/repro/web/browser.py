@@ -81,10 +81,8 @@ class Browser:
         full = self.render_full_page()
         self.page_height = full.height
         self.scroll_y = max(0, min(self.scroll_y, self.max_scroll))
-        view_h = min(self.viewport_height, full.height)
         frame = full.crop_clipped(0, self.scroll_y, self.page.width, self.viewport_height,
                                   fill=self.page.background)
-        del view_h
         self.machine.write_framebuffer(frame, 0, 0)
 
     # -- geometry helpers ----------------------------------------------------

@@ -36,6 +36,12 @@ class POFStyle:
     outline_margin: int = 2
     caret_intensity: float = 30.0
     caret_width: int = 2
+    #: Minimum height for a caret *detection*.  The rendered caret spans
+    #: the input box interior (22px for the standard 30px box), while
+    #: glyph strokes never exceed the text size (<=14px even with AA) —
+    #: so 16 separates a real caret from an 'l'/'1'/'|' stem whose ink
+    #: drifts into the caret intensity band on some rendering stacks.
+    caret_min_height: int = 16
     highlight_intensity: float = 205.0
     border_intensity: float = 90.0
     #: Scrollable-list selected-row fill.  Deliberately outside the POF
@@ -45,6 +51,31 @@ class POFStyle:
 
 
 DEFAULT_POF = POFStyle()
+
+#: Input-field interior fill — the renderer's field background.  The
+#: display validator composes tracked values against this same constant.
+FIELD_BACKGROUND = 252.0
+
+
+def draw_input_value(canvas: Image, box, value: str, text_size: int, stack: RenderStack, clear_interior: bool = False) -> None:
+    """Draw an input's value text into its box rect.
+
+    The single source of truth for field-value geometry (origin,
+    truncation, background): :func:`_draw_input_box` renders with it and
+    the display validator composes tracked state into expected
+    appearances with it — keeping the two in lockstep is what makes
+    stateful viewport matching faithful.  ``clear_interior`` wipes the
+    inside of the box (preserving its border) first, for composing over
+    a raster that may carry a previously drawn value.
+    """
+    if clear_interior:
+        canvas.fill_rect(box.x + 1, box.y + 1, box.w - 2, box.h - 2, FIELD_BACKGROUND)
+    if not value:
+        return
+    advance = lay.char_advance(text_size)
+    max_chars = (box.w - 2 * lay.INPUT_PAD_X) // max(1, advance)
+    origin_y = box.y + (box.h - text_size) // 2
+    _draw_text(canvas, value[:max_chars], box.x + lay.INPUT_PAD_X, origin_y, text_size, stack)
 
 
 @dataclass(frozen=True)
@@ -93,7 +124,7 @@ def _draw_input_box(
     focus: FocusState | None,
 ) -> None:
     box = lay.input_box_rect(element)
-    canvas.fill_rect(box.x, box.y, box.w, box.h, 252.0)
+    canvas.fill_rect(box.x, box.y, box.w, box.h, FIELD_BACKGROUND)
     canvas.draw_border(box.x, box.y, box.w, box.h, pof.border_intensity, 1)
     if element.label:
         _draw_text(canvas, element.label, element.rect.x, element.rect.y, lay.LABEL_SIZE, stack)
@@ -109,15 +140,7 @@ def _draw_input_box(
             canvas.fill_rect(
                 first.x, first.y, last.x2 - first.x, first.h, pof.highlight_intensity
             )
-    if element.value:
-        ox, oy = lay.text_origin_in_input(element)
-        shown = element.value
-        max_chars = (box.w - 2 * lay.INPUT_PAD_X) // max(
-            1, lay.char_advance(element.text_size)
-        )
-        if len(shown) > max_chars:
-            shown = shown[:max_chars]
-        _draw_text(canvas, shown, ox, oy, element.text_size, stack)
+    draw_input_value(canvas, box, element.value, element.text_size, stack)
     if focused:
         # Focus outline: a ring around the input box.
         ring = box.expanded(pof.outline_margin)

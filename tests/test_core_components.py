@@ -294,6 +294,59 @@ class TestPOF:
         obs = extract_pofs(frame, input_rects=[box])
         assert len(obs.carets) == 1  # only the real caret
 
+    def test_glyph_stems_not_carets_on_any_named_stack(self):
+        """Soak regression: on some stacks ('gecko-windows' et al.) an
+        'l'/'1' stem's ink lands in the caret intensity band with bright
+        inter-glyph flanks; only the caret height floor keeps it out."""
+        from repro.raster.stacks import stack_registry as _stacks
+
+        for stack in _stacks():
+            page = Page(
+                title="T",
+                width=640,
+                elements=[TextInput("email", label="Email", value="ana@example.com")],
+            )
+            machine = Machine(640, 200)
+            browser = Browser(machine, page, stack=stack)
+            field = page.elements[0]
+            browser.focused_id = field.element_id
+            field.caret = len(field.value)
+            browser.paint()
+            frame = machine.sample_framebuffer().pixels
+            box = lay.input_box_rect(field)
+            obs = extract_pofs(frame, input_rects=[box])
+            # At most the real caret; never a glyph-stem misdetection.
+            assert len(obs.carets) <= 1, stack.name
+            for caret in obs.carets:
+                assert caret.h >= DEFAULT_POF.caret_min_height, stack.name
+
+    def test_caret_at_frame_edge_accepted(self):
+        """A caret within 2px of the frame's left edge has no left flank;
+        the right flank alone must carry the brightness test."""
+        frame = np.full((60, 40), 252.0)
+        frame[10:32, 0:2] = DEFAULT_POF.caret_intensity  # caret at x=0
+        box = Rect(0, 5, 36, 40)
+        obs = extract_pofs(frame, input_rects=[box])
+        assert len(obs.carets) == 1
+        assert obs.carets[0].x == 0
+
+    def test_caret_at_right_frame_edge_accepted(self):
+        frame = np.full((60, 40), 252.0)
+        frame[10:32, 38:40] = DEFAULT_POF.caret_intensity  # caret at right edge
+        box = Rect(4, 5, 36, 40)
+        obs = extract_pofs(frame, input_rects=[box])
+        assert len(obs.carets) == 1
+
+    def test_edge_caret_with_inky_flank_still_rejected(self):
+        """The surviving flank still discriminates: ink beside an
+        edge-hugging caret keeps it rejected."""
+        frame = np.full((60, 40), 252.0)
+        frame[10:32, 0:2] = DEFAULT_POF.caret_intensity
+        frame[8:34, 2:5] = 0.0  # dark ink immediately right of the bar
+        box = Rect(0, 5, 36, 40)
+        obs = extract_pofs(frame, input_rects=[box])
+        assert not obs.carets
+
 
 class TestSampler:
     def test_mean_delay_near_quarter_second(self):
@@ -365,3 +418,36 @@ class TestTimingModel:
     def test_negative_session_rejected(self):
         with pytest.raises(ValueError):
             request_delay(self._timing(), -1.0)
+
+    def test_sample_times_drive_arrivals(self):
+        """The sample-instant branch: late-clustered samples raise the delay."""
+        uniform = SessionTiming(frame_times=[0.2, 0.2, 0.2], t_request=0.05)
+        clustered = SessionTiming(
+            frame_times=[0.2, 0.2, 0.2],
+            frame_sample_times_ms=[980.0, 990.0, 1000.0],
+            t_request=0.05,
+        )
+        # All three frames arrive just before submission: their work can
+        # barely overlap the session, unlike evenly spread arrivals.
+        assert request_delay(clustered, 10.0) > request_delay(uniform, 10.0)
+
+    def test_empty_sample_times_use_uniform_arrivals(self):
+        """The fallback branch: no sample instants -> evenly spread arrivals."""
+        timing = SessionTiming(frame_times=[0.3, 0.3], t_request=0.1)
+        explicit = SessionTiming(
+            frame_times=[0.3, 0.3],
+            frame_sample_times_ms=[500.0, 1000.0],
+            t_request=0.1,
+        )
+        assert request_delay(timing, 4.0) == pytest.approx(request_delay(explicit, 4.0))
+
+    def test_sample_time_length_mismatch_is_loud(self):
+        """A frame_times/frame_sample_times_ms mismatch must raise, not
+        silently fall back to uniform arrivals."""
+        timing = SessionTiming(
+            frame_times=[0.2, 0.2, 0.2],
+            frame_sample_times_ms=[100.0, 200.0],  # one entry short
+            t_request=0.05,
+        )
+        with pytest.raises(ValueError, match="lockstep"):
+            request_delay(timing, 5.0)

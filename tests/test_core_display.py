@@ -115,6 +115,92 @@ class TestBenignFrames:
         assert result.ok, [f.reason for f in result.failures][:3]
         assert abs(result.offset_y - browser.scroll_y) <= 2
 
+    def test_periodic_tall_form_locates_offset_when_filled(self, text_model, image_model):
+        """Soak regression: a near-periodic tall form with typed values
+        must still locate the true viewport when the tracker's state is
+        supplied (the stateful expected appearance + the 2-D coarse pass)."""
+        fields = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"]
+        page = Page(
+            title="Periodic",
+            width=640,
+            elements=[TextInput(n, label=n.title()) for n in fields],
+        )
+        vspec = build_vspec(copy.deepcopy(page), "periodic")
+        machine = Machine(640, 300)
+        client_page = copy.deepcopy(page)
+        browser = Browser(machine, client_page)
+        tracked = {}
+        for name in fields[:4]:
+            client_page.find_input(name).value = f"value-{name}"
+            tracked[name] = f"value-{name}"
+        browser.scroll_y = 120
+        browser.paint()
+        validator = DisplayValidator(
+            vspec, TextVerifier(text_model, batched=True), ImageVerifier(image_model, batched=True)
+        )
+        offset, score = validator.locate_viewport(
+            machine.sample_framebuffer().pixels, tracked
+        )
+        assert offset == browser.scroll_y
+        assert score > 0.9
+
+    def test_stateful_expected_replaces_prefilled_value(self, text_model, image_model):
+        """A prefilled input whose value the user changes must compose the
+        *current* value into the expected appearance, not overstrike it."""
+        def page_with(value):
+            return Page(
+                title="Prefilled",
+                width=640,
+                elements=[TextInput("note", label="Note", value=value)],
+            )
+
+        vspec = build_vspec(copy.deepcopy(page_with("draft")), "prefilled")
+        validator = DisplayValidator(
+            vspec, TextVerifier(text_model, batched=True), ImageVerifier(image_model, batched=True)
+        )
+        composed = validator._expected_for({"note": "final"})
+        baked = build_vspec(copy.deepcopy(page_with("final")), "prefilled").expected
+        entry = vspec.entry_for_input("note")
+        box = entry.rect
+        assert np.array_equal(
+            composed[box.y : box.y2, box.x : box.x2],
+            baked[box.y : box.y2, box.x : box.x2],
+        )
+
+    def test_incremental_recomposition_matches_fresh(self, text_model, image_model):
+        """Evolving the tracked state keystroke-by-keystroke (the
+        incremental cache path) must compose the same raster as a fresh
+        validator composing the final state in one step."""
+        page = Page(
+            title="Two fields",
+            width=640,
+            elements=[
+                TextInput("a", label="A"),
+                TextInput("b", label="B"),
+                Checkbox("c", "Agree"),
+            ],
+        )
+        vspec = build_vspec(copy.deepcopy(page), "incr")
+
+        def make_validator():
+            return DisplayValidator(
+                vspec,
+                TextVerifier(text_model, batched=True),
+                ImageVerifier(image_model, batched=True),
+            )
+
+        evolving = make_validator()
+        for tracked in (
+            {"a": "h"},
+            {"a": "he"},
+            {"a": "he", "b": "x"},
+            {"a": "he", "b": "x", "c": "on"},
+            {"a": "he", "b": "", "c": "on"},  # b reverts to initial
+        ):
+            evolved = evolving._expected_for(tracked)
+            fresh = make_validator()._expected_for(tracked)
+            assert np.array_equal(evolved, fresh), tracked
+
 
 class TestTamperedFrames:
     def test_swapped_heading_detected(self, bench):

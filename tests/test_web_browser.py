@@ -51,6 +51,26 @@ class TestPainting:
         browser.scroll(-99_999)
         assert browser.scroll_y == 0
 
+    def test_short_page_letterboxes_with_page_background(self):
+        """A page shorter than the display letterboxes below its end with
+        the page background fill (not stale framebuffer content)."""
+        page = Page(
+            title="Short",
+            width=640,
+            background=240.0,
+            elements=[TextBlock("just one line")],
+        )
+        machine = Machine(640, 500)
+        browser = Browser(machine, page)
+        browser.paint()
+        assert browser.page_height < machine.display_height
+        frame = machine.sample_framebuffer().pixels
+        letterbox = frame[browser.page_height :, :]
+        assert letterbox.size > 0
+        assert np.all(letterbox == 240.0)
+        # The page area itself is rendered, not background fill.
+        assert frame[: browser.page_height, :].min() < 100.0
+
 
 class TestTyping:
     def test_click_focus_and_type(self):
