@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 
 import pytest
 
@@ -119,6 +120,10 @@ def record_metrics(name: str, metrics: dict) -> str:
     Each benchmark owns one top-level key; re-running a single benchmark
     updates only its own entry, so the summary accumulates across partial
     runs and its diffs track the perf trajectory PR over PR.
+
+    The write is atomic (temp file + ``os.replace``): the summary is the
+    accumulated record of *every prior* benchmark run, so a crash or an
+    unserializable metric mid-dump must never truncate it.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     data: dict = {}
@@ -129,7 +134,18 @@ def record_metrics(name: str, metrics: dict) -> str:
         except (OSError, json.JSONDecodeError):
             data = {}
     data[name] = metrics
-    with open(SUMMARY_PATH, "w") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    fd, tmp_path = tempfile.mkstemp(
+        dir=RESULTS_DIR, prefix=".bench_summary.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp_path, SUMMARY_PATH)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     return SUMMARY_PATH

@@ -1,0 +1,167 @@
+"""Grandfathered findings: the checked-in debt ledger.
+
+A baseline entry acknowledges one existing finding without fixing it —
+with a mandatory human-written justification, so the ledger reads as a
+list of *decisions*, not a list of ignored noise.  Entries match on
+``(rule, file, context, line_text)`` rather than line numbers, so
+unrelated edits above a grandfathered line don't churn the file; each
+entry consumes at most one finding per run (two identical violations
+need two entries — debt is counted, not wildcarded).
+
+``python -m repro.analysis --update-baseline`` rewrites the file from
+the current findings, carrying existing justifications forward and
+stamping ``TODO: justify`` on new entries (the self-check test fails on
+unjustified entries, so the TODO cannot land).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+#: Default baseline filename, discovered at the repo root.
+BASELINE_NAME = "witness-lint-baseline.json"
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    file: str
+    context: str
+    line_text: str
+    justification: str = ""
+    used: bool = field(default=False, compare=False)
+
+    def key(self) -> tuple:
+        return (self.rule, self.file.replace(os.sep, "/"), self.context, self.line_text)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.file.replace(os.sep, "/"),
+            "context": self.context,
+            "line": self.line_text,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: list
+    path: str | None = None
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[], path=None)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls(entries=[], path=path)
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                file=item["file"],
+                context=item.get("context", "<module>"),
+                line_text=item.get("line", ""),
+                justification=item.get("justification", ""),
+            )
+            for item in data.get("entries", [])
+        ]
+        return cls(entries=entries, path=path)
+
+    def save(self, path: str | None = None) -> str:
+        path = path or self.path or BASELINE_NAME
+        payload = {
+            "_comment": (
+                "witness-lint grandfathered findings; every entry needs a "
+                "justification (see README 'Static analysis')"
+            ),
+            "entries": [entry.to_json() for entry in self.entries],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        return path
+
+    # -- matching -----------------------------------------------------------
+
+    def split(self, findings) -> tuple:
+        """``(new, grandfathered)`` — each entry consumes one finding."""
+        unused = {}
+        for entry in self.entries:
+            entry.used = False
+            unused.setdefault(entry.key(), []).append(entry)
+        new, grandfathered = [], []
+        for finding in findings:
+            key = (
+                finding.rule,
+                finding.path.replace(os.sep, "/"),
+                finding.context,
+                finding.line_text,
+            )
+            bucket = unused.get(key)
+            if bucket:
+                entry = bucket.pop(0)
+                entry.used = True
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        return new, grandfathered
+
+    def stale(self) -> list:
+        """Entries the last :meth:`split` matched nothing against."""
+        return [entry for entry in self.entries if not entry.used]
+
+    def unjustified(self) -> list:
+        return [
+            entry
+            for entry in self.entries
+            if not entry.justification or entry.justification.startswith("TODO")
+        ]
+
+    @classmethod
+    def from_findings(cls, findings, previous: "Baseline | None" = None) -> "Baseline":
+        """A fresh baseline for ``findings``, keeping old justifications."""
+        carried = {}
+        if previous is not None:
+            for entry in previous.entries:
+                carried.setdefault(entry.key(), []).append(entry.justification)
+        entries = []
+        for finding in findings:
+            key = (
+                finding.rule,
+                finding.path.replace(os.sep, "/"),
+                finding.context,
+                finding.line_text,
+            )
+            justifications = carried.get(key)
+            justification = justifications.pop(0) if justifications else "TODO: justify"
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    file=finding.path,
+                    context=finding.context,
+                    line_text=finding.line_text,
+                    justification=justification,
+                )
+            )
+        return cls(entries=entries, path=previous.path if previous else None)
+
+
+def discover_baseline(start: str) -> str | None:
+    """Walk up from ``start`` looking for the checked-in baseline file."""
+    directory = os.path.abspath(start)
+    if os.path.isfile(directory):
+        directory = os.path.dirname(directory)
+    while True:
+        candidate = os.path.join(directory, BASELINE_NAME)
+        if os.path.exists(candidate):
+            return candidate
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            return None
+        directory = parent

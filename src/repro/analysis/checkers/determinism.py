@@ -1,0 +1,246 @@
+"""Determinism: nothing feeding the session fingerprint may wobble.
+
+The soak harness (PR 5) proves every engine combination reduces a
+session to a bit-identical fingerprint.  Both PR 5 incidents were
+nondeterminism bugs of exactly the shapes below: a cache keyed by
+``id()`` (recycled addresses made expected-state composition depend on
+allocator history) and order-sensitive composition.  These rules police
+the fingerprint-feeding modules:
+
+* ``det-wallclock`` — ``time.time()`` / ``datetime.now()``: session
+  timing flows from the virtual machine clock and ``perf_counter``
+  measurements; wall-clock reads make replays diverge.
+* ``det-unseeded-rng`` — ``random.*`` module functions, legacy
+  ``np.random.*`` draws, and ``np.random.default_rng()`` with no seed:
+  every stochastic choice must derive from an explicit seed.
+* ``det-id-key`` — ``id(x)`` used as a dict/set key or lookup argument:
+  CPython recycles addresses, so an ``id()``-keyed cache returns stale
+  entries for fresh objects (the PR 5 padded-expected cache bug).
+* ``det-set-order`` — iterating a set into an order-sensitive consumer
+  (``for`` loops, ``list()``/``tuple()``/``join`` and comprehensions):
+  set iteration order varies with insertion/hash history; sort first.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Finding, Rule
+
+WALLCLOCK_CALLS = {
+    "time.time": "time.time() reads the wall clock",
+    "datetime.datetime.now": "datetime.now() reads the wall clock",
+    "datetime.datetime.utcnow": "datetime.utcnow() reads the wall clock",
+    "datetime.datetime.today": "datetime.today() reads the wall clock",
+    "datetime.date.today": "date.today() reads the wall clock",
+}
+
+#: Seeded-generator constructors that are fine (and the only sanctioned
+#: entropy entry point when given an explicit seed).
+SEEDED_FACTORIES = {"numpy.random.default_rng", "numpy.random.SeedSequence"}
+
+#: ``random`` module attributes that are *not* draws.
+RANDOM_MODULE_OK = {"random.Random", "random.SystemRandom", "random.getstate"}
+
+#: Methods whose argument is a lookup/storage key.
+KEYED_METHODS = {"get", "setdefault", "pop", "add", "discard", "remove", "__contains__"}
+
+#: Order-sensitive consumers of an iterable argument.
+ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "iter", "next"}
+
+
+def _is_set_expr(module, node) -> bool:
+    """Whether ``node`` statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if module.resolve_call(node) in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra: s1 | s2 etc. — a set if either side clearly is.
+        return _is_set_expr(module, node.left) or _is_set_expr(module, node.right)
+    return False
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    rules = (
+        Rule(
+            id="det-wallclock",
+            summary="wall-clock read in a fingerprint-feeding module",
+            incident=(
+                "PR 5 soak: session fingerprints must be bit-identical across "
+                "engines and replays; wall-clock reads diverge per run"
+            ),
+            hint="use the session's virtual clock, or time.perf_counter for pure measurement",
+        ),
+        Rule(
+            id="det-unseeded-rng",
+            summary="unseeded or global-state randomness",
+            incident=(
+                "PR 5 soak: every stochastic choice (pages, scripts, sampling) "
+                "derives from an explicit seed so scenarios replay exactly"
+            ),
+            hint="thread an np.random.default_rng(seed) through instead",
+        ),
+        Rule(
+            id="det-id-key",
+            summary="id() used as a cache/dict/set key",
+            incident=(
+                "PR 5: the padded-expected cache was keyed by array id(); "
+                "CPython recycles addresses, so fresh rasters hit stale "
+                "entries — fixed by keying on tracked-state content"
+            ),
+            hint="key on content (digest, tracked-state key), not object identity",
+        ),
+        Rule(
+            id="det-set-order",
+            summary="set iteration order escaping into ordered data",
+            incident=(
+                "PR 5: expected-state composition had to be made order-"
+                "independent; set iteration order varies with hash/insertion "
+                "history and diverges fingerprints"
+            ),
+            hint="wrap in sorted(...) before iterating into ordered output",
+        ),
+    )
+
+    def check(self, module, project) -> list:
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(module, node.iter):
+                    findings.append(self._set_order(module, node.iter))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(module, gen.iter):
+                        findings.append(self._set_order(module, gen.iter))
+        return findings
+
+    # -- individual detections ---------------------------------------------
+
+    def _check_call(self, module, call: ast.Call) -> list:
+        findings = []
+        resolved = module.resolve_call(call)
+        if resolved in WALLCLOCK_CALLS:
+            findings.append(
+                self._finding(module, call, "det-wallclock", WALLCLOCK_CALLS[resolved])
+            )
+        findings.extend(self._check_rng(module, call, resolved))
+        if resolved == "id":
+            finding = self._check_id_key(module, call)
+            if finding is not None:
+                findings.append(finding)
+        if (
+            resolved in ORDER_SENSITIVE_CALLS
+            and call.args
+            and _is_set_expr(module, call.args[0])
+        ):
+            findings.append(self._set_order(module, call))
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "join"
+            and call.args
+            and _is_set_expr(module, call.args[0])
+        ):
+            findings.append(self._set_order(module, call))
+        return findings
+
+    def _check_rng(self, module, call: ast.Call, resolved) -> list:
+        if resolved is None:
+            return []
+        if resolved in SEEDED_FACTORIES:
+            if not call.args and not call.keywords:
+                return [
+                    self._finding(
+                        module,
+                        call,
+                        "det-unseeded-rng",
+                        "np.random.default_rng() without a seed draws from OS entropy",
+                    )
+                ]
+            return []
+        if resolved.startswith("numpy.random.") and resolved not in (
+            "numpy.random.Generator",
+        ):
+            return [
+                self._finding(
+                    module,
+                    call,
+                    "det-unseeded-rng",
+                    f"legacy global-state draw {resolved.replace('numpy', 'np')}()",
+                )
+            ]
+        if (
+            resolved.startswith("random.")
+            and resolved not in RANDOM_MODULE_OK
+        ):
+            return [
+                self._finding(
+                    module,
+                    call,
+                    "det-unseeded-rng",
+                    f"{resolved}() draws from the process-global Mersenne state",
+                )
+            ]
+        return []
+
+    def _check_id_key(self, module, call: ast.Call):
+        """Flag ``id()`` when its value flows into a key position."""
+        prev = call
+        for anc in module.ancestors(call):
+            if isinstance(anc, ast.Subscript) and prev is not anc.value:
+                return self._finding(
+                    module, call, "det-id-key", "id() used as a subscript key"
+                )
+            if isinstance(anc, ast.Dict) and prev in anc.keys:
+                return self._finding(
+                    module, call, "det-id-key", "id() used as a dict-literal key"
+                )
+            if (
+                isinstance(anc, ast.Call)
+                and isinstance(anc.func, ast.Attribute)
+                and anc.func.attr in KEYED_METHODS
+                and prev in anc.args
+            ):
+                return self._finding(
+                    module,
+                    call,
+                    "det-id-key",
+                    f"id() passed to .{anc.func.attr}() as a key",
+                )
+            if isinstance(anc, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in anc.ops
+            ):
+                return self._finding(
+                    module, call, "det-id-key", "id() membership-tested as a key"
+                )
+            if isinstance(anc, ast.stmt):
+                break
+            prev = anc
+        return None
+
+    # -- finding constructors ----------------------------------------------
+
+    def _set_order(self, module, node) -> Finding:
+        return self._finding(
+            module,
+            node,
+            "det-set-order",
+            "set iteration order escapes into ordered data (sort first)",
+        )
+
+    def _finding(self, module, node, rule: str, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            message=message,
+            context=module.context_of(node),
+            line_text=module.line_text(node.lineno),
+        )

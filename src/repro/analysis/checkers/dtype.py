@@ -1,0 +1,167 @@
+"""dtype discipline: the numeric stack is float32-clean by contract.
+
+PR 4 hand-fixed a crop of silent float64 leaks (``one_hot`` defaulting
+to float64, losses upcasting, dtype-less constructors) that made the
+inference path slower and made training/frozen parity claims fragile.
+These rules make the discipline mechanical inside ``repro.nn``,
+``repro.vision`` and ``repro.raster``:
+
+* ``dtype-float64`` — any spelled-out float64 (``np.float64``,
+  ``dtype=float``, ``dtype="float64"``, ``astype(float)``): deliberate
+  uses carry an ``allow`` pragma saying *why* double precision is right
+  there (gradient checks, constant folding), accidental ones are leaks.
+* ``dtype-missing`` — allocation constructors with no ``dtype=``
+  (``np.zeros``/``np.empty``/``np.ones``/``np.full``) and
+  ``np.array``/``np.asarray`` over a list/tuple literal: NumPy defaults
+  every one of them to float64, so each is a promotion waiting to flow
+  downstream.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Finding, Rule
+
+#: Constructors that always take their dtype from the ``dtype=`` kwarg.
+ALLOC_CALLS = {
+    "numpy.zeros",
+    "numpy.empty",
+    "numpy.ones",
+    "numpy.full",
+}
+
+#: Converters whose dtype is inferred from the payload: flagged only
+#: when the payload is a literal display (where inference means float64
+#: for any float content).
+LITERAL_CONVERTERS = {
+    "numpy.array",
+    "numpy.asarray",
+    "numpy.ascontiguousarray",
+}
+
+#: Spellings that name float64 outright.
+FLOAT64_NAMES = {"numpy.float64", "float"}
+
+
+def _names_float64(module, node) -> bool:
+    """Whether expression ``node`` denotes the float64 dtype."""
+    if isinstance(node, ast.Constant) and node.value in ("float64", "double", "f8"):
+        return True
+    resolved = module.resolve_name(node) if isinstance(node, (ast.Name, ast.Attribute)) else None
+    return resolved in FLOAT64_NAMES
+
+
+def _has_dtype_kwarg(call: ast.Call) -> bool:
+    return any(kw.arg == "dtype" for kw in call.keywords)
+
+
+class DtypeChecker(Checker):
+    name = "dtype"
+    rules = (
+        Rule(
+            id="dtype-float64",
+            summary="explicit float64 in the float32-clean numeric stack",
+            incident=(
+                "PR 4: float64 leaks in one_hot/losses/sigmoid made the "
+                "inference path silently upcast; frozen parity depends on "
+                "float32 end-to-end"
+            ),
+            hint=(
+                "use repro.nn.tensorops.DEFAULT_DTYPE (or np.float32); if "
+                "double precision is deliberate, justify it with "
+                "# witness-lint: allow[dtype-float64] -- <why>"
+            ),
+        ),
+        Rule(
+            id="dtype-missing",
+            summary="array constructor with no dtype= (defaults to float64)",
+            incident=(
+                "PR 4: dtype-less np.zeros/np.array constructors were how "
+                "most float64 leaks entered the model-input pipeline"
+            ),
+            hint="pass dtype= explicitly (DEFAULT_DTYPE / vision.image.DTYPE)",
+        ),
+    )
+
+    def check(self, module, project) -> list:
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                if module.resolve_name(node) == "numpy.float64":
+                    findings.append(self._float64_finding(module, node, "np.float64"))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node))
+        # Deduplicate: an `astype(np.float64)` call hits both the name
+        # walk and the call walk; keep the first finding per location.
+        unique = {}
+        for f in findings:
+            unique.setdefault((f.line, f.col, f.rule), f)
+        return list(unique.values())
+
+    def _check_call(self, module, call: ast.Call) -> list:
+        findings = []
+        resolved = module.resolve_call(call)
+        # dtype=float / dtype="float64" on any call.
+        for kw in call.keywords:
+            if kw.arg == "dtype" and _names_float64(module, kw.value):
+                if module.resolve_name(kw.value) != "numpy.float64":  # np.float64 already flagged
+                    findings.append(
+                        self._float64_finding(module, kw.value, "dtype=float64")
+                    )
+        # .astype(float) / .astype("float64")
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "astype"
+            and call.args
+            and _names_float64(module, call.args[0])
+            and module.resolve_name(call.args[0]) != "numpy.float64"
+        ):
+            findings.append(self._float64_finding(module, call, "astype(float64)"))
+        if resolved in ALLOC_CALLS and not _has_dtype_kwarg(call):
+            findings.append(
+                Finding(
+                    rule="dtype-missing",
+                    path=module.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"{resolved.replace('numpy', 'np')}(...) without dtype= "
+                        "defaults to float64"
+                    ),
+                    context=module.context_of(call),
+                    line_text=module.line_text(call.lineno),
+                )
+            )
+        elif (
+            resolved in LITERAL_CONVERTERS
+            and not _has_dtype_kwarg(call)
+            and call.args
+            and isinstance(call.args[0], (ast.List, ast.Tuple))
+        ):
+            findings.append(
+                Finding(
+                    rule="dtype-missing",
+                    path=module.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"{resolved.replace('numpy', 'np')}(<literal>) without "
+                        "dtype= promotes float content to float64"
+                    ),
+                    context=module.context_of(call),
+                    line_text=module.line_text(call.lineno),
+                )
+            )
+        return findings
+
+    def _float64_finding(self, module, node, spelling: str) -> Finding:
+        return Finding(
+            rule="dtype-float64",
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            message=f"{spelling} inside the float32-clean stack",
+            context=module.context_of(node),
+            line_text=module.line_text(node.lineno),
+        )

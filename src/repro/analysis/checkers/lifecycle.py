@@ -1,0 +1,233 @@
+"""Frozen-lifecycle discipline: frozen things stay frozen.
+
+Two invariants from PR 4's freeze semantics:
+
+* ``frozen-save`` — frozen nets are compiled weight *snapshots*; the
+  serializer refuses them at runtime (``nn/serialize.py``), but that
+  guard only fires when the bad path executes.  This rule flags the
+  static shapes: ``save_model``/``pickle.dump(s)`` applied to a value
+  that locally came from ``freeze()``/``frozen_twin()``, and any
+  serialization call written *inside* a frozen-net class (``is_frozen =
+  True``).  Persist the training model and re-freeze after load.
+* ``frozen-config-write`` — :class:`~repro.core.service.WitnessConfig`
+  is a frozen dataclass shared by every session of a service; mutating
+  a field (including via ``object.__setattr__``, which bypasses the
+  dataclass guard) changes another session's semantics mid-flight.
+  Derive variations with ``config.replace(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, Finding, Rule
+
+#: Calls that persist their argument.
+SERIALIZERS = {
+    "pickle.dump",
+    "pickle.dumps",
+    "repro.nn.serialize.save_model",
+    "repro.nn.save_model",
+    "save_model",
+}
+
+#: Factories whose result is a frozen executable.
+FREEZERS = {
+    "repro.nn.infer.freeze",
+    "repro.nn.infer.frozen_twin",
+    "freeze",
+    "frozen_twin",
+}
+
+#: Names of the immutable shared-config type.
+CONFIG_TYPES = {"WitnessConfig", "repro.core.service.WitnessConfig"}
+
+
+def _frozen_locals(module, fn_node) -> set:
+    """Names bound from ``freeze()``/``frozen_twin()`` within ``fn_node``."""
+    names = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if module.resolve_call(node.value) in FREEZERS:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+def _config_locals(module, fn_node) -> set:
+    """Names statically known to hold a ``WitnessConfig`` in ``fn_node``."""
+    names = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            resolved = module.resolve_call(node.value)
+            if resolved in CONFIG_TYPES or (
+                resolved is not None and resolved.endswith(".WitnessConfig")
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    if isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for arg in [*fn_node.args.posonlyargs, *fn_node.args.args, *fn_node.args.kwonlyargs]:
+            ann = arg.annotation
+            if ann is None:
+                continue
+            if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+                if ann.value.split(".")[-1] == "WitnessConfig":
+                    names.add(arg.arg)
+                continue
+            resolved = module.resolve_name(ann) if isinstance(ann, (ast.Name, ast.Attribute)) else None
+            if resolved is not None and resolved.split(".")[-1] == "WitnessConfig":
+                names.add(arg.arg)
+    return names
+
+
+class LifecycleChecker(Checker):
+    name = "lifecycle"
+    rules = (
+        Rule(
+            id="frozen-save",
+            summary="serializing a frozen net (a stale-weight snapshot)",
+            incident=(
+                "PR 4: save_model/load_model refuse frozen nets at runtime "
+                "and invalidate memoized twins on reload — serializing the "
+                "compiled snapshot resurrects stale weights after retraining"
+            ),
+            hint="persist the training model; re-freeze (or frozen_twin) after load",
+        ),
+        Rule(
+            id="frozen-config-write",
+            summary="mutating a WitnessConfig field",
+            incident=(
+                "PR 1/3: WitnessConfig is immutable and shared by every "
+                "session of a service; in-place mutation changes concurrent "
+                "sessions' semantics mid-flight"
+            ),
+            hint="derive a variant with config.replace(...)",
+        ),
+    )
+
+    def check(self, module, project) -> list:
+        findings = []
+        findings.extend(self._check_frozen_saves(module))
+        findings.extend(self._check_config_writes(module))
+        return findings
+
+    # -- frozen-save --------------------------------------------------------
+
+    def _check_frozen_saves(self, module) -> list:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve_call(node)
+            if resolved not in SERIALIZERS:
+                continue
+            finding = self._judge_serializer_call(module, node, resolved)
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+    def _judge_serializer_call(self, module, call: ast.Call, resolved: str):
+        short = resolved.split(".")[-1]
+        # Inside a frozen-net class, any serialization call is suspect.
+        cls = module.enclosing_class(call)
+        if cls is not None and cls.is_frozen_net:
+            return self._finding(
+                module,
+                call,
+                "frozen-save",
+                f"{short}() inside frozen-net type {cls.name}",
+            )
+        if not call.args:
+            return None
+        payload = call.args[0]
+        if isinstance(payload, ast.Call) and module.resolve_call(payload) in FREEZERS:
+            return self._finding(
+                module,
+                call,
+                "frozen-save",
+                f"{short}() applied directly to a freeze()/frozen_twin() result",
+            )
+        fn = module.enclosing_function(call)
+        if fn is not None and isinstance(payload, ast.Name):
+            if payload.id in _frozen_locals(module, fn.node):
+                return self._finding(
+                    module,
+                    call,
+                    "frozen-save",
+                    f"{short}({payload.id}) where {payload.id} came from freeze()/frozen_twin()",
+                )
+        return None
+
+    # -- frozen-config-write -------------------------------------------------
+
+    def _check_config_writes(self, module) -> list:
+        findings = []
+        seen_fns = set()
+        for fn_id, fn_info in module.functions.items():
+            if fn_id in seen_fns:
+                continue
+            seen_fns.add(fn_id)
+            config_names = _config_locals(module, fn_info.node)
+            for node in ast.walk(fn_info.node):
+                finding = self._judge_config_write(module, node, config_names)
+                if finding is not None:
+                    findings.append(finding)
+        # object.__setattr__ at module level too.
+        for node in ast.walk(module.tree):
+            if module.enclosing_function(node) is None:
+                finding = self._judge_config_write(module, node, set())
+                if finding is not None:
+                    findings.append(finding)
+        unique = {}
+        for f in findings:
+            unique.setdefault((f.line, f.col, f.rule), f)
+        return list(unique.values())
+
+    def _judge_config_write(self, module, node, config_names):
+        # cfg.field = ... / self.config.field = ...
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                base = target.value
+                if isinstance(base, ast.Name) and base.id in config_names:
+                    return self._finding(
+                        module,
+                        node,
+                        "frozen-config-write",
+                        f"assignment to {base.id}.{target.attr} mutates an immutable WitnessConfig",
+                    )
+                if isinstance(base, ast.Attribute) and base.attr in ("config", "_config"):
+                    return self._finding(
+                        module,
+                        node,
+                        "frozen-config-write",
+                        f"assignment to <…>.{base.attr}.{target.attr} mutates a shared WitnessConfig",
+                    )
+        # object.__setattr__(cfg, "field", value)
+        if isinstance(node, ast.Call):
+            resolved = module.resolve_call(node)
+            if resolved == "object.__setattr__" and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Name) and (not config_names or first.id in config_names):
+                    return self._finding(
+                        module,
+                        node,
+                        "frozen-config-write",
+                        "object.__setattr__ bypasses the frozen-dataclass guard",
+                    )
+        return None
+
+    def _finding(self, module, node, rule: str, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            message=message,
+            context=module.context_of(node),
+            line_text=module.line_text(node.lineno),
+        )

@@ -1,0 +1,103 @@
+"""``python -m repro.analysis`` — the witness-lint command line.
+
+Exit codes: 0 clean (baselined/suppressed findings don't fail the run),
+1 new findings, 2 usage error.  With no path arguments the scanned tree
+defaults to the installed ``repro`` package sources (so CI and local
+runs agree without spelling the path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.baseline import Baseline, discover_baseline
+from repro.analysis.core import AnalysisConfig
+from repro.analysis.report import FORMATS, render_rules
+from repro.analysis.runner import run_analysis
+
+
+def default_target() -> str:
+    """The ``repro`` package source tree this module was imported from."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "witness-lint: AST invariant checks for dtype, determinism, "
+            "lock, hot-path-allocation and frozen-lifecycle discipline"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: the repro package sources)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: witness-lint-baseline.json discovered upward)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings (keeps old justifications)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report the full debt)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (with incident lineage) and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rules())
+        return 0
+
+    paths = args.paths or [default_target()]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    baseline = Baseline.empty()
+    baseline_path = args.baseline
+    if not args.no_baseline:
+        if baseline_path is None:
+            baseline_path = discover_baseline(paths[0])
+        if baseline_path is not None:
+            baseline = Baseline.load(baseline_path)
+
+    result = run_analysis(paths, config=AnalysisConfig(), baseline=baseline)
+
+    if args.update_baseline:
+        fresh = Baseline.from_findings(result.findings + result.baselined, previous=baseline)
+        out_path = fresh.save(baseline_path or args.baseline)
+        print(f"baseline rewritten: {out_path} ({len(fresh.entries)} entries)")
+        return 0
+
+    print(FORMATS[args.format](result))
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""The orchestration layer: resolve once, run every checker, suppress.
+
+:func:`run_analysis` is the one entry point tests and the CLI share.
+Order of operations:
+
+1. resolve the target tree (:class:`~repro.analysis.resolve.Project`);
+2. run each checker over each module *in its configured scope*;
+3. drop findings covered by an ``allow[rule]`` pragma on their line
+   (each pragma records whether it was used, so stale pragmas are
+   reportable);
+4. split what remains against the baseline (grandfathered vs new).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.core import AnalysisConfig, in_scope
+from repro.analysis.resolve import Project
+
+
+def _scope_for(checker, config: AnalysisConfig) -> tuple:
+    return {
+        "dtype": config.dtype_scope,
+        "determinism": config.determinism_scope,
+        "locks": config.lock_scope,
+        "hotpath": config.hotpath_scope,
+        "lifecycle": config.lifecycle_scope,
+    }.get(checker.name, ("repro",))
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one run produced, pre-split for reporting."""
+
+    findings: list  # new, non-suppressed, non-baselined (the failures)
+    baselined: list  # matched a baseline entry
+    suppressed: list  # (finding, pragma) pairs silenced inline
+    stale_baseline: list  # baseline entries nothing matched
+    modules_scanned: int = 0
+    project: object = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def run_analysis(
+    paths,
+    config: AnalysisConfig | None = None,
+    baseline: Baseline | None = None,
+    checkers=None,
+) -> AnalysisResult:
+    """Run the full suite over ``paths`` (directories or files)."""
+    config = config or AnalysisConfig()
+    baseline = baseline or Baseline.empty()
+    project = Project.from_paths(paths)
+    checker_instances = [cls(config) for cls in (checkers or ALL_CHECKERS)]
+
+    raw = []
+    for module in project.modules:
+        # The analyzer does not lint itself: its fixtures-of-bad-code in
+        # docstrings and its rule tables would be a hall of mirrors.
+        if module.module == "repro.analysis" or module.module.startswith("repro.analysis."):
+            continue
+        for checker in checker_instances:
+            if not in_scope(module.module, _scope_for(checker, config)):
+                continue
+            raw.extend(checker.check(module, project))
+
+    # Inline pragma suppression: a pragma silences findings of its rules
+    # on its line (and records that it fired).
+    pragma_index = {}
+    for module in project.modules:
+        for pragma in module.pragmas:
+            for rule in pragma.rules:
+                pragma_index[(module.path, pragma.line, rule)] = pragma
+
+    findings, suppressed = [], []
+    for finding in sorted(raw, key=lambda f: f.sort_key()):
+        pragma = pragma_index.get((finding.path, finding.line, finding.rule))
+        if pragma is not None:
+            pragma.used = True
+            suppressed.append((finding, pragma))
+        else:
+            findings.append(finding)
+
+    new, grandfathered = baseline.split(findings)
+    return AnalysisResult(
+        findings=new,
+        baselined=grandfathered,
+        suppressed=suppressed,
+        stale_baseline=baseline.stale(),
+        modules_scanned=len(project.modules),
+        project=project,
+    )

@@ -66,6 +66,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.analysis import hot_path
 from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
 from repro.nn.losses import softmax
 from repro.nn.model import (
@@ -228,6 +229,7 @@ class _ConvStage:
         self.in_channels = c
         self.index = index
 
+    @hot_path
     def run(self, x: np.ndarray, ws: Workspace) -> np.ndarray:
         n, h, w, c = x.shape
         if c != self.in_channels:
@@ -266,6 +268,7 @@ class _PoolStage:
         self.size = layer.size
         self.index = index
 
+    @hot_path
     def run(self, x: np.ndarray, ws: Workspace) -> np.ndarray:
         n, h, w, c = x.shape
         s = self.size
@@ -290,6 +293,7 @@ class _FlattenStage:
     def __init__(self, index: int) -> None:
         self.index = index
 
+    @hot_path
     def run(self, x: np.ndarray, ws: Workspace) -> np.ndarray:
         if x.ndim == 2:
             return x
@@ -310,6 +314,7 @@ class _DenseStage:
         self.relu = relu
         self.index = index
 
+    @hot_path
     def run(self, x: np.ndarray, ws: Workspace) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.w.shape[0]:
             raise ValueError(f"Dense stage expected (N, {self.w.shape[0]}), got {x.shape}")
@@ -329,6 +334,7 @@ class _ReLUStage:
     def __init__(self, index: int) -> None:
         self.index = index
 
+    @hot_path
     def run(self, x: np.ndarray, ws: Workspace) -> np.ndarray:
         out = ws.buf((self.index, "out"), x.shape)
         np.maximum(x, 0.0, out=out)
@@ -368,7 +374,9 @@ def _compile_stages(layers: list, counter=None) -> list:
             if len(chain) == 1:
                 w, b = layer.w, layer.b
             else:
+                # witness-lint: allow[dtype-float64] -- fold the affine chain in double, cast once at stage build
                 w = chain[0].w.astype(np.float64)
+                # witness-lint: allow[dtype-float64] -- fold the affine chain in double, cast once at stage build
                 b = chain[0].b.astype(np.float64)
                 for nxt in chain[1:]:
                     w = w @ nxt.w
@@ -445,10 +453,11 @@ class FrozenNet:
         arena = self._arenas.arena()
         return self._run(x, arena.workspace(("nhwc", x.shape)), copy)
 
+    @hot_path
     def _run(self, x: np.ndarray, ws: Workspace, copy: bool) -> np.ndarray:
         for stage in self.stages:
             x = stage.run(x, ws)
-        return x.copy() if copy else x
+        return x.copy() if copy else x  # witness-lint: allow[hot-alloc] -- the single documented result copy (copy=False skips it)
 
     # -- classifier conveniences (mirror Sequential) -----------------------
 

@@ -15,6 +15,7 @@ def _as_float(arr) -> np.ndarray:
     """``arr`` as a floating array, preserving an existing float dtype."""
     z = np.asarray(arr)
     if not np.issubdtype(z.dtype, np.floating):
+        # witness-lint: allow[dtype-float64] -- module contract: int/bool inputs compute in double; float inputs keep their dtype
         return z.astype(np.float64)
     return z
 

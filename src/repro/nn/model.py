@@ -124,8 +124,8 @@ class MatcherModel:
         fe = self.expected_branch.forward(expected)
         if fo.shape[0] != fe.shape[0]:
             raise ValueError(f"batch mismatch: {fo.shape[0]} vs {fe.shape[0]}")
-        self._obs_features = fo
-        self._exp_features = fe
+        self._obs_features = fo  # witness-lint: allow[lock-guard] -- caller-holds-lock protocol: every inference entry point serializes on infer_lock
+        self._exp_features = fe  # witness-lint: allow[lock-guard] -- caller-holds-lock protocol: every inference entry point serializes on infer_lock
         return self.head.forward(np.concatenate([fo, fe], axis=1))
 
     def backward(self, grad_logits: np.ndarray) -> tuple:

@@ -9,7 +9,7 @@ import numpy as np
 from repro.nn.losses import bce_loss_with_logits, ce_loss_with_logits
 from repro.nn.model import MatcherModel, Sequential
 from repro.nn.optim import Adam
-from repro.nn.tensorops import batch_iter
+from repro.nn.tensorops import DEFAULT_DTYPE, batch_iter
 
 
 @dataclass
@@ -46,7 +46,7 @@ def train_matcher(
         )
     optimizer = Adam(model, lr=lr)
     rng = np.random.default_rng(seed)
-    y = np.asarray(labels, dtype=float).reshape(-1, 1)
+    y = np.asarray(labels, dtype=DEFAULT_DTYPE).reshape(-1, 1)
     report = TrainReport()
     for epoch in range(epochs):
         epoch_loss = 0.0
@@ -107,7 +107,7 @@ def train_classifier(
 
 def matcher_accuracy(model: MatcherModel, observed, expected, labels, batch_size: int = 256) -> float:
     """Accuracy of a matcher at its configured threshold."""
-    y = np.asarray(labels, dtype=float).reshape(-1)
+    y = np.asarray(labels, dtype=DEFAULT_DTYPE).reshape(-1)
     correct = 0
     for start in range(0, len(observed), batch_size):
         sl = slice(start, start + batch_size)

@@ -17,7 +17,7 @@ import numpy as np
 from repro.raster.glyphs import rasterize_strokes, _arc
 from repro.raster.stacks import RenderStack, reference_stack
 from repro.raster.text import render_text_line
-from repro.vision.image import Image
+from repro.vision.image import DTYPE, Image
 from repro.vision.ops import gaussian_blur
 
 _ICON_STROKES = {
@@ -124,7 +124,7 @@ def natural_patch(seed: int, size: int = 32, stack: RenderStack | None = None) -
     """
     stack = stack or reference_stack()
     rng = np.random.default_rng(seed)
-    field = np.zeros((size, size))
+    field = np.zeros((size, size), dtype=DTYPE)
     for octave, sigma in ((0, 6.0), (1, 3.0), (2, 1.2)):
         noise = rng.normal(0.0, 1.0, (size, size))
         field += gaussian_blur(noise, sigma) * (2.0 ** -octave)

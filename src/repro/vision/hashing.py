@@ -12,7 +12,7 @@ import hashlib
 
 import numpy as np
 
-from repro.vision.image import as_array, to_uint8
+from repro.vision.image import DTYPE, as_array, to_uint8
 from repro.vision.ops import resize_bilinear
 
 
@@ -68,6 +68,6 @@ def content_fingerprint(image, block: int = 16) -> np.ndarray:
     h = (arr.shape[0] // block) * block
     w = (arr.shape[1] // block) * block
     if h == 0 or w == 0:
-        return np.asarray([[arr.mean()]])
+        return np.asarray([[arr.mean()]], dtype=DTYPE)
     blocks = arr[:h, :w].reshape(h // block, block, w // block, block)
     return blocks.mean(axis=(1, 3))

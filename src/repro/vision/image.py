@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-#: Canonical dtype for all vision processing.
+#: Canonical dtype for all vision processing.  Display rasters are
+#: float64 by design (rendering accumulates sub-pixel coverage and blur
+#: in double); the float32 discipline of the inference path begins at
+#: the verifier normalization boundary, which casts model inputs once.
+# witness-lint: allow[dtype-float64] -- display-raster canon; model inputs cast to float32 at the verifier boundary
 DTYPE = np.float64
 
 #: Maximum representable intensity.  Images are float arrays in [0, WHITE].

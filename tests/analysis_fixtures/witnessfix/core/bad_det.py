@@ -1,0 +1,44 @@
+"""Fixture: the PR 5 nondeterminism shapes the determinism checker must flag."""
+
+import random
+import time
+
+import numpy as np
+
+
+def wallclock_stamp():
+    return time.time()
+
+
+def global_draw():
+    return random.random()
+
+
+def legacy_draw():
+    return np.random.rand(3)
+
+
+def unseeded_factory():
+    return np.random.default_rng()
+
+
+def seeded_factory_ok(seed):
+    return np.random.default_rng(seed)
+
+
+class PaddedCache:
+    """The PR 5 padded-expected cache bug: keyed on ``id()``."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def lookup(self, arr):
+        return self._cache[id(arr)]
+
+
+def ordered_escape(items):
+    return list({item for item in items})
+
+
+def sorted_ok(items):
+    return sorted({item for item in items})

@@ -1,0 +1,34 @@
+"""Fixture: frozen-lifecycle violations (PR 4 freeze semantics)."""
+
+import pickle
+
+from repro.core.service import WitnessConfig
+from repro.nn.infer import freeze
+
+
+def persist_frozen_local(model):
+    net = freeze(model)
+    return pickle.dumps(net)
+
+
+def persist_frozen_direct(model):
+    return pickle.dumps(freeze(model))
+
+
+class FrozenNetLike:
+    is_frozen = True
+
+    def dump(self):
+        return pickle.dumps(self)
+
+
+def tweak(config: WitnessConfig):
+    config.threshold = 0.99
+
+
+def sneaky(config: WitnessConfig):
+    object.__setattr__(config, "threshold", 0.99)
+
+
+def persist_training_model_ok(model, fh):
+    pickle.dump(model, fh)

@@ -1,0 +1,23 @@
+"""Fixture: allocations inside a ``@hot_path`` function."""
+
+import numpy as np
+
+from repro.analysis import hot_path
+
+
+@hot_path
+def fused_forward(x):
+    scratch = np.zeros(x.shape, dtype=np.float32)
+    y = np.matmul(x, x)
+    scratch += y
+    return scratch.copy()
+
+
+@hot_path
+def workspace_forward(x, out):
+    np.matmul(x, x, out=out)
+    return out
+
+
+def cold_helper(x):
+    return np.stack([x, x])

@@ -1,0 +1,31 @@
+"""Fixture: the PR 4 float64-leak shapes the dtype checker must flag."""
+
+import numpy as np
+
+
+def leaky_zeros():
+    return np.zeros((4, 4))
+
+
+def leaky_literal():
+    return np.asarray([1.0, 2.0])
+
+
+def explicit_double(x):
+    return x.astype(np.float64)
+
+
+def keyword_double():
+    return np.zeros((2, 2), dtype=float)
+
+
+def string_double():
+    return np.empty((2, 2), dtype="float64")
+
+
+def clean_zeros():
+    return np.zeros((2, 2), dtype=np.float32)
+
+
+def clean_asarray(values):
+    return np.asarray(values)

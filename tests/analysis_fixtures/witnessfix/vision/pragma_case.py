@@ -1,0 +1,9 @@
+"""Fixture: an ``allow`` pragma suppresses exactly one finding."""
+
+import numpy as np
+
+SUPPRESSED = np.zeros((2, 2))  # witness-lint: allow[dtype-missing] -- fixture: exercising suppression
+REPORTED = np.zeros((2, 2))
+
+# witness-lint: allow[dtype-missing] -- fixture: standalone pragma covers the next line
+ALSO_SUPPRESSED = np.zeros((2, 2))

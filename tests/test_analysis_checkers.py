@@ -1,0 +1,136 @@
+"""witness-lint checker tests: each rule flags its historical bug shape.
+
+The fixture tree under ``tests/analysis_fixtures/witnessfix`` mirrors the
+``repro`` package layout (the analysis config is re-rooted onto it with
+:meth:`AnalysisConfig.scoped_to`), with one module per checker containing
+the exact shapes of the PR 3/4/5 incidents the rules descend from, plus
+known-good twins that must stay silent.  Assertions are exact — rule IDs
+*and* line numbers — so a checker that drifts (new false positive, lost
+detection, off-by-one location) fails loudly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.checkers import all_rules
+from repro.analysis.core import AnalysisConfig
+from repro.analysis.runner import run_analysis
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "analysis_fixtures" / "witnessfix"
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = AnalysisConfig().scoped_to("witnessfix")
+    return run_analysis([str(FIXTURES)], config=config, baseline=Baseline.empty())
+
+
+def findings_for(result, filename):
+    return sorted(
+        (f.line, f.rule) for f in result.findings if f.path.endswith(filename)
+    )
+
+
+def test_fixture_tree_resolves(result):
+    # 7 fixture modules + 5 __init__.py — nothing skipped, nothing doubled.
+    assert result.modules_scanned == 12
+
+
+def test_dtype_checker_flags_pr4_shapes(result):
+    assert findings_for(result, "vision/bad_dtype.py") == [
+        (7, "dtype-missing"),   # np.zeros without dtype=
+        (11, "dtype-missing"),  # np.asarray over a float literal
+        (15, "dtype-float64"),  # astype(np.float64)
+        (19, "dtype-float64"),  # dtype=float
+        (23, "dtype-float64"),  # dtype="float64"
+    ]
+
+
+def test_determinism_checker_flags_pr5_shapes(result):
+    assert findings_for(result, "core/bad_det.py") == [
+        (10, "det-wallclock"),     # time.time()
+        (14, "det-unseeded-rng"),  # random.random()
+        (18, "det-unseeded-rng"),  # legacy np.random.rand
+        (22, "det-unseeded-rng"),  # default_rng() without a seed
+        (36, "det-id-key"),        # the padded-expected cache bug shape
+        (40, "det-set-order"),     # list({...}) order escape
+    ]
+
+
+def test_lock_checker_flags_pr3_registry_race(result):
+    assert findings_for(result, "runtime/bad_locks.py") == [
+        (15, "lock-guard"),  # self._total_opened += 1 outside the lock
+        (18, "lock-guard"),  # self._sessions = {} outside the lock
+    ]
+
+
+def test_hotpath_checker_flags_decorated_function(result):
+    assert findings_for(result, "nn/bad_hot.py") == [
+        (10, "hot-alloc"),  # np.zeros
+        (11, "hot-alloc"),  # np.matmul without out=
+        (13, "hot-alloc"),  # .copy()
+    ]
+
+
+def test_hotpath_checker_honors_config_pins(result):
+    # witnessfix/nn/infer.py's _ConvStage.run has no decorator; the
+    # re-rooted config pin alone makes it hot.
+    assert findings_for(result, "nn/infer.py") == [(8, "hot-alloc")]
+
+
+def test_lifecycle_checker_flags_freeze_misuse(result):
+    assert findings_for(result, "core/bad_frozen.py") == [
+        (11, "frozen-save"),          # pickle.dumps(net) where net = freeze(...)
+        (15, "frozen-save"),          # pickle.dumps(freeze(model))
+        (22, "frozen-save"),          # serializer inside an is_frozen class
+        (26, "frozen-config-write"),  # config.threshold = ...
+        (30, "frozen-config-write"),  # object.__setattr__ bypass
+    ]
+
+
+def test_every_rule_has_fixture_coverage(result):
+    fired = {f.rule for f in result.findings}
+    fired.update(f.rule for f, _ in result.suppressed)
+    assert fired == {rule.id for rule in all_rules()}
+
+
+def test_known_good_twins_stay_silent(result):
+    flagged_contexts = {f.context for f in result.findings}
+    for clean in (
+        "clean_zeros",
+        "clean_asarray",
+        "seeded_factory_ok",
+        "sorted_ok",
+        "Registry.snapshot",
+        "Lockless.bump",
+        "workspace_forward",
+        "cold_helper",
+        "persist_training_model_ok",
+    ):
+        assert clean not in flagged_contexts
+
+
+def test_pragma_suppresses_exactly_one_finding(result):
+    reported = findings_for(result, "vision/pragma_case.py")
+    # Three identical violations; the trailing pragma (line 5) and the
+    # standalone pragma above line 9 each silence exactly their own line.
+    assert reported == [(6, "dtype-missing")]
+    suppressed = sorted(
+        (f.line, f.rule)
+        for f, _ in result.suppressed
+        if f.path.endswith("pragma_case.py")
+    )
+    assert suppressed == [(5, "dtype-missing"), (9, "dtype-missing")]
+    for _f, pragma in result.suppressed:
+        assert pragma.used
+
+
+def test_rule_catalog_is_documented():
+    for rule in all_rules():
+        assert rule.summary
+        assert rule.incident, f"{rule.id} has no incident lineage"
+        assert rule.hint, f"{rule.id} has no remediation hint"

@@ -1,0 +1,93 @@
+"""witness-lint self-check: the shipped tree runs clean (tier-1 gate).
+
+Three invariants the repo commits to:
+
+* ``python -m repro.analysis src/repro`` exits 0 — no new findings
+  beyond the checked-in baseline;
+* every baseline entry carries a real justification (no ``TODO``) and
+  still matches a live finding (no stale debt entries);
+* every inline ``allow`` pragma actually fires — a pragma whose
+  violation was fixed must be deleted with it.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.runner import run_analysis
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC_TREE = REPO_ROOT / "src" / "repro"
+BASELINE_PATH = REPO_ROOT / "witness-lint-baseline.json"
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_analysis([str(SRC_TREE)], baseline=Baseline.load(str(BASELINE_PATH)))
+
+
+def test_tree_is_clean(result):
+    lines = [f"{f.location()} [{f.rule}] {f.message}" for f in result.findings]
+    assert result.clean, "new witness-lint findings:\n" + "\n".join(lines)
+
+
+def test_baseline_entries_are_justified():
+    baseline = Baseline.load(str(BASELINE_PATH))
+    bad = baseline.unjustified()
+    assert not bad, f"unjustified baseline entries: {[e.key() for e in bad]}"
+
+
+def test_baseline_has_no_stale_entries(result):
+    stale = result.stale_baseline
+    assert not stale, f"baseline entries matching nothing: {[e.key() for e in stale]}"
+
+
+def _linted_modules(result):
+    # Mirror the runner's self-exclusion: the analyzer's own sources show
+    # pragma *examples* in docstrings/comments that never fire.
+    return [
+        module
+        for module in result.project.modules
+        if module.module != "repro.analysis"
+        and not module.module.startswith("repro.analysis.")
+    ]
+
+
+def test_every_pragma_fires(result):
+    used = {id(pragma) for _f, pragma in result.suppressed}
+    stale = [
+        (module.path, pragma.line, pragma.rules)
+        for module in _linted_modules(result)
+        for pragma in module.pragmas
+        if id(pragma) not in used
+    ]
+    assert not stale, f"stale allow[] pragmas (violation gone, pragma left): {stale}"
+
+
+def test_every_pragma_is_justified(result):
+    bare = [
+        (module.path, pragma.line)
+        for module in _linted_modules(result)
+        for pragma in module.pragmas
+        if not pragma.justification
+    ]
+    assert not bare, f"allow[] pragmas without a `-- why` justification: {bare}"
+
+
+def test_cli_exits_zero():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(SRC_TREE)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
