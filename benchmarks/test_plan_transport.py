@@ -1,0 +1,205 @@
+"""Plan transport: pooled zero-copy buffers vs the list-based gather.
+
+PR 7 replaced the planner's per-unit array transport (a Python list of
+freshly-allocated 32x32 tiles, ``np.stack``-ed and re-cast at execute
+time) with pooled ``(N, 32, 32)`` float32 buffers written in place at
+collect time and fed to the engine as views.  This benchmark measures
+both claims on the same data volume:
+
+* **steady-state allocations** (tracemalloc peak churn per frame): the
+  pooled transport must show *zero per-unit* allocation — flat churn as
+  the unit count doubles, and a small fraction of the list path's;
+* **subsequent-frame latency**: moving rows through resident buffers
+  must not be slower than allocate-stack-cast.
+
+A replica of the retired list transport lives in this file so the
+comparison survives the old code's deletion.  The end-to-end section
+drives a real ``DisplayValidator`` (no digest cache, so every frame
+re-collects) and reports first-frame vs steady-state latency plus the
+pool's own counters: after warm-up, zero new pool allocations.
+"""
+
+import copy
+import time
+import tracemalloc
+
+import numpy as np
+
+from benchmarks.conftest import record_metrics, record_result
+from repro.core.display import DisplayValidator
+from repro.core.planbuf import PLAN_DTYPE, thread_pool
+from repro.core.verifiers import TILE, ImageVerifier, TextVerifier, ValidationPlan
+from repro.datasets.forms import jotform_page
+from repro.raster.stacks import stack_registry
+from repro.server.generate import build_vspec
+from repro.web.browser import Browser
+from repro.web.hypervisor import Machine
+
+#: Unit counts compared per scale; the doubling pair feeds the
+#: "churn stays flat as units double" assertion.
+UNITS = {"small": (128, 256), "paper": (256, 512)}
+
+WARMUP = 2
+ROUNDS = 7
+
+#: Absolute slack for "zero per-unit allocations": interpreter noise
+#: (list headers, view objects, tracemalloc's own bookkeeping) per
+#: transport round, far below one 32x32 float64 tile per unit.
+CHURN_SLACK = 128 * 1024
+
+
+def _pooled_transport(plan: ValidationPlan, tiles_src: np.ndarray, chars: list) -> np.ndarray:
+    """One frame's transport on the pooled path: collect + execute gather."""
+    plan.reset()
+    plan.add_tiles(tiles_src, chars)
+    tiles = plan.text_tiles
+    m = len(chars)
+    backing = thread_pool().reserve(("bench-pending",), m, (TILE, TILE))
+    for i in range(m):
+        backing[i] = tiles[i]
+    obs = backing[:m].reshape(m, 1, TILE, TILE)
+    np.divide(obs, 255.0, out=obs)
+    return obs
+
+
+def _list_transport(tiles_src: np.ndarray, chars: list) -> np.ndarray:
+    """Replica of the pre-pooling transport: the same data movement as
+    per-unit fresh arrays + stack + cast + normalize (every step an
+    allocation, all of it garbage one frame later)."""
+    per_unit = [np.array(tile) for tile in tiles_src]
+    stacked = np.stack(per_unit).reshape(len(per_unit), 1, TILE, TILE)
+    return stacked.astype(PLAN_DTYPE) / 255.0
+
+
+def _measure(fn) -> tuple:
+    """``(median peak-churn bytes, median latency ms)`` per invocation."""
+    for _ in range(WARMUP):
+        fn()
+    latencies = []
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        fn()
+        latencies.append((time.perf_counter() - t0) * 1000.0)
+    churn = []
+    tracemalloc.start()
+    try:
+        fn()  # first traced call pays tracemalloc's own warm-up
+        for _ in range(ROUNDS):
+            tracemalloc.reset_peak()
+            base = tracemalloc.get_traced_memory()[0]
+            fn()
+            churn.append(tracemalloc.get_traced_memory()[1] - base)
+    finally:
+        tracemalloc.stop()
+    return float(np.median(churn)), float(np.median(latencies))
+
+
+def test_plan_transport(benchmark, scale, text_model, image_model):
+    rng = np.random.default_rng(7)
+    sizes = UNITS[scale["name"]]
+
+    def run():
+        out = {"transport": {}, "validate": {}}
+
+        # -- isolated transport: pooled vs list replica, same volume ----
+        plan = ValidationPlan()
+        for n in sizes:
+            tiles_src = rng.uniform(0.0, 255.0, size=(n, TILE, TILE))
+            chars = ["A"] * n
+            pooled = _measure(lambda: _pooled_transport(plan, tiles_src, chars))
+            listed = _measure(lambda: _list_transport(tiles_src, chars))
+            out["transport"][n] = {"pooled": pooled, "list": listed}
+
+        # -- end-to-end: repeated frames through a real validator -------
+        page = jotform_page(0)
+        vspec = build_vspec(copy.deepcopy(page), "bench-transport")
+        machine = Machine(640, min(600, vspec.height))
+        browser = Browser(machine, copy.deepcopy(page), stack=stack_registry()[0])
+        browser.paint()
+        frame = machine.sample_framebuffer().pixels
+        validator = DisplayValidator(
+            vspec,
+            TextVerifier(text_model, batched=True),  # no cache: every
+            ImageVerifier(image_model, batched=True),  # frame re-collects
+        )
+        t0 = time.perf_counter()
+        first = validator.validate(frame)
+        first_ms = (time.perf_counter() - t0) * 1000.0
+        validator.validate(frame)  # steady state from here on
+        pool_allocs = validator._plan.buffers.allocations
+        steady = []
+        for _ in range(5):
+            t0 = time.perf_counter()
+            validator.validate(frame)
+            steady.append((time.perf_counter() - t0) * 1000.0)
+        out["validate"] = {
+            "first_ms": first_ms,
+            "steady_ms": float(np.median(steady)),
+            "text_units": first.plan_text_units,
+            "image_pairs": first.plan_image_pairs,
+            "pool_allocations_before": pool_allocs,
+            "pool_allocations_after": validator._plan.buffers.allocations,
+        }
+        return out
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Zero per-unit steady-state allocations: pooled churn is absolutely
+    # small, stays flat when the unit count doubles, and is a fraction of
+    # the list path — whose churn provably carries the per-unit term.
+    small, big = sizes
+    pooled_small, _ = stats["transport"][small]["pooled"]
+    pooled_big, _ = stats["transport"][big]["pooled"]
+    list_small, _ = stats["transport"][small]["list"]
+    list_big, _ = stats["transport"][big]["list"]
+    assert pooled_small < CHURN_SLACK and pooled_big < CHURN_SLACK, (
+        f"pooled transport churns {pooled_small:.0f}/{pooled_big:.0f} B/frame "
+        f"— steady state is supposed to allocate nothing"
+    )
+    assert pooled_big <= pooled_small + CHURN_SLACK, (
+        f"pooled churn grew with unit count ({pooled_small:.0f} -> {pooled_big:.0f} B)"
+    )
+    for n, churn in ((small, list_small), (big, list_big)):
+        assert churn >= n * TILE * TILE * 8, "list replica lost its per-unit term"
+        pooled_churn = stats["transport"][n]["pooled"][0]
+        assert pooled_churn < 0.1 * churn
+    # Pool buffers reached steady state: repeat frames allocate nothing.
+    v = stats["validate"]
+    assert v["pool_allocations_after"] == v["pool_allocations_before"], (
+        "plan pool kept allocating on repeat frames"
+    )
+
+    lines = [
+        "Plan transport: pooled zero-copy buffers vs list-based gather",
+        f"(per-frame medians over {ROUNDS} rounds after {WARMUP} warm-up; churn =",
+        " tracemalloc peak delta per transport round; list path is an in-file",
+        " replica of the pre-pooling per-unit-array transport)",
+        "",
+        f"{'units':>6} {'path':<7} {'churn/frame':>12} {'latency (ms)':>13}",
+    ]
+    for n in sizes:
+        for path in ("pooled", "list"):
+            churn, ms = stats["transport"][n][path]
+            lines.append(f"{n:>6} {path:<7} {churn / 1024.0:>10.1f}KB {ms:>13.3f}")
+    lines.append("")
+    lines.append(
+        f"End-to-end (jotform page, {v['text_units']} text units, "
+        f"{v['image_pairs']} image pairs, no digest cache): first frame "
+        f"{v['first_ms']:.1f}ms, steady-state {v['steady_ms']:.1f}ms/frame, "
+        f"{v['pool_allocations_after'] - v['pool_allocations_before']} pool "
+        "allocations across repeat frames."
+    )
+    record_result("plan_transport", "\n".join(lines))
+    record_metrics(
+        "plan_transport",
+        {
+            "units": big,
+            "pooled_churn_bytes": round(pooled_big),
+            "list_churn_bytes": round(list_big),
+            "churn_ratio": round(pooled_big / list_big, 4) if list_big else 0.0,
+            "pooled_ms": round(stats["transport"][big]["pooled"][1], 3),
+            "list_ms": round(stats["transport"][big]["list"][1], 3),
+            "validate_first_ms": round(v["first_ms"], 1),
+            "validate_steady_ms": round(v["steady_ms"], 1),
+        },
+    )

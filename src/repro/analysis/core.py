@@ -82,8 +82,10 @@ class Checker:
 
 #: Module prefixes whose numeric code must stay float32-clean: the
 #: raster/vision/nn stack feeding model inputs (PR 4's float64 leaks all
-#: lived here).
-DTYPE_SCOPE = ("repro.nn", "repro.vision", "repro.raster")
+#: lived here), plus the core transport/validation layer since PR 7's
+#: pooled plan buffers made float32 the canonical transport dtype
+#: (``ValidationPlan.add_region`` once re-cast unit inputs to float64).
+DTYPE_SCOPE = ("repro.core", "repro.nn", "repro.vision", "repro.raster")
 
 #: Modules feeding the soak's engine-independent session fingerprint
 #: (decision, server verification, per-frame verdicts): nondeterminism
@@ -106,10 +108,11 @@ DETERMINISM_SCOPE = (
 #: claiming its shared state is guarded.
 LOCK_SCOPE = ("repro",)
 
-#: Hot-path allocation discipline: the frozen engine plus the runtime's
-#: flush path (the two places arenas/preallocated buffers promise
-#: allocation-free steady state).
-HOTPATH_SCOPE = ("repro.nn", "repro.runtime")
+#: Hot-path allocation discipline: the frozen engine, the runtime's
+#: flush path, and — since PR 7's zero-copy plan transport — the core
+#: collect pass and the vision resampler it writes through (everywhere
+#: arenas/pooled buffers promise allocation-free steady state).
+HOTPATH_SCOPE = ("repro.core", "repro.nn", "repro.runtime", "repro.vision")
 
 #: Frozen-lifecycle discipline applies tree-wide (a frozen net pickled
 #: from *anywhere* resurrects stale weights).
@@ -139,6 +142,11 @@ class AnalysisConfig:
         "repro.nn.infer:_ReLUStage.run",
         "repro.nn.infer:FrozenNet._run",
         "repro.runtime.batcher:MicroBatcher._execute",
+        # PR 7 zero-copy plan transport: the buffer-writing flush/gather
+        # and resample paths stay allocation-free (the collect-side
+        # writers in repro.core.verifiers carry @hot_path directly).
+        "repro.runtime.batcher:MicroBatcher._gather",
+        "repro.vision.ops:resize_bilinear",
     )
 
     def scoped_to(self, prefix: str) -> "AnalysisConfig":

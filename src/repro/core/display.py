@@ -36,6 +36,7 @@ from repro.core.verifiers import (
 )
 from repro.raster.text import char_advance
 from repro.vision.components import Rect
+from repro.vision.image import DTYPE as RASTER_DTYPE
 from repro.vision.image import Image
 from repro.vision.match import best_vertical_offset
 from repro.vspec.spec import CharCell, ManifestEntry, VSpec
@@ -103,6 +104,10 @@ class DisplayValidator:
         self._stateful_expected: np.ndarray | None = None
         self._padded_key: tuple | None = None
         self._padded_expected: np.ndarray | None = None
+        #: The reusable frame plan: pooled transport buffers stay resident
+        #: across frames (reset per validate), so steady-state collection
+        #: writes crops into already-allocated memory.
+        self._plan = ValidationPlan()
 
     # -- viewport -----------------------------------------------------------
 
@@ -191,7 +196,7 @@ class DisplayValidator:
             if self._padded_key != pad_key or self._padded_expected is None:
                 pad_rows = frame_pixels.shape[0] - self.vspec.height
                 self._padded_expected = np.vstack(
-                    [expected, np.full((pad_rows, self.vspec.width), self.vspec.background)]
+                    [expected, np.full((pad_rows, self.vspec.width), self.vspec.background, dtype=RASTER_DTYPE)]
                 )
                 self._padded_key = pad_key
             expected = self._padded_expected
@@ -258,10 +263,12 @@ class DisplayValidator:
             if not changed_rects:
                 result.skipped_unchanged = True
 
-        # Phase 1 (collect): gather every unit input of the frame into one
-        # plan; each entry registers a deferred emitter that scatters the
-        # executed verdicts back into per-entry failures, in entry order.
-        plan = ValidationPlan()
+        # Phase 1 (collect): gather every unit input of the frame into the
+        # reused plan (pooled buffers, reset per frame); each entry
+        # registers a deferred emitter that scatters the executed verdicts
+        # back into per-entry failures, in entry order.
+        plan = self._plan
+        plan.reset()
         deferred: list = []
         for entry in entries:
             self._collect_entry(entry, clean, offset, viewport, tracked_inputs, plan, deferred)
@@ -546,9 +553,15 @@ class DisplayValidator:
             adjusted = [
                 CharCell(c.x - 1, c.y, c.w, c.h, c.char) for c in cells
             ]  # interior crop removed the 1px border column
-            cell_range = plan.add_tiles(
-                [_nested_tile(interior, c, match.offset) for c in adjusted],
-                [c.char for c in adjusted],
+            # Tiles cut from the offset-matched interior raster get no
+            # alignment retry (retry=False), matching their provenance.
+            cell_range = plan.add_cells(
+                interior,
+                adjusted,
+                offset_x=0,
+                offset_y=match.offset,
+                background=252.0,
+                retry=False,
             )
 
             def emit(result, text_verdicts, _image_verdicts, cells=adjusted, cell_range=cell_range):
@@ -606,10 +619,3 @@ def _fixed_failure(kind: str, rect: Rect, reason: str):
         result.failures.append(ElementFailure(kind, rect.as_tuple(), reason))
 
     return emit
-
-
-def _nested_tile(interior: np.ndarray, cell: CharCell, nested_offset: int) -> np.ndarray:
-    """Glyph tile extraction inside a scrollable's interior raster."""
-    from repro.core.verifiers import glyph_tile_from_frame
-
-    return glyph_tile_from_frame(interior, cell, offset_x=0, offset_y=nested_offset, background=252.0)

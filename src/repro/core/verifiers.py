@@ -26,6 +26,21 @@ The per-entry methods (``verify_cells``, ``verify_region``) are thin
 wrappers that build and execute a single-entry plan, so both modes share
 one code path and produce identical verdicts.
 
+Zero-copy plan transport
+------------------------
+
+A plan does not hold lists of per-unit arrays: it owns pooled
+``(N, 32, 32)`` float32 buffers (:class:`repro.core.planbuf.PlanBuffers`)
+plus plain metadata columns, and the collect pass writes every crop in
+place (``glyph_tile_from_frame(..., out=row)``,
+:func:`region_tiles_into`).  Execution feeds buffer *views* to the model
+— pending rows are gathered into the executing thread's pooled scratch,
+normalized in place, and handed to the frozen engine without an
+intermediate stack; the alignment-retry rings re-extract failing cells
+into one reusable ring buffer per round.  Steady-state repeated-frame
+validation therefore performs zero per-unit array allocations; the
+``hot-alloc`` witness-lint rule pins the buffer-writing functions.
+
 Cross-session runtime
 ---------------------
 
@@ -51,17 +66,17 @@ way.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
+from repro.analysis import hot_path
+from repro.core.planbuf import PLAN_DTYPE, PlanBuffers, thread_pool
 from repro.nn.data import CHAR_TO_INDEX, collapse_char
 from repro.nn.infer import predict_fn
 from repro.nn.model import PREDICT_CHUNK, MatcherModel
-from repro.nn.tensorops import one_hot
 from repro.runtime.batcher import forwards_for
 from repro.vision.hashing import region_digest
-from repro.vision.image import Image
+from repro.vision.image import DTYPE as RASTER_DTYPE
+from repro.vision.image import as_array
 from repro.vision.ops import resize_bilinear
 from repro.vspec.spec import CharCell
 
@@ -75,6 +90,9 @@ STRUCTURAL_NCC_FLOOR = 0.80
 #: Maximum mean absolute residual (intensity levels) after affine
 #: intensity alignment for structural matching.
 STRUCTURAL_MAD_CEILING = 10.0
+
+#: Shared empty verdict-tile array (plans with no units of a kind).
+_NO_TILES = np.zeros((0, TILE, TILE), dtype=PLAN_DTYPE)
 
 
 def structural_match(
@@ -101,50 +119,80 @@ def structural_match(
     """
     from repro.vision.match import normalized_cross_correlation
 
-    observed = np.asarray(observed, dtype=float)
-    expected = np.asarray(expected, dtype=float)
+    observed = np.asarray(observed)
+    expected = np.asarray(expected)
     if observed.shape != expected.shape:
         return False
     if normalized_cross_correlation(observed, expected) < threshold:
         return False
     obs_std = observed.std()
     if obs_std < 1e-9:
-        aligned = np.full_like(observed, expected.mean())
+        aligned = np.full_like(observed, expected.mean(), dtype=RASTER_DTYPE)
     else:
         aligned = (observed - observed.mean()) * (expected.std() / obs_std) + expected.mean()
     return float(np.mean(np.abs(aligned - expected))) <= mad_ceiling
 
 
-def glyph_tile_from_frame(frame_pixels: np.ndarray, cell: CharCell, offset_x: int, offset_y: int, background: float = 255.0) -> np.ndarray:
+def _paste_window(frame: np.ndarray, fx: int, fy: int, w: int, h: int, dst: np.ndarray, dst_x: int) -> None:
+    """Copy the clipped ``(fx, fy, w, h)`` window of ``frame`` into ``dst``
+    starting at column ``dst_x`` (``dst`` is pre-filled with background).
+
+    Same clip math as :meth:`repro.vision.image.Image.crop_clipped`, but
+    writing into a caller-owned buffer instead of allocating.
+    """
+    fh, fw = frame.shape
+    sx0, sy0 = max(fx, 0), max(fy, 0)
+    sx1, sy1 = min(fx + w, fw), min(fy + h, fh)
+    if sx1 > sx0 and sy1 > sy0:
+        dst[sy0 - fy : sy1 - fy, dst_x + (sx0 - fx) : dst_x + (sx1 - fx)] = frame[sy0:sy1, sx0:sx1]
+
+
+@hot_path
+def glyph_tile_from_frame(
+    frame_pixels: np.ndarray,
+    cell: CharCell,
+    offset_x: int,
+    offset_y: int,
+    background: float = 255.0,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Extract the square glyph region for a manifest character cell.
 
     Mirrors :func:`repro.raster.text.render_text_line` geometry: glyph
     tiles are squares of side ``cell.h`` centred in the advance-wide cell.
     ``offset_*`` translate page coordinates into frame coordinates (the
-    viewport scroll).  Returns a 32x32 float tile.
+    viewport scroll).  Writes the 32x32 tile into ``out`` when given (a
+    pooled plan-buffer row; the float32 cast happens on the write) and
+    returns it; without ``out`` a fresh float64 tile is returned.
     """
     size = cell.h
     advance = cell.w
     if advance >= size:
         x0 = cell.x + (advance - size) // 2
         pad_l = 0
+        src_w = size
     else:
         # The renderer cropped the glyph tile horizontally; reconstruct the
         # square by padding with background.
         x0 = cell.x
         pad_l = (size - advance) // 2
+        src_w = advance
     fy = cell.y - offset_y
     fx = x0 - offset_x
-    frame = Image(frame_pixels)
-    if pad_l:
-        inner = frame.crop_clipped(fx, fy, advance, size, fill=background)
-        square = np.full((size, size), background)
-        square[:, pad_l : pad_l + advance] = inner.pixels
-    else:
-        square = frame.crop_clipped(fx, fy, size, size, fill=background).pixels
-    if size != TILE:
-        square = resize_bilinear(square, TILE, TILE)
-    return square
+    frame = as_array(frame_pixels)
+    if out is None:
+        # witness-lint: allow[hot-alloc] -- compat path: caller gave no out= row
+        out = np.empty((TILE, TILE), dtype=RASTER_DTYPE)
+    if size == TILE:
+        out.fill(background)
+        _paste_window(frame, fx, fy, src_w, size, out, pad_l)
+        return out
+    pool = thread_pool()
+    square = pool.reserve(("glyph-square", size), 1, (size, size), dtype=RASTER_DTYPE)[0]
+    square.fill(background)
+    _paste_window(frame, fx, fy, src_w, size, square, pad_l)
+    scratch = pool.reserve(("resize-scratch",), 4, (TILE, TILE), dtype=RASTER_DTYPE)
+    return resize_bilinear(square, TILE, TILE, out=out, scratch=scratch[:4])
 
 
 def split_region_into_tiles(region: np.ndarray, background: float = 255.0) -> list:
@@ -153,6 +201,7 @@ def split_region_into_tiles(region: np.ndarray, background: float = 255.0) -> li
     Returns ``(tile, (row, col))`` pairs; regions smaller than one tile
     yield a single padded tile.  This is the unit-input decomposition the
     image verifier is invoked on (paper: "a 32-by-32 sub-region").
+    Allocating compat form of :func:`region_tiles_into`.
     """
     h, w = region.shape
     tiles = []
@@ -160,13 +209,45 @@ def split_region_into_tiles(region: np.ndarray, background: float = 255.0) -> li
     cols = max(1, (w + TILE - 1) // TILE)
     for r in range(rows):
         for c in range(cols):
-            tile = np.full((TILE, TILE), background)
+            tile = np.full((TILE, TILE), background, dtype=RASTER_DTYPE)
             y0, x0 = r * TILE, c * TILE
             y1, x1 = min(y0 + TILE, h), min(x0 + TILE, w)
             if y1 > y0 and x1 > x0:
                 tile[: y1 - y0, : x1 - x0] = region[y0:y1, x0:x1]
             tiles.append((tile, (r, c)))
     return tiles
+
+
+def region_tile_count(shape: tuple) -> int:
+    """How many 32x32 unit tiles a region of ``shape`` decomposes into."""
+    h, w = shape
+    return max(1, (h + TILE - 1) // TILE) * max(1, (w + TILE - 1) // TILE)
+
+
+@hot_path
+def region_tiles_into(region: np.ndarray, out: np.ndarray, background: float = 255.0) -> int:
+    """Tile a region into 32x32 unit inputs written into rows of ``out``.
+
+    Same decomposition (and padding) as :func:`split_region_into_tiles`,
+    but each tile is written in place into ``out[i]`` (a pooled plan
+    buffer) instead of being allocated.  Returns the tile count.
+    """
+    h, w = region.shape
+    rows = max(1, (h + TILE - 1) // TILE)
+    cols = max(1, (w + TILE - 1) // TILE)
+    i = 0
+    for r in range(rows):
+        y0 = r * TILE
+        y1 = min(y0 + TILE, h)
+        for c in range(cols):
+            x0 = c * TILE
+            x1 = min(x0 + TILE, w)
+            tile = out[i]
+            tile.fill(background)
+            if y1 > y0 and x1 > x0:
+                tile[: y1 - y0, : x1 - x0] = region[y0:y1, x0:x1]
+            i += 1
+    return i
 
 
 def _check_chunk_size(chunk_size: int | None) -> int | None:
@@ -200,19 +281,25 @@ def _dedupe_pending(keys: list):
     return rep_positions, row_of
 
 
-@dataclass
-class TextUnit:
-    """One glyph-tile unit input collected into a :class:`ValidationPlan`.
+class _PairRows:
+    """Sequence view pairing rows of two ``(N, 32, 32)`` buffers.
 
-    ``retry`` is the alignment-search hook: ``retry(dx, dy)`` re-extracts
-    the tile at a one/two-pixel offset for cells that fail the nominal
-    crop.  ``None`` marks units with no alignment search (e.g. tiles cut
-    from a nested raster that was already offset-matched).
+    Lets :meth:`ImageVerifier.verify_pairs` consume pooled plan columns
+    through the same indexing protocol as a compat list of
+    ``(observed, expected)`` tuples, without materializing pair objects.
     """
 
-    tile: np.ndarray
-    char: str
-    retry: object = None  # callable (dx, dy) -> np.ndarray, or None
+    __slots__ = ("observed", "expected")
+
+    def __init__(self, observed: np.ndarray, expected: np.ndarray) -> None:
+        self.observed = observed
+        self.expected = expected
+
+    def __len__(self) -> int:
+        return self.observed.shape[0]
+
+    def __getitem__(self, i):
+        return self.observed[i], self.expected[i]
 
 
 class ValidationPlan:
@@ -222,20 +309,51 @@ class ValidationPlan:
     walks the whole manifest and funnels unit inputs here; the execute
     phase then runs one vectorized (chunked) forward per model kind and
     scatters verdicts back to the registered index ranges/groups.  Text
-    units keep a per-unit retry hook so the alignment-retry pyramid runs
+    units keep per-unit retry metadata so the alignment-retry pyramid runs
     as one batched round per offset ring across *all* failing cells of
     the frame, instead of up to 12 serial rounds per entry.
+
+    Unit inputs live in pooled ``(N, 32, 32)`` float32 buffers owned by
+    ``self.buffers`` (thread-confined to the collecting thread); a plan
+    is reused across frames via :meth:`reset`, so steady-state collection
+    writes into resident memory.
     """
 
-    def __init__(self) -> None:
-        self.text_units: list = []
-        self.image_pairs: list = []  # (observed 32x32, expected 32x32)
-        self.image_groups: list = []  # (start, stop) ranges into image_pairs
+    #: Pool keys of the plan's transport columns.
+    TEXT_KEY = "text-tiles"
+    IMAGE_OBS_KEY = "image-obs"
+    IMAGE_EXP_KEY = "image-exp"
+
+    def __init__(self, buffers: PlanBuffers | None = None) -> None:
+        self.buffers = PlanBuffers() if buffers is None else buffers
+        #: Expected character per text unit.
+        self.text_chars: list = []
+        #: Per-unit alignment-retry metadata: ``(frame_pixels, cell,
+        #: offset_x, offset_y, background)`` or ``None`` for units with no
+        #: alignment search (e.g. tiles cut from a nested raster that was
+        #: already offset-matched).
+        self.text_retries: list = []
+        self.image_groups: list = []  # (start, stop) ranges into image pairs
         #: Retry rings actually executed (filled by TextVerifier.execute_plan).
         self.text_retry_rounds = 0
+        self._text_count = 0
+        self._image_count = 0
+        self._text_backing: np.ndarray | None = None
+        self._image_obs_backing: np.ndarray | None = None
+        self._image_exp_backing: np.ndarray | None = None
+
+    def reset(self) -> None:
+        """Forget all collected units; keep the pooled buffers resident."""
+        self.text_chars.clear()
+        self.text_retries.clear()
+        self.image_groups.clear()
+        self.text_retry_rounds = 0
+        self._text_count = 0
+        self._image_count = 0
 
     # -- collection --------------------------------------------------------
 
+    @hot_path
     def add_cells(
         self,
         frame_pixels: np.ndarray,
@@ -243,55 +361,108 @@ class ValidationPlan:
         offset_x: int = 0,
         offset_y: int = 0,
         background: float = 255.0,
+        retry: bool = True,
     ) -> slice:
-        """Queue manifest character cells; returns their verdict slice."""
-        start = len(self.text_units)
+        """Queue manifest character cells; returns their verdict slice.
+
+        Each cell's glyph tile is extracted straight into the plan's
+        pooled text buffer.  ``retry=False`` queues the cells without
+        alignment-retry metadata.
+        """
+        start = self._text_count
+        backing = self.buffers.reserve(self.TEXT_KEY, start + len(cells), (TILE, TILE))
+        self._text_backing = backing
+        row = start
         for cell in cells:
-
-            def retry(dx, dy, _cell=cell):
-                return glyph_tile_from_frame(
-                    frame_pixels, _cell, offset_x + dx, offset_y + dy, background
-                )
-
-            self.text_units.append(
-                TextUnit(
-                    tile=glyph_tile_from_frame(frame_pixels, cell, offset_x, offset_y, background),
-                    char=cell.char,
-                    retry=retry,
-                )
+            glyph_tile_from_frame(
+                frame_pixels, cell, offset_x, offset_y, background, out=backing[row]
             )
-        return slice(start, len(self.text_units))
+            self.text_chars.append(cell.char)
+            self.text_retries.append(
+                (frame_pixels, cell, offset_x, offset_y, background) if retry else None
+            )
+            row += 1
+        self._text_count = row
+        return slice(start, row)
 
-    def add_tiles(self, tiles: list, chars: list) -> slice:
+    @hot_path
+    def add_tiles(self, tiles, chars: list) -> slice:
         """Queue pre-extracted glyph tiles (no alignment retry)."""
         if len(tiles) != len(chars):
             raise ValueError(f"tiles/chars misaligned: {len(tiles)} vs {len(chars)}")
-        start = len(self.text_units)
-        self.text_units.extend(TextUnit(tile=t, char=c) for t, c in zip(tiles, chars))
-        return slice(start, len(self.text_units))
+        start = self._text_count
+        backing = self.buffers.reserve(self.TEXT_KEY, start + len(tiles), (TILE, TILE))
+        self._text_backing = backing
+        row = start
+        for tile, char in zip(tiles, chars):
+            backing[row] = tile
+            self.text_chars.append(char)
+            self.text_retries.append(None)
+            row += 1
+        self._text_count = row
+        return slice(start, row)
 
+    @hot_path
     def add_region(self, observed: np.ndarray, expected: np.ndarray, background: float = 255.0) -> int:
         """Queue an observed/expected region pair; returns its group index.
 
-        Both rasters are tiled into 32x32 unit inputs; the group verdict
-        is the AND over its tile pairs.  Shapes must already agree.
+        Both rasters are tiled into 32x32 unit inputs written into the
+        plan's pooled image columns (float32, the canonical transport
+        dtype); the group verdict is the AND over its tile pairs.
         """
-        obs_tiles = split_region_into_tiles(np.asarray(observed, dtype=float), background)
-        exp_tiles = split_region_into_tiles(np.asarray(expected, dtype=float), background)
-        start = len(self.image_pairs)
-        self.image_pairs.extend((ot, et) for (ot, _), (et, _) in zip(obs_tiles, exp_tiles))
-        self.image_groups.append((start, len(self.image_pairs)))
+        observed = np.asarray(observed)
+        expected = np.asarray(expected)
+        if observed.shape != expected.shape:
+            raise ValueError(
+                f"region shapes must agree, got {observed.shape} vs {expected.shape}"
+            )
+        count = region_tile_count(observed.shape)
+        start = self._image_count
+        obs_backing = self.buffers.reserve(self.IMAGE_OBS_KEY, start + count, (TILE, TILE))
+        exp_backing = self.buffers.reserve(self.IMAGE_EXP_KEY, start + count, (TILE, TILE))
+        self._image_obs_backing = obs_backing
+        self._image_exp_backing = exp_backing
+        region_tiles_into(observed, obs_backing[start : start + count], background)
+        region_tiles_into(expected, exp_backing[start : start + count], background)
+        self._image_count = start + count
+        self.image_groups.append((start, self._image_count))
         return len(self.image_groups) - 1
+
+    # -- buffer views ------------------------------------------------------
+
+    @property
+    def text_tiles(self) -> np.ndarray:
+        """``(N, 32, 32)`` float32 view of the collected glyph tiles."""
+        if self._text_count == 0:
+            return _NO_TILES
+        return self._text_backing[: self._text_count]
+
+    @property
+    def image_observed(self) -> np.ndarray:
+        if self._image_count == 0:
+            return _NO_TILES
+        return self._image_obs_backing[: self._image_count]
+
+    @property
+    def image_expected(self) -> np.ndarray:
+        if self._image_count == 0:
+            return _NO_TILES
+        return self._image_exp_backing[: self._image_count]
+
+    @property
+    def image_pairs(self) -> _PairRows:
+        """Pair-indexable view of the image columns (compat protocol)."""
+        return _PairRows(self.image_observed, self.image_expected)
 
     # -- stats -------------------------------------------------------------
 
     @property
     def text_unit_count(self) -> int:
-        return len(self.text_units)
+        return self._text_count
 
     @property
     def image_pair_count(self) -> int:
-        return len(self.image_pairs)
+        return self._image_count
 
 
 class TextVerifier:
@@ -331,23 +502,36 @@ class TextVerifier:
         self.invocations = 0
         self.forwards = 0
 
-    def _expected_onehot(self, chars: list) -> np.ndarray:
-        indices = [CHAR_TO_INDEX[collapse_char(c)] for c in chars]
-        return one_hot(indices, len(CHAR_TO_INDEX))
+    def _expected_onehot_rows(self, chars: list) -> np.ndarray:
+        """One-hot expected-class rows in the thread's pooled buffer."""
+        m = len(chars)
+        backing = thread_pool().reserve(("text-onehot",), m, (len(CHAR_TO_INDEX),))
+        rows = backing[:m]
+        rows.fill(0.0)
+        for row, char in enumerate(chars):
+            rows[row, CHAR_TO_INDEX[collapse_char(char)]] = 1.0
+        return rows
 
-    def verify_tiles(self, tiles: list, chars: list) -> np.ndarray:
-        """Match verdicts for (tile, expected char) pairs."""
+    def verify_tiles(self, tiles, chars: list) -> np.ndarray:
+        """Match verdicts for (tile, expected char) pairs.
+
+        ``tiles`` is a ``(N, 32, 32)`` buffer view (plan path) or a list
+        of 32x32 tiles (compat path); either way pending rows are
+        gathered into pooled scratch and normalized in place, so no
+        per-unit array is allocated.
+        """
         if len(tiles) != len(chars):
             raise ValueError(f"tiles/chars misaligned: {len(tiles)} vs {len(chars)}")
-        if not tiles:
+        n = len(tiles)
+        if n == 0:
             return np.zeros(0, dtype=bool)
-        results = np.zeros(len(tiles), dtype=bool)
+        results = np.zeros(n, dtype=bool)
         pending_idx = []
         keys = []
-        for i, (tile, char) in enumerate(zip(tiles, chars)):
+        for i in range(n):
             key = None
             if self.cache is not None:
-                key = f"text:{region_digest(tile)}:{collapse_char(char)}"
+                key = f"text:{region_digest(tiles[i])}:{collapse_char(chars[i])}"
                 hit = self.cache.get(key)
                 if hit is not None:
                     results[i] = hit
@@ -356,21 +540,24 @@ class TextVerifier:
             keys.append(key)
         if pending_idx:
             rep_positions, row_of = _dedupe_pending(keys)
-            obs = np.stack(
-                [np.asarray(tiles[pending_idx[j]], dtype=np.float32) / 255.0 for j in rep_positions]
-            )[:, None, :, :]
-            exp = self._expected_onehot([chars[pending_idx[j]] for j in rep_positions])
+            m = len(rep_positions)
+            backing = thread_pool().reserve(("text-pending",), m, (TILE, TILE))
+            for row, j in enumerate(rep_positions):
+                backing[row] = tiles[pending_idx[j]]
+            obs = backing[:m].reshape(m, 1, TILE, TILE)
+            np.divide(obs, 255.0, out=obs)
+            exp = self._expected_onehot_rows([chars[pending_idx[j]] for j in rep_positions])
             if self.batched:
-                self.invocations += len(rep_positions)
+                self.invocations += m
                 if self.runtime is not None:
                     verdicts, forwards = self.runtime.predict("text", obs, exp)
                     self.forwards += forwards
                 else:
                     verdicts = self._predict(obs, exp, chunk_size=self.chunk_size)
-                    self.forwards += forwards_for(len(rep_positions), self.chunk_size)
+                    self.forwards += forwards_for(m, self.chunk_size)
             else:
-                verdicts = np.zeros(len(rep_positions), dtype=bool)
-                for j in range(len(rep_positions)):
+                verdicts = np.zeros(m, dtype=bool)
+                for j in range(m):
                     verdicts[j] = bool(self._predict(obs[j : j + 1], exp[j : j + 1])[0])
                     self.invocations += 1
                     self.forwards += 1
@@ -414,20 +601,30 @@ class TextVerifier:
         """Verdicts for every text unit of a plan.
 
         One vectorized (chunked) nominal round over all queued tiles,
-        then — for units that fail and carry a retry hook — one batched
+        then — for units that fail and carry retry metadata — one batched
         round per offset ring of :data:`RETRY_OFFSETS` across all failing
-        units of the frame at once.
+        units of the frame at once.  Each ring re-extracts its tiles into
+        one pooled retry buffer (reused round over round, frame over
+        frame).
         """
-        units = plan.text_units
-        verdicts = self.verify_tiles([u.tile for u in units], [u.char for u in units])
-        failing = [i for i, v in enumerate(verdicts) if not v and units[i].retry is not None]
+        verdicts = self.verify_tiles(plan.text_tiles, plan.text_chars)
+        retries = plan.text_retries
+        failing = [i for i, v in enumerate(verdicts) if not v and retries[i] is not None]
         rounds = 0
+        pool = thread_pool()
         for dx, dy in self.RETRY_OFFSETS:
             if not failing:
                 break
             rounds += 1
-            retry_tiles = [units[i].retry(dx, dy) for i in failing]
-            retry = self.verify_tiles(retry_tiles, [units[i].char for i in failing])
+            ring = pool.reserve(("text-retry",), len(failing), (TILE, TILE))
+            for row, i in enumerate(failing):
+                frame_pixels, cell, offset_x, offset_y, background = retries[i]
+                glyph_tile_from_frame(
+                    frame_pixels, cell, offset_x + dx, offset_y + dy, background, out=ring[row]
+                )
+            retry = self.verify_tiles(
+                ring[: len(failing)], [plan.text_chars[i] for i in failing]
+            )
             still = []
             for j, i in enumerate(failing):
                 if retry[j]:
@@ -472,17 +669,24 @@ class ImageVerifier:
         self.invocations = 0
         self.forwards = 0
 
-    def verify_pairs(self, pairs: list) -> np.ndarray:
-        """Match verdicts for 32x32 ``(observed, expected)`` tile pairs."""
-        if not pairs:
+    def verify_pairs(self, pairs) -> np.ndarray:
+        """Match verdicts for 32x32 ``(observed, expected)`` tile pairs.
+
+        ``pairs`` is anything pair-indexable: a plan's pooled
+        :class:`_PairRows` view or a compat list of tuples.  Pending rows
+        are gathered into pooled scratch and normalized in place.
+        """
+        n = len(pairs)
+        if n == 0:
             return np.zeros(0, dtype=bool)
-        results = np.zeros(len(pairs), dtype=bool)
+        results = np.zeros(n, dtype=bool)
         pending_idx = []
         keys = []
-        for i, (ot, et) in enumerate(pairs):
+        for i in range(n):
+            observed, expected = pairs[i]
             key = None
             if self.cache is not None:
-                key = f"img:{region_digest(ot)}:{region_digest(et)}"
+                key = f"img:{region_digest(observed)}:{region_digest(expected)}"
                 hit = self.cache.get(key)
                 if hit is not None:
                     results[i] = hit
@@ -491,29 +695,29 @@ class ImageVerifier:
             keys.append(key)
         if pending_idx:
             rep_positions, row_of = _dedupe_pending(keys)
-            obs = (
-                np.stack([pairs[pending_idx[j]][0] for j in rep_positions]).astype(np.float32)[
-                    :, None, :, :
-                ]
-                / 255.0
-            )
-            exp = (
-                np.stack([pairs[pending_idx[j]][1] for j in rep_positions]).astype(np.float32)[
-                    :, None, :, :
-                ]
-                / 255.0
-            )
+            m = len(rep_positions)
+            pool = thread_pool()
+            obs_backing = pool.reserve(("image-pending-obs",), m, (TILE, TILE))
+            exp_backing = pool.reserve(("image-pending-exp",), m, (TILE, TILE))
+            for row, j in enumerate(rep_positions):
+                observed, expected = pairs[pending_idx[j]]
+                obs_backing[row] = observed
+                exp_backing[row] = expected
+            obs = obs_backing[:m].reshape(m, 1, TILE, TILE)
+            exp = exp_backing[:m].reshape(m, 1, TILE, TILE)
+            np.divide(obs, 255.0, out=obs)
+            np.divide(exp, 255.0, out=exp)
             if self.batched:
-                self.invocations += len(rep_positions)
+                self.invocations += m
                 if self.runtime is not None:
                     verdicts, forwards = self.runtime.predict("image", obs, exp)
                     self.forwards += forwards
                 else:
                     verdicts = self._predict(obs, exp, chunk_size=self.chunk_size)
-                    self.forwards += forwards_for(len(rep_positions), self.chunk_size)
+                    self.forwards += forwards_for(m, self.chunk_size)
             else:
-                verdicts = np.zeros(len(rep_positions), dtype=bool)
-                for j in range(len(rep_positions)):
+                verdicts = np.zeros(m, dtype=bool)
+                for j in range(m):
                     verdicts[j] = bool(self._predict(obs[j : j + 1], exp[j : j + 1])[0])
                     self.invocations += 1
                     self.forwards += 1
@@ -531,8 +735,8 @@ class ImageVerifier:
         rasters are tiled into 32x32 unit inputs and the region matches
         only if every tile pair matches.
         """
-        observed = np.asarray(observed, dtype=float)
-        expected = np.asarray(expected, dtype=float)
+        observed = np.asarray(observed)
+        expected = np.asarray(expected)
         if observed.shape != expected.shape:
             return False
         plan = ValidationPlan()

@@ -102,6 +102,10 @@ class MicroBatcher:
         self._pending: list = []
         self._pending_units = 0
         self._closed = False
+        # Deferred import: repro.core imports this module at package init.
+        from repro.core.planbuf import thread_pool
+
+        self._thread_pool = thread_pool
         self._flusher = threading.Thread(
             target=self._flush_loop, name=f"repro-runtime-{kind}-flusher", daemon=True
         )
@@ -177,8 +181,7 @@ class MicroBatcher:
         units = sum(sub.units for sub in batch)
         wait_ms = (time.monotonic() - min(sub.enqueued_at for sub in batch)) * 1000.0
         try:
-            observed = np.concatenate([sub.observed for sub in batch], axis=0)
-            expected = np.concatenate([sub.expected for sub in batch], axis=0)
+            observed, expected = self._gather(batch, units)
             verdicts = np.asarray(self.predict_fn(observed, expected, self.chunk_size))
             start = 0
             for sub in batch:
@@ -205,6 +208,38 @@ class MicroBatcher:
         finally:
             for sub in batch:
                 sub.done.set()
+
+    def _gather(self, batch: list, units: int) -> tuple:
+        """Scatter submissions' rows into the flusher's pooled flush buffers.
+
+        Replaces the old per-flush ``np.concatenate``: the flusher thread
+        owns a :func:`repro.core.planbuf.thread_pool` pool whose flush
+        buffers are reserved once and reused every flush, so steady-state
+        coalescing copies rows but allocates nothing.  A single-submission
+        batch is forwarded as-is (its rows are already one contiguous
+        block).  Submitters are blocked in ``submit`` until their verdicts
+        scatter back, so reading their rows here never races; a submitter
+        that timed out only ever corrupts its own abandoned rows' verdicts.
+        """
+        if len(batch) == 1:
+            return batch[0].observed, batch[0].expected
+        first = batch[0]
+        pool = self._thread_pool()
+        obs_backing = pool.reserve(
+            ("flush-obs",), units, first.observed.shape[1:], dtype=first.observed.dtype
+        )
+        exp_backing = pool.reserve(
+            ("flush-exp",), units, first.expected.shape[1:], dtype=first.expected.dtype
+        )
+        observed = obs_backing[:units]
+        expected = exp_backing[:units]
+        start = 0
+        for sub in batch:
+            stop = start + sub.units
+            observed[start:stop] = sub.observed
+            expected[start:stop] = sub.expected
+            start = stop
+        return observed, expected
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -8,6 +8,8 @@ predictability matter more here than raw throughput, and the sizes involved
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.vision.image import DTYPE, as_array
@@ -133,12 +135,21 @@ def resize_nearest(image, new_height: int, new_width: int) -> np.ndarray:
     return img[np.ix_(rows, cols)]
 
 
-def resize_bilinear(image, new_height: int, new_width: int) -> np.ndarray:
-    """Bilinear resample; smoother than nearest, used when shrinking glyph tiles."""
-    img = as_array(image)
-    if new_height <= 0 or new_width <= 0:
-        raise ValueError(f"target size must be positive, got {new_height}x{new_width}")
-    src_h, src_w = img.shape
+#: Cached bilinear resample tables keyed by ``(src_h, src_w, dst_h,
+#: dst_w)``: flat gather indices for the four neighbour taps plus the
+#: interpolation weights.  Glyph extraction resizes the same handful of
+#: geometries every frame, so the tables are computed once; the LRU
+#: bound keeps pathological callers from accumulating tables.
+_RESIZE_TABLES: "OrderedDict" = OrderedDict()
+_RESIZE_TABLES_MAX = 32
+
+
+def _resize_tables(src_h: int, src_w: int, new_height: int, new_width: int) -> tuple:
+    key = (src_h, src_w, new_height, new_width)
+    tables = _RESIZE_TABLES.get(key)
+    if tables is not None:
+        _RESIZE_TABLES.move_to_end(key)
+        return tables
     ys = (np.arange(new_height) + 0.5) * src_h / new_height - 0.5
     xs = (np.arange(new_width) + 0.5) * src_w / new_width - 0.5
     ys = np.clip(ys, 0, src_h - 1)
@@ -149,6 +160,62 @@ def resize_bilinear(image, new_height: int, new_width: int) -> np.ndarray:
     x1 = np.minimum(x0 + 1, src_w - 1)
     wy = (ys - y0)[:, None]
     wx = (xs - x0)[None, :]
-    top = img[np.ix_(y0, x0)] * (1 - wx) + img[np.ix_(y0, x1)] * wx
-    bot = img[np.ix_(y1, x0)] * (1 - wx) + img[np.ix_(y1, x1)] * wx
-    return top * (1 - wy) + bot * wy
+    tables = (
+        y0[:, None] * src_w + x0[None, :],
+        y0[:, None] * src_w + x1[None, :],
+        y1[:, None] * src_w + x0[None, :],
+        y1[:, None] * src_w + x1[None, :],
+        wx,
+        1.0 - wx,
+        wy,
+        1.0 - wy,
+    )
+    _RESIZE_TABLES[key] = tables
+    if len(_RESIZE_TABLES) > _RESIZE_TABLES_MAX:
+        _RESIZE_TABLES.popitem(last=False)
+    return tables
+
+
+def resize_bilinear(image, new_height: int, new_width: int, out=None, scratch=None) -> np.ndarray:
+    """Bilinear resample; smoother than nearest, used when shrinking glyph tiles.
+
+    Zero-copy form: with ``out=`` the result is written in place (any
+    dtype — the cast happens on the final write), and with ``scratch=``
+    (a ``(4, new_height, new_width)`` float64 array, e.g. a pooled plan
+    buffer) no intermediary is allocated either.  The elementwise math is
+    identical to the allocating form — same taps, same weights, same
+    operation order in float64 — so results are bit-identical.
+    """
+    img = as_array(image)
+    if new_height <= 0 or new_width <= 0:
+        raise ValueError(f"target size must be positive, got {new_height}x{new_width}")
+    src_h, src_w = img.shape
+    i00, i01, i10, i11, wx, wx1m, wy, wy1m = _resize_tables(src_h, src_w, new_height, new_width)
+    flat = img.reshape(-1)
+    if scratch is None:
+        # witness-lint: allow[hot-alloc] -- compat path: caller gave no scratch buffer
+        scratch = np.empty((4, new_height, new_width), dtype=DTYPE)
+    elif scratch.shape != (4, new_height, new_width) or scratch.dtype != DTYPE:
+        raise ValueError(
+            f"scratch must be float64 (4, {new_height}, {new_width}), "
+            f"got {scratch.dtype} {scratch.shape}"
+        )
+    t00, t01, t10, t11 = scratch[0], scratch[1], scratch[2], scratch[3]
+    np.take(flat, i00, out=t00)
+    np.take(flat, i01, out=t01)
+    np.take(flat, i10, out=t10)
+    np.take(flat, i11, out=t11)
+    np.multiply(t00, wx1m, out=t00)
+    np.multiply(t01, wx, out=t01)
+    np.add(t00, t01, out=t00)  # top row pair
+    np.multiply(t10, wx1m, out=t10)
+    np.multiply(t11, wx, out=t11)
+    np.add(t10, t11, out=t10)  # bottom row pair
+    np.multiply(t00, wy1m, out=t00)
+    np.multiply(t10, wy, out=t10)
+    np.add(t00, t10, out=t00)
+    if out is None:
+        # witness-lint: allow[hot-alloc] -- compat path: no out= target, result must be fresh
+        return t00.copy()
+    out[...] = t00
+    return out

@@ -43,6 +43,16 @@ def test_baseline_entries_are_justified():
     assert not bad, f"unjustified baseline entries: {[e.key() for e in bad]}"
 
 
+def test_baseline_is_empty():
+    # PR 7's zero-copy plan transport retired the last grandfathered
+    # findings; from here on the tree carries no lint debt — new findings
+    # must be fixed (or pragma'd with a justification), never baselined.
+    baseline = Baseline.load(str(BASELINE_PATH))
+    assert not baseline.entries, (
+        f"witness-lint baseline regained entries: {[e.key() for e in baseline.entries]}"
+    )
+
+
 def test_baseline_has_no_stale_entries(result):
     stale = result.stale_baseline
     assert not stale, f"baseline entries matching nothing: {[e.key() for e in stale]}"
