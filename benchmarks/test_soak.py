@@ -7,11 +7,20 @@ training inference) and asserts **zero** decision/violation divergences,
 zero crashes, and zero script-contract breaches.  Records sessions/sec
 and the divergence count into ``bench_summary.json``.
 
+The soak runs **traced**: span tracing is on for every combo, which both
+exercises the tracing-changes-nothing contract at soak scale (a traced
+fingerprint diverging from an untraced expectation would surface here)
+and yields per-stage latency percentiles for ``bench_summary.json``.
+Any divergence ships its flight-recorder evidence into the benchmark
+results directory.
+
 The suite's ``--executor``/``--inference`` knobs pick the *baseline*
 combination every other engine is compared against.
 """
 
 from __future__ import annotations
+
+import os
 
 from benchmarks.conftest import record_metrics, record_result
 
@@ -21,12 +30,15 @@ def test_soak_scenario_diversity(scale, text_model, image_model, executor_mode, 
 
     specs = default_soak_specs()
     seeds = (0, 1) if scale["name"] == "paper" else None
+    flight_dir = os.path.join(os.path.dirname(__file__), "results", "flight")
     result = run_soak(
         specs,
         seeds=seeds,
         baseline=baseline_combo(executor_mode, inference_mode),
         text_model=text_model,
         image_model=image_model,
+        tracing=True,
+        flight_dir=flight_dir,
     )
 
     content = result.summary()
@@ -46,6 +58,13 @@ def test_soak_scenario_diversity(scale, text_model, image_model, executor_mode, 
             "expectation_failures": len(result.expectation_failures),
             "sessions_per_second": round(result.sessions_per_second, 3),
             "forwards_per_combo": result.forwards_per_combo,
+            # Baseline-combo per-stage latency percentiles (ms) from the
+            # traced run: {stage: {count, mean, p50, p95, p99}}.
+            "span_percentiles_ms": {
+                stage: {k: round(v, 4) for k, v in snap.items()}
+                for stage, snap in result.span_percentiles.items()
+            },
+            "flight_artifacts": result.flight_artifacts,
         },
     )
 

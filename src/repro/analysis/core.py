@@ -112,7 +112,11 @@ LOCK_SCOPE = ("repro",)
 #: flush path, and — since PR 7's zero-copy plan transport — the core
 #: collect pass and the vision resampler it writes through (everywhere
 #: arenas/pooled buffers promise allocation-free steady state).
-HOTPATH_SCOPE = ("repro.core", "repro.nn", "repro.runtime", "repro.vision")
+#: ``repro.obs`` joins for the tracer fast path: ``maybe_span`` and
+#: ``SpanTracer.span`` sit inside every frame, so disabled tracing must
+#: stay statically allocation-free (obs stays OUT of the determinism
+#: scope — spans read wall-clock by design, never into a verdict).
+HOTPATH_SCOPE = ("repro.core", "repro.nn", "repro.obs", "repro.runtime", "repro.vision")
 
 #: Frozen-lifecycle discipline applies tree-wide (a frozen net pickled
 #: from *anywhere* resurrects stale weights).

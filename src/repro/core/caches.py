@@ -62,6 +62,7 @@ class DigestCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: str):
         with self._lock:
@@ -83,6 +84,7 @@ class DigestCache:
                 self._store.pop(key)  # overwrite: refresh recency, no eviction
             elif len(self._store) >= self.max_entries:
                 self._store.pop(next(iter(self._store)))  # evict the LRU entry
+                self.evictions += 1
             self._store[key] = value
 
     def scoped(self, namespace: str) -> "ScopedDigestCache":
@@ -97,6 +99,20 @@ class DigestCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """One atomic accounting snapshot (entries + hit/miss/eviction)."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            total = hits + misses
+            return {
+                "entries": len(self._store),
+                "capacity": self.max_entries,
+                "hits": hits,
+                "misses": misses,
+                "evictions": self.evictions,
+                "hit_rate": hits / total if total else 0.0,
+            }
 
 
 class ScopedDigestCache:
@@ -144,8 +160,15 @@ class ScopedDigestCache:
         return self.parent.misses
 
     @property
+    def evictions(self) -> int:
+        return self.parent.evictions
+
+    @property
     def hit_rate(self) -> float:
         return self.parent.hit_rate
+
+    def stats(self) -> dict:
+        return self.parent.stats()
 
 
 class DifferentialDetector:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.pof import POFObservation, mask_pofs
+from repro.obs.spans import maybe_span
 from repro.raster.stacks import reference_stack
 from repro.core.verifiers import (
     ImageVerifier,
@@ -89,6 +90,7 @@ class DisplayValidator:
         pof_style: POFStyle = DEFAULT_POF,
         check_background: bool = True,
         runtime=None,
+        tracer=None,
     ) -> None:
         self.vspec = vspec
         self.text_verifier = text_verifier
@@ -100,6 +102,9 @@ class DisplayValidator:
         #: on the runtime (and the verifiers coalesce their forwards with
         #: every other session's rounds).
         self.runtime = runtime
+        #: Optional :class:`repro.obs.spans.SpanTracer` timing the
+        #: collect/execute/scatter phases; ``None`` = no-op fast path.
+        self.tracer = tracer
         self._stateful_key: tuple | None = None
         self._stateful_expected: np.ndarray | None = None
         self._padded_key: tuple | None = None
@@ -233,11 +238,11 @@ class DisplayValidator:
         t0_image_fwd = self.image_verifier.forwards
         result = DisplayResult(ok=True)
 
-        offset, score = (
-            viewport
-            if viewport is not None
-            else self.locate_viewport(frame_pixels, tracked_inputs)
-        )
+        if viewport is not None:
+            offset, score = viewport
+        else:
+            with maybe_span(self.tracer, "frame.locate"):
+                offset, score = self.locate_viewport(frame_pixels, tracked_inputs)
         result.offset_y = offset
         result.viewport_score = score
         if score < VIEWPORT_SCORE_FLOOR:
@@ -268,25 +273,30 @@ class DisplayValidator:
         # registers a deferred emitter that scatters the executed verdicts
         # back into per-entry failures, in entry order.
         plan = self._plan
-        plan.reset()
-        deferred: list = []
-        for entry in entries:
-            self._collect_entry(entry, clean, offset, viewport, tracked_inputs, plan, deferred)
+        with maybe_span(self.tracer, "plan.collect"):
+            plan.reset()
+            deferred: list = []
+            for entry in entries:
+                self._collect_entry(
+                    entry, clean, offset, viewport, tracked_inputs, plan, deferred
+                )
         result.entries_checked = len(entries)
 
         # Phase 2 (execute): one vectorized forward per model kind (plus
         # batched alignment-retry rings), then scatter.  On a shared
         # runtime the two kinds execute concurrently and their forwards
         # coalesce with concurrent sessions' rounds.
-        if self.runtime is not None:
-            text_verdicts, image_verdicts = self.runtime.execute_plan(
-                plan, self.text_verifier, self.image_verifier
-            )
-        else:
-            text_verdicts = self.text_verifier.execute_plan(plan)
-            image_verdicts = self.image_verifier.execute_plan(plan)
-        for emit in deferred:
-            emit(result, text_verdicts, image_verdicts)
+        with maybe_span(self.tracer, "plan.execute"):
+            if self.runtime is not None:
+                text_verdicts, image_verdicts = self.runtime.execute_plan(
+                    plan, self.text_verifier, self.image_verifier
+                )
+            else:
+                text_verdicts = self.text_verifier.execute_plan(plan)
+                image_verdicts = self.image_verifier.execute_plan(plan)
+        with maybe_span(self.tracer, "verdict.scatter"):
+            for emit in deferred:
+                emit(result, text_verdicts, image_verdicts)
 
         if self.check_background and changed_rects is None:
             self._validate_background(clean, offset, viewport, result)

@@ -161,3 +161,17 @@ def thread_pool() -> PlanBuffers:
 def pool_stats() -> list:
     """Per-thread stats for every live execute-side pool."""
     return _EXEC_POOLS.stats()
+
+
+def pool_totals() -> dict:
+    """Execute-side pool stats aggregated across live threads.
+
+    The telemetry hub's summary view of :func:`pool_stats` (the
+    per-thread breakdown stays available for capacity debugging).
+    """
+    stats = pool_stats()
+    totals = {"pools": len(stats), "keys": 0, "hits": 0, "allocations": 0, "evictions": 0, "nbytes": 0}
+    for entry in stats:
+        for key in ("keys", "hits", "allocations", "evictions", "nbytes"):
+            totals[key] += entry[key]
+    return totals

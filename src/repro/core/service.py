@@ -30,6 +30,7 @@ that wraps a dedicated single-machine service.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -44,6 +45,7 @@ from repro.core.timing import SessionTiming
 from repro.core.verifiers import ImageVerifier, TextVerifier
 from repro.crypto.ca import CertificateAuthority
 from repro.nn.infer import INFERENCE_MODES
+from repro.obs.spans import maybe_span
 from repro.runtime.backpressure import POLICIES
 from repro.runtime.executor import EXECUTOR_MODES, ValidationExecutor
 from repro.crypto.keys import MeasuredState, SealedSigningKey, generate_signing_key
@@ -116,6 +118,21 @@ class WitnessConfig:
     #: Decisions are identical either way — the knob exists so every
     #: benchmark can A/B the inference engine.
     inference: str = "frozen"
+    #: Frame-span tracing (:mod:`repro.obs`).  Off by default: disabled
+    #: tracing costs one ``is None`` test per span site and zero
+    #: allocations.  Enabled, every sampled frame is timed stage by stage
+    #: (histograms surfaced via ``WitnessService.telemetry()``) and
+    #: recorded into the service's flight-recorder ring.  Tracing never
+    #: changes a verdict — soak fingerprints are bit-identical on vs off.
+    tracing: bool = False
+    #: Flight-recorder ring capacity in frames (only meaningful with
+    #: ``tracing=True``).
+    flight_frames: int = 64
+    #: Directory for flight-recorder JSON artifacts.  When set (and
+    #: tracing), every violation and every rejected certification
+    #: decision dumps the last-N-frames evidence there; ``None`` keeps
+    #: the ring query-only (``WitnessService.flight_recorder``).
+    flight_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.predict_chunk is not None and self.predict_chunk < 1:
@@ -154,6 +171,8 @@ class WitnessConfig:
             raise ValueError(
                 f"inference must be one of {INFERENCE_MODES}, got {self.inference!r}"
             )
+        if self.flight_frames < 1:
+            raise ValueError(f"flight_frames must be >= 1, got {self.flight_frames}")
 
     def replace(self, **overrides) -> "WitnessConfig":
         """A copy of this config with ``overrides`` applied."""
@@ -356,6 +375,13 @@ class WitnessService:
         # services never pay for its threads).
         self._runtime: ValidationExecutor | None = None
         self._runtime_lock = threading.Lock()
+        # Observability state (repro.obs): span histograms and the flight
+        # ring are created lazily by the first traced session, so
+        # tracing-off services carry two None attributes and nothing else.
+        self._obs_lock = threading.Lock()
+        self._span_metrics = None
+        self._flight = None
+        self._flight_seq = itertools.count(1)
 
     # -- observability hooks ----------------------------------------------
 
@@ -456,21 +482,86 @@ class WitnessService:
     def runtime_stats(self) -> dict:
         """One observability snapshot: executor mode, sessions, runtime.
 
-        ``sessions`` is the registry's consistent counter snapshot;
+        ``sessions`` is the registry's consistent counter snapshot and
+        ``cache`` the digest cache's accounting — both are merged
+        regardless of executor mode, so an ``executor="inline"`` service
+        (which never builds the shared runtime) still reports them.
         ``runtime`` holds the micro-batching metrics (counters, gauges,
         histograms — see :mod:`repro.runtime.metrics`) and is ``None``
         until a shared-mode session has run.
         """
         runtime = self._runtime
+        cache = self.shared_cache
         return {
             "executor": self.config.executor,
             "inference": self.config.inference,
             "sessions": self.registry.stats(),
-            "cache_hit_rate": (
-                self.shared_cache.hit_rate if self.shared_cache is not None else None
-            ),
+            "cache": cache.stats() if cache is not None else None,
+            "cache_hit_rate": cache.hit_rate if cache is not None else None,
             "runtime": runtime.stats() if runtime is not None else None,
         }
+
+    # -- observability (repro.obs) -----------------------------------------
+
+    def session_tracer(self, cfg: WitnessConfig, session_id: int):
+        """A :class:`~repro.obs.spans.SpanTracer` for one session under
+        ``cfg``, or ``None`` when tracing is off (the zero-cost default).
+
+        All traced sessions of a service share one span-metrics registry
+        (percentiles aggregate service-wide) and one flight ring.
+        """
+        if not cfg.tracing:
+            return None
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.spans import SpanTracer
+        from repro.runtime.metrics import RuntimeMetrics
+
+        with self._obs_lock:
+            if self._span_metrics is None:
+                self._span_metrics = RuntimeMetrics()
+            if self._flight is None:
+                self._flight = FlightRecorder(cfg.flight_frames)
+            return SpanTracer(
+                session_id,
+                self._span_metrics,
+                recorder=self._flight,
+                cache=self.shared_cache,
+            )
+
+    @property
+    def span_metrics(self):
+        """The shared span-histogram registry (None until a traced session)."""
+        return self._span_metrics
+
+    @property
+    def flight_recorder(self):
+        """The shared flight-recorder ring (None until a traced session)."""
+        return self._flight
+
+    def telemetry(self):
+        """One :class:`~repro.obs.telemetry.TelemetrySnapshot` federating
+        every stats island: sessions, cache, runtime, spans, flight,
+        arenas, transport pools."""
+        from repro.obs.telemetry import build_snapshot
+
+        return build_snapshot(self)
+
+    def dump_flight(self, reason: str, session: "WitnessSession | None" = None) -> str | None:
+        """Write the flight ring to a JSON artifact under ``flight_dir``.
+
+        Returns the path, or ``None`` when there is nothing to dump (no
+        traced session yet) or no ``flight_dir`` configured.  Called
+        automatically on violations and rejected decisions; callable
+        directly for ad-hoc snapshots.
+        """
+        recorder = self._flight
+        cfg = session.config if session is not None else self.config
+        if recorder is None or not cfg.flight_dir:
+            return None
+        seq = next(self._flight_seq)
+        sid = session.id if session is not None else 0
+        path = os.path.join(cfg.flight_dir, f"flight-s{sid:03d}-{seq:04d}.json")
+        return recorder.dump(path, reason=reason)
 
     def close(self) -> None:
         """Release the service's runtime threads.  Idempotent.
@@ -494,6 +585,13 @@ class WitnessService:
         self.close()
 
     def _dispatch(self, kind: str, session: "WitnessSession", payload) -> None:
+        # Flight-recorder artifacts fire before user hooks: the evidence
+        # is on disk even if a hook raises.  The offending frame's trace
+        # is already in the ring (finish_frame precedes dispatch).
+        if kind == "violation":
+            self.dump_flight(f"violation:{payload.rule}: {payload.detail}", session)
+        elif kind == "decision" and not payload.certified:
+            self.dump_flight(f"decision-rejected: {payload.reason}", session)
         for callback in self._hooks[kind]:
             callback(session, payload)
         for callback in session._hooks[kind]:
@@ -532,6 +630,7 @@ class WitnessSession:
         self._text_verifier: TextVerifier | None = None
         self._image_verifier: ImageVerifier | None = None
         self._diff: DifferentialDetector | None = None
+        self._tracer = None  # SpanTracer when config.tracing, else None
         self._last_sample_ms = 0.0
         self._last_offset = 0
         self._observing = False
@@ -576,6 +675,7 @@ class WitnessSession:
         self.report = SessionReport()
         text_cache, image_cache = self.service.session_cache_views(self.config)
         runtime = self.service.session_runtime(self.config)
+        self._tracer = self.service.session_tracer(self.config, self.id)
         self._text_verifier = TextVerifier(
             self.service.text_model,
             batched=self.config.batched,
@@ -583,6 +683,7 @@ class WitnessSession:
             chunk_size=self.config.predict_chunk,
             runtime=runtime,
             inference=self.config.inference,
+            tracer=self._tracer,
         )
         self._image_verifier = ImageVerifier(
             self.service.image_model,
@@ -591,6 +692,7 @@ class WitnessSession:
             chunk_size=self.config.predict_chunk,
             runtime=runtime,
             inference=self.config.inference,
+            tracer=self._tracer,
         )
         self._display = DisplayValidator(
             vspec,
@@ -599,6 +701,7 @@ class WitnessSession:
             pof_style=self.config.pof_style,
             check_background=self.config.check_background,
             runtime=runtime,
+            tracer=self._tracer,
         )
         self._tracker = InteractionTracker(
             vspec, self.machine, self._text_verifier, self._image_verifier
@@ -686,6 +789,7 @@ class WitnessSession:
         self._text_verifier = None
         self._image_verifier = None
         self._diff = None
+        self._tracer = None
 
     @property
     def state(self) -> str:
@@ -725,7 +829,10 @@ class WitnessSession:
         assert self._display is not None and self._tracker is not None
         t0 = time.perf_counter()
         violations_before = len(self.report.violations)
-        frame = self.machine.sample_framebuffer()
+        if self._tracer is not None:
+            self._tracer.begin_frame(self.report.frames_sampled)
+        with maybe_span(self._tracer, "frame.sample"):
+            frame = self.machine.sample_framebuffer()
         pixels = frame.pixels
 
         changed = self._diff.changed(pixels) if self._diff is not None else None
@@ -737,9 +844,10 @@ class WitnessSession:
             self.report.frames_skipped += 1
         else:
             try:
-                offset, score = self._display.locate_viewport(
-                    pixels, self._tracker.tracked
-                )
+                with maybe_span(self._tracer, "frame.locate"):
+                    offset, score = self._display.locate_viewport(
+                        pixels, self._tracker.tracked
+                    )
             except ValueError as exc:
                 # Viewport failure subsumes the clean-start offset check.
                 self._clean_start_pending = False
@@ -820,6 +928,10 @@ class WitnessSession:
             image_forwards=result.image_forwards,
         )
         self.report.outcomes.append(outcome)
+        # Seal the frame's trace BEFORE hook dispatch: a violation hook's
+        # flight-recorder dump must already contain this frame.
+        if self._tracer is not None:
+            self._tracer.finish_frame(outcome)
         # All hook dispatch happens last, after the frame's report/sampler
         # bookkeeping is consistent: a raising hook propagates to whoever
         # drove the clock, but never leaves a half-recorded frame behind.

@@ -67,6 +67,7 @@ class VWitness:
         periodic_sampling: bool = False,
         pof_style: POFStyle = DEFAULT_POF,
         check_background: bool = True,
+        tracing: bool = False,
     ) -> None:
         config = WitnessConfig(
             batched=batched,
@@ -76,6 +77,7 @@ class VWitness:
             periodic_sampling=periodic_sampling,
             pof_style=pof_style,
             check_background=check_background,
+            tracing=tracing,
         )
         self.machine = machine
         self.service = WitnessService(
@@ -159,3 +161,7 @@ class VWitness:
         if self._session is None:
             raise RuntimeError("no active session")
         return self._session.tracked_inputs
+
+    def telemetry(self):
+        """The wrapped service's federated telemetry snapshot."""
+        return self.service.telemetry()

@@ -70,6 +70,7 @@ import numpy as np
 
 from repro.analysis import hot_path
 from repro.core.planbuf import PLAN_DTYPE, PlanBuffers, thread_pool
+from repro.obs.spans import maybe_span
 from repro.nn.data import CHAR_TO_INDEX, collapse_char
 from repro.nn.infer import predict_fn
 from repro.nn.model import PREDICT_CHUNK, MatcherModel
@@ -485,6 +486,7 @@ class TextVerifier:
         chunk_size: int | None = PREDICT_CHUNK,
         runtime=None,
         inference: str = "frozen",
+        tracer=None,
     ) -> None:
         if runtime is not None and not batched:
             raise ValueError("a shared runtime requires batched=True")
@@ -494,6 +496,9 @@ class TextVerifier:
         self.chunk_size = _check_chunk_size(chunk_size)
         self.runtime = runtime
         self.inference = inference
+        #: Optional :class:`repro.obs.spans.SpanTracer`; ``None`` (the
+        #: default) keeps every span site on the no-op fast path.
+        self.tracer = tracer
         self._predict = predict_fn(model, inference)
         self.invocations = 0
         self.forwards = 0
@@ -550,17 +555,22 @@ class TextVerifier:
             if self.batched:
                 self.invocations += m
                 if self.runtime is not None:
-                    verdicts, forwards = self.runtime.predict("text", obs, exp)
+                    with maybe_span(self.tracer, "runtime.submit.text"):
+                        verdicts, forwards = self.runtime.predict(
+                            "text", obs, exp, tracer=self.tracer
+                        )
                     self.forwards += forwards
                 else:
-                    verdicts = self._predict(obs, exp, chunk_size=self.chunk_size)
+                    with maybe_span(self.tracer, "forward.text"):
+                        verdicts = self._predict(obs, exp, chunk_size=self.chunk_size)
                     self.forwards += forwards_for(m, self.chunk_size)
             else:
                 verdicts = np.zeros(m, dtype=bool)
-                for j in range(m):
-                    verdicts[j] = bool(self._predict(obs[j : j + 1], exp[j : j + 1])[0])
-                    self.invocations += 1
-                    self.forwards += 1
+                with maybe_span(self.tracer, "forward.text"):
+                    for j in range(m):
+                        verdicts[j] = bool(self._predict(obs[j : j + 1], exp[j : j + 1])[0])
+                        self.invocations += 1
+                        self.forwards += 1
             for row, j in enumerate(rep_positions):
                 if self.cache is not None and keys[j] is not None:
                     self.cache.put(keys[j], bool(verdicts[row]))
@@ -652,6 +662,7 @@ class ImageVerifier:
         chunk_size: int | None = PREDICT_CHUNK,
         runtime=None,
         inference: str = "frozen",
+        tracer=None,
     ) -> None:
         if runtime is not None and not batched:
             raise ValueError("a shared runtime requires batched=True")
@@ -661,6 +672,8 @@ class ImageVerifier:
         self.chunk_size = _check_chunk_size(chunk_size)
         self.runtime = runtime
         self.inference = inference
+        #: Optional :class:`repro.obs.spans.SpanTracer` (see TextVerifier).
+        self.tracer = tracer
         self._predict = predict_fn(model, inference)
         self.invocations = 0
         self.forwards = 0
@@ -710,17 +723,22 @@ class ImageVerifier:
             if self.batched:
                 self.invocations += m
                 if self.runtime is not None:
-                    verdicts, forwards = self.runtime.predict("image", obs, exp)
+                    with maybe_span(self.tracer, "runtime.submit.image"):
+                        verdicts, forwards = self.runtime.predict(
+                            "image", obs, exp, tracer=self.tracer
+                        )
                     self.forwards += forwards
                 else:
-                    verdicts = self._predict(obs, exp, chunk_size=self.chunk_size)
+                    with maybe_span(self.tracer, "forward.image"):
+                        verdicts = self._predict(obs, exp, chunk_size=self.chunk_size)
                     self.forwards += forwards_for(m, self.chunk_size)
             else:
                 verdicts = np.zeros(m, dtype=bool)
-                for j in range(m):
-                    verdicts[j] = bool(self._predict(obs[j : j + 1], exp[j : j + 1])[0])
-                    self.invocations += 1
-                    self.forwards += 1
+                with maybe_span(self.tracer, "forward.image"):
+                    for j in range(m):
+                        verdicts[j] = bool(self._predict(obs[j : j + 1], exp[j : j + 1])[0])
+                        self.invocations += 1
+                        self.forwards += 1
             for row, j in enumerate(rep_positions):
                 if self.cache is not None and keys[j] is not None:
                     self.cache.put(keys[j], bool(verdicts[row]))

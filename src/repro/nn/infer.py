@@ -669,6 +669,21 @@ def invalidate_frozen(model) -> None:
         model.__dict__.pop("_frozen_twin", None)
 
 
+def arena_stats(model) -> dict | None:
+    """Workspace-arena stats of ``model``'s memoized frozen twin, or None.
+
+    Purely observational — the telemetry hub calls this for models that
+    may never have dispatched frozen inference, and querying stats must
+    not trigger a compile.  A model that *is* a frozen executable reports
+    its own arenas.
+    """
+    if getattr(model, "is_frozen", False):
+        return model.workspace_stats()
+    with _TWIN_LOCK:
+        twin = model.__dict__.get("_frozen_twin") if hasattr(model, "__dict__") else None
+    return None if twin is None else twin.workspace_stats()
+
+
 def predict_fn(model, inference: str):
     """Resolve the ``predict(observed, expected, chunk_size)`` callable a
     consumer (verifier, runtime flusher) should feed unit inputs to.

@@ -1,0 +1,102 @@
+"""Pretty-print a telemetry or flight-recorder dump.
+
+Usage::
+
+    python -m repro.obs dump.json            # human summary
+    python -m repro.obs dump.json --format json
+    python -m repro.obs dump.json --format prom
+    some-producer | python -m repro.obs -    # read stdin
+
+Detects the payload shape: a flight-recorder artifact (has ``frames``)
+is summarized frame by frame; anything else is treated as a
+:class:`~repro.obs.telemetry.TelemetrySnapshot` dump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.telemetry import TelemetrySnapshot
+
+
+def _describe_flight(payload: dict) -> str:
+    lines = [
+        f"flight recording: {payload.get('reason') or '(no reason)'}",
+        "  {n} frames captured (ring capacity {cap}, {rec} recorded, "
+        "{ev} evicted)".format(
+            n=len(payload.get("frames", [])),
+            cap=payload.get("capacity"),
+            rec=payload.get("recorded_total"),
+            ev=payload.get("evicted_total"),
+        ),
+    ]
+    for frame in payload.get("frames", []):
+        flags = []
+        if frame.get("skipped_unchanged"):
+            flags.append("skipped")
+        if frame.get("violations"):
+            flags.append(f"{len(frame['violations'])} violation(s)")
+        if frame.get("failures"):
+            flags.append(f"{len(frame['failures'])} failure(s)")
+        lines.append(
+            "  s{sid} f{idx}: ok={ok} offset={off} units={t}+{i} "
+            "retries={r} {ms:.2f}ms {flags}".format(
+                sid=frame.get("session_id"),
+                idx=frame.get("index"),
+                ok=frame.get("ok"),
+                off=frame.get("offset_y"),
+                t=frame.get("plan_text_units", 0),
+                i=frame.get("plan_image_pairs", 0),
+                r=frame.get("text_retry_rounds", 0),
+                ms=frame.get("elapsed_ms", 0.0),
+                flags=" ".join(flags),
+            ).rstrip()
+        )
+        for v in frame.get("violations", []):
+            lines.append(f"      violation[{v.get('rule')}]: {v.get('detail')}")
+        for f in frame.get("failures", []):
+            lines.append(f"      failure[{f.get('kind')}]@{f.get('rect')}: {f.get('reason')}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Pretty-print a repro telemetry or flight-recorder JSON dump.",
+    )
+    parser.add_argument("path", help="dump file, or '-' for stdin")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "prom"),
+        default="text",
+        help="output format (default: human text)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.path == "-":
+        payload = json.load(sys.stdin)
+    else:
+        with open(args.path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+
+    if isinstance(payload, dict) and "frames" in payload:
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(_describe_flight(payload))
+        return 0
+
+    snapshot = TelemetrySnapshot(payload)
+    if args.format == "json":
+        print(snapshot.to_json())
+    elif args.format == "prom":
+        print(snapshot.to_prometheus(), end="")
+    else:
+        print(snapshot.describe())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

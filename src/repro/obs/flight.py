@@ -1,0 +1,102 @@
+"""The divergence flight recorder: last-N frame traces, dumpable on demand.
+
+Every soak divergence so far was debugged by *rerunning* the failing
+scenario with extra prints.  The flight recorder inverts that: a bounded
+ring buffer keeps the most recent per-frame :class:`~repro.obs.spans.\
+FrameTrace` records (offsets, plan sizes, retry rounds, cache-hit
+deltas, failure details, span timings), and the moment something goes
+wrong — an ``on_violation`` hook, a decision mismatch, a fingerprint
+divergence in the soak harness — :meth:`FlightRecorder.dump` writes the
+evidence to a JSON artifact.  ``python -m repro.obs artifact.json``
+pretty-prints one.
+
+The ring is shared by every traced session of a service (records carry
+their ``session_id``), bounded by ``capacity`` frames, and guarded by a
+single lock — recording happens once per frame, far off the unit-input
+hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+
+#: Default ring capacity (frames); see ``WitnessConfig.flight_frames``.
+DEFAULT_CAPACITY = 64
+
+
+class FlightRecorder:
+    """A bounded, thread-safe ring of recent :class:`FrameTrace` records."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self.recorded = 0
+        self.evicted = 0
+        self.dumps = 0
+
+    def record(self, trace) -> None:
+        """Append one finished frame trace, evicting the oldest at capacity."""
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self.evicted += 1
+            self._ring.append(trace)
+            self.recorded += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def snapshot(self, session_ids=None) -> list:
+        """The ring's traces as JSON-serializable dicts, oldest first.
+
+        ``session_ids`` (an iterable of ints) filters to the sessions
+        involved in an incident; ``None`` keeps everything.
+        """
+        with self._lock:
+            traces = list(self._ring)
+        if session_ids is not None:
+            wanted = set(session_ids)
+            traces = [t for t in traces if t.session_id in wanted]
+        return [t.as_dict() for t in traces]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "frames": len(self._ring),
+                "recorded": self.recorded,
+                "evicted": self.evicted,
+                "dumps": self.dumps,
+            }
+
+    def dump(self, path: str, reason: str = "", session_ids=None) -> str:
+        """Write the current ring (plus ``reason``) to a JSON artifact.
+
+        Creates parent directories as needed; returns the path written.
+        The artifact shape is stable: ``{"reason", "capacity",
+        "recorded_total", "evicted_total", "frames": [FrameTrace dicts]}``.
+        """
+        frames = self.snapshot(session_ids)
+        with self._lock:
+            self.dumps += 1
+            payload = {
+                "reason": reason,
+                "capacity": self.capacity,
+                "recorded_total": self.recorded,
+                "evicted_total": self.evicted,
+                "frames": frames,
+            }
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+        return path

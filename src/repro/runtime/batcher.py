@@ -28,6 +28,7 @@ import time
 
 import numpy as np
 
+from repro.obs.spans import maybe_span
 from repro.runtime.metrics import RuntimeMetrics
 
 #: Bucket bounds for millisecond-scale latency histograms.
@@ -113,12 +114,14 @@ class MicroBatcher:
 
     # -- submission (session threads) --------------------------------------
 
-    def submit(self, observed: np.ndarray, expected: np.ndarray):
+    def submit(self, observed: np.ndarray, expected: np.ndarray, tracer=None):
         """Coalesced verdicts for these rows: ``(verdicts, forwards_share)``.
 
         Blocks until the rows have ridden a flush; ``forwards_share`` is
         the number of chunk-forwards of that flush the rows touched (the
         submission's amortized cost, for per-session accounting).
+        ``tracer`` times the rendezvous wait as a ``flush.wait.<kind>``
+        span on the submitting thread.
         """
         if observed.shape[0] != expected.shape[0]:
             raise ValueError(
@@ -134,7 +137,9 @@ class MicroBatcher:
             self._pending_units += sub.units
             self.metrics.gauge(f"queue_depth.{self.kind}").set(self._pending_units)
             self._cond.notify_all()
-        if not sub.done.wait(self.submit_timeout):
+        with maybe_span(tracer, f"flush.wait.{self.kind}"):
+            flushed = sub.done.wait(self.submit_timeout)
+        if not flushed:
             raise RuntimeError(
                 f"{self.kind} micro-batch flush did not complete within "
                 f"{self.submit_timeout}s ({sub.units} units pending)"

@@ -35,6 +35,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.nn.infer import INFERENCE_MODES, predict_fn
+from repro.obs.spans import maybe_span
 from repro.runtime.backpressure import POLICIES, AdmissionGate
 from repro.runtime.batcher import MicroBatcher, forwards_for
 from repro.runtime.metrics import RuntimeMetrics
@@ -106,14 +107,16 @@ class ValidationExecutor:
 
     # -- the verifier-facing forward ----------------------------------------
 
-    def predict(self, kind: str, observed: np.ndarray, expected: np.ndarray):
+    def predict(self, kind: str, observed: np.ndarray, expected: np.ndarray, tracer=None):
         """Coalesced match verdicts: ``(bool ndarray, forwards_share)``.
 
         Rows must be model-ready (normalized float32, expected already
         one-hot/stacked) — exactly what the verifiers hand their models.
         Under ``shed`` admission an over-capacity submission runs its own
         inline forward instead of queueing; verdicts are identical either
-        way.
+        way.  ``tracer`` (the submitting session's span tracer) times the
+        flush rendezvous — or the inline shed forward — without touching
+        what executes.
         """
         if kind not in KINDS:
             raise ValueError(f"unknown model kind {kind!r}")
@@ -126,12 +129,13 @@ class ValidationExecutor:
             self.metrics.counter("sheds_total").inc()
             forwards = forwards_for(units, self.chunk_size)
             self.metrics.counter(f"forwards_total.{kind}").inc(forwards)
-            verdicts = np.asarray(
-                self._predicts[kind](observed, expected, self.chunk_size)
-            )
+            with maybe_span(tracer, f"forward.{kind}"):
+                verdicts = np.asarray(
+                    self._predicts[kind](observed, expected, self.chunk_size)
+                )
             return verdicts, forwards
         try:
-            return self._batchers[kind].submit(observed, expected)
+            return self._batchers[kind].submit(observed, expected, tracer=tracer)
         finally:
             self.gate.release(units)
 

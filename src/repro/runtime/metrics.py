@@ -92,7 +92,44 @@ class Histogram:
                     return
             self._bucket_counts[-1] += 1
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``).
+
+        Linear interpolation within the containing bucket, with the
+        observed ``min``/``max`` tightening the outermost bucket edges —
+        so the estimate is *exact-bound*: it never leaves the containing
+        bucket and never exceeds the observed value range.  With no
+        observations the estimate is 0.
+        """
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        q = min(max(q, 0.0), 100.0)
+        target = q / 100.0 * self._count
+        cum = 0
+        prev_bound: float | None = None  # effectively -inf before bucket 0
+        for i, count in enumerate(self._bucket_counts):
+            bound = self.bounds[i] if i < len(self.bounds) else None  # None = overflow
+            if count:
+                lo = self._min if prev_bound is None else max(prev_bound, self._min)
+                hi = self._max if bound is None else min(bound, self._max)
+                hi = max(hi, lo)
+                if cum + count >= target:
+                    frac = (target - cum) / count
+                    return lo + frac * (hi - lo)
+                cum += count
+            if bound is not None:
+                prev_bound = bound
+        return self._max  # pragma: no cover - float-rounding fallback
+
     def snapshot(self) -> dict:
+        """Stable export: ``buckets`` keys cover every configured bound
+        (zero counts included) in bound order, plus the numeric ``bounds``
+        list and interpolated p50/p95/p99 — two snapshots of the same
+        histogram always carry the same keys in the same order."""
         with self._lock:
             buckets = {}
             for bound, count in zip(self.bounds, self._bucket_counts):
@@ -104,7 +141,11 @@ class Histogram:
                 "mean": self._sum / self._count if self._count else 0.0,
                 "min": self._min,
                 "max": self._max,
+                "bounds": list(self.bounds),
                 "buckets": buckets,
+                "p50": self._percentile_locked(50.0),
+                "p95": self._percentile_locked(95.0),
+                "p99": self._percentile_locked(99.0),
             }
 
 

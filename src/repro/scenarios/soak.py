@@ -24,10 +24,14 @@ page generation.  Wall time never enters a fingerprint.
 
 from __future__ import annotations
 
+import json
+import os
+import re
 import time
 from dataclasses import dataclass, field
 
 from repro.core.service import WitnessConfig, WitnessService
+from repro.obs.spans import span_snapshots
 from repro.crypto.ca import CertificateAuthority
 from repro.scenarios.pages import ARCHETYPES
 from repro.scenarios.scripts import run_script
@@ -124,6 +128,10 @@ class ScenarioOutcome:
     #: dependent by design — excluded from the fingerprint).
     forwards: int = 0
     expectation_failures: list = field(default_factory=list)
+    #: Witness session ids this scenario consumed (per-run nonces — never
+    #: fingerprinted).  Lets the soak driver pull exactly this scenario's
+    #: frames back out of the service's flight recorder on divergence.
+    session_ids: list = field(default_factory=list)
 
 
 def _expectation_failures(spec: ScenarioSpec, fingerprints: tuple) -> list:
@@ -188,6 +196,13 @@ class SoakResult:
     #: session that did not certify, a tampered one that did, etc.
     expectation_failures: list = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Per-stage latency percentiles from the *baseline* combo's traced
+    #: run: ``{stage: {count, mean, p50, p95, p99}}``.  Empty unless the
+    #: soak ran with ``tracing=True``.
+    span_percentiles: dict = field(default_factory=dict)
+    #: Paths of divergence flight-recorder artifacts written this soak
+    #: (``tracing=True`` plus ``flight_dir`` and at least one divergence).
+    flight_artifacts: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -210,12 +225,21 @@ class SoakResult:
             f"divergences: {len(self.divergences)}  crashes: {len(self.crashes)}  "
             f"expectation failures: {len(self.expectation_failures)}",
         ]
+        frame = self.span_percentiles.get("frame")
+        if frame:
+            lines.append(
+                f"frame latency (baseline, traced): p50={frame['p50']:.2f}ms "
+                f"p95={frame['p95']:.2f}ms p99={frame['p99']:.2f}ms "
+                f"over {frame['count']} frames"
+            )
         for d in self.divergences:
             lines.append(f"  DIVERGED {d.scenario}: {d.combo} vs {d.baseline}: {d.detail}")
         for c in self.crashes:
             lines.append(f"  CRASHED {c.scenario} under {c.combo}: {c.error}")
         for scenario, combo, detail in self.expectation_failures:
             lines.append(f"  UNEXPECTED {scenario} under {combo}: {detail}")
+        for path in self.flight_artifacts:
+            lines.append(f"  flight artifact: {path}")
         return "\n".join(lines)
 
 
@@ -238,6 +262,7 @@ def run_scenario(scenario: Scenario, service: WitnessService, server: WebServer 
         server.register_page(page_id, page)
 
     fingerprints = []
+    session_ids = []
     sessions = frames = certified = forwards = 0
     for step, (page_id, _page) in enumerate(scenario.pages):
         client = connect_guest(
@@ -249,6 +274,7 @@ def run_scenario(scenario: Scenario, service: WitnessService, server: WebServer 
             sampler_seed=scenario.step_sampler_seed(step),
         )
         try:
+            session_ids.append(client.witness.id)
             body = run_script(scenario, step, client.browser, client.vspec)
             if body is None:
                 report = client.witness.report
@@ -275,6 +301,7 @@ def run_scenario(scenario: Scenario, service: WitnessService, server: WebServer 
         certified=certified,
         forwards=forwards,
         expectation_failures=_expectation_failures(scenario.spec, tuple(fingerprints)),
+        session_ids=session_ids,
     )
 
 
@@ -317,6 +344,23 @@ def _describe_divergence(base: tuple, other: tuple) -> str:
     return "fingerprints differ (structure)"
 
 
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-zA-Z0-9_.-]+", "-", text).strip("-")
+
+
+def _scenario_frames(ring: list, outcome) -> list:
+    """The frame traces of one scenario, out of a combo's flight ring.
+
+    The ring is bounded: frames of an early scenario may have been
+    evicted by later ones — the artifact then carries whatever evidence
+    survived (possibly none), never another scenario's frames.
+    """
+    if outcome is None:
+        return []
+    wanted = set(outcome.session_ids)
+    return [f for f in ring if f.get("session_id") in wanted]
+
+
 def run_soak(
     specs,
     *,
@@ -327,6 +371,8 @@ def run_soak(
     image_model=None,
     config: WitnessConfig | None = None,
     threads: int = 1,
+    tracing: bool = False,
+    flight_dir: str | None = None,
 ) -> SoakResult:
     """Drive every scenario through every engine combination and compare.
 
@@ -344,6 +390,13 @@ def run_soak(
             combo (>=2 exercises genuine cross-session coalescing on the
             shared executor; fingerprints must *still* match, because
             per-session verdicts do not depend on batch composition).
+        tracing: run every combo with span tracing on.  Fingerprints are
+            compared exactly as without — tracing changing any of them IS
+            a divergence.  The baseline combo's per-stage percentiles land
+            in ``SoakResult.span_percentiles``.
+        flight_dir: with ``tracing``, write a JSON flight-recorder
+            artifact here per divergence, carrying the diverging
+            scenario's last-N frame traces from both sides.
 
     Returns a :class:`SoakResult`; ``result.ok`` is the soak's verdict.
     """
@@ -365,12 +418,22 @@ def run_soak(
 
     outcomes: dict = {}  # combo name -> {spec.key -> ScenarioOutcome}
     forwards_per_combo: dict = {}
+    flight_rings: dict = {}  # combo name -> [FrameTrace dicts], oldest first
+    span_percentiles: dict = {}
     crashes: list = []
     t0 = time.perf_counter()
     for combo in ordered:
         ca = CertificateAuthority()
+        cfg = combo.config(config)
+        if tracing:
+            # A larger ring than the service default: a soak drives dozens
+            # of sessions per combo and the diverging scenario may not be
+            # the last one driven.  Violation auto-dumps stay off
+            # (flight_dir is service-level); the soak writes its own
+            # divergence artifacts below.
+            cfg = cfg.replace(tracing=True, flight_frames=max(cfg.flight_frames, 512))
         service = WitnessService(
-            ca, combo.config(config), text_model=text_model, image_model=image_model
+            ca, cfg, text_model=text_model, image_model=image_model
         )
         per_combo: dict = {}
 
@@ -392,6 +455,22 @@ def run_soak(
                 for spec in grid:
                     drive(spec)
         outcomes[combo.name] = per_combo
+        if tracing:
+            recorder = service.flight_recorder
+            flight_rings[combo.name] = (
+                recorder.snapshot() if recorder is not None else []
+            )
+            if combo == baseline:
+                span_percentiles = {
+                    stage: {
+                        "count": snap["count"],
+                        "mean": snap["mean"],
+                        "p50": snap["p50"],
+                        "p95": snap["p95"],
+                        "p99": snap["p99"],
+                    }
+                    for stage, snap in span_snapshots(service.span_metrics).items()
+                }
         # Shared combos' flushes are co-owned by many sessions: the
         # runtime's global counter is authoritative there; inline combos
         # sum exactly per session.
@@ -420,6 +499,34 @@ def run_soak(
                     )
                 )
 
+    flight_artifacts: list = []
+    if tracing and flight_dir and divergences:
+        os.makedirs(flight_dir, exist_ok=True)
+        for d in divergences:
+            payload = {
+                "reason": f"fingerprint-divergence: {d.detail}",
+                "scenario": d.scenario,
+                "baseline": {
+                    "combo": d.baseline,
+                    "frames": _scenario_frames(
+                        flight_rings.get(d.baseline, []), base_outcomes.get(d.scenario)
+                    ),
+                },
+                "diverged": {
+                    "combo": d.combo,
+                    "frames": _scenario_frames(
+                        flight_rings.get(d.combo, []),
+                        outcomes[d.combo].get(d.scenario),
+                    ),
+                },
+            }
+            path = os.path.join(
+                flight_dir, f"divergence-{_slug(d.scenario)}-{_slug(d.combo)}.json"
+            )
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+            flight_artifacts.append(path)
+
     all_outcomes = [o for per in outcomes.values() for o in per.values()]
     expectation_failures = [
         (o.spec.key, o.combo, detail)
@@ -442,6 +549,8 @@ def run_soak(
         crashes=crashes,
         expectation_failures=expectation_failures,
         wall_seconds=wall,
+        span_percentiles=span_percentiles,
+        flight_artifacts=flight_artifacts,
     )
 
 
