@@ -94,6 +94,7 @@ DTYPE_SCOPE = ("repro.core", "repro.nn", "repro.vision", "repro.raster")
 #: stay out of scope.
 DETERMINISM_SCOPE = (
     "repro.core",
+    "repro.faults",
     "repro.nn",
     "repro.raster",
     "repro.runtime",
@@ -116,7 +117,16 @@ LOCK_SCOPE = ("repro",)
 #: ``SpanTracer.span`` sit inside every frame, so disabled tracing must
 #: stay statically allocation-free (obs stays OUT of the determinism
 #: scope — spans read wall-clock by design, never into a verdict).
-HOTPATH_SCOPE = ("repro.core", "repro.nn", "repro.obs", "repro.runtime", "repro.vision")
+#: ``repro.faults`` joins for the injector's ``decide`` fast-miss: a
+#: disarmed seam sits inside every frame and must stay allocation-free.
+HOTPATH_SCOPE = (
+    "repro.core",
+    "repro.faults",
+    "repro.nn",
+    "repro.obs",
+    "repro.runtime",
+    "repro.vision",
+)
 
 #: Frozen-lifecycle discipline applies tree-wide (a frozen net pickled
 #: from *anywhere* resurrects stale weights).

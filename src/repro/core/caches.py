@@ -63,8 +63,17 @@ class DigestCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Fault-injection seam (``cache.error``): when set, called as
+        #: ``fault_hook(op, key)`` before every lookup/store and may
+        #: raise.  ``None`` (the default) costs one ``is None`` test.
+        #: Consumers must treat a raising lookup as a miss — a broken
+        #: cache degrades performance, never a verdict.
+        self.fault_hook = None
 
     def get(self, key: str):
+        hook = self.fault_hook
+        if hook is not None:
+            hook("get", key)
         with self._lock:
             value = self._store.pop(key, _MISSING)
             if value is _MISSING:
@@ -79,6 +88,9 @@ class DigestCache:
             raise ValueError(
                 "DigestCache cannot store None: it is indistinguishable from a miss"
             )
+        hook = self.fault_hook
+        if hook is not None:
+            hook("put", key)
         with self._lock:
             if key in self._store:
                 self._store.pop(key)  # overwrite: refresh recency, no eviction

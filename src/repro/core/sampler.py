@@ -41,6 +41,16 @@ class ScreenshotSampler:
         self.next_sample_ms = now_ms + self._draw()
         return self.next_sample_ms
 
+    def defer(self, now_ms: float, delay_ms: float) -> float:
+        """Push the next sampling instant out by ``delay_ms`` without
+        consuming a schedule draw (a *delayed* sample, not a rescheduled
+        one — the fault-injection ``sampler.delay`` seam).  Never moves
+        the schedule earlier."""
+        if delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {delay_ms}")
+        self.next_sample_ms = max(self.next_sample_ms, now_ms + delay_ms)
+        return self.next_sample_ms
+
     @property
     def mean_period_ms(self) -> float:
         return self.max_delay_ms / 2.0

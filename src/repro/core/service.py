@@ -44,9 +44,11 @@ from repro.core.submission import CertificationDecision, SubmissionValidator
 from repro.core.timing import SessionTiming
 from repro.core.verifiers import ImageVerifier, TextVerifier
 from repro.crypto.ca import CertificateAuthority
+from repro.faults import FaultInjector, FaultPlan
 from repro.nn.infer import INFERENCE_MODES
 from repro.obs.spans import maybe_span
 from repro.runtime.backpressure import POLICIES
+from repro.runtime.errors import RuntimeFaultError
 from repro.runtime.executor import EXECUTOR_MODES, ValidationExecutor
 from repro.crypto.keys import MeasuredState, SealedSigningKey, generate_signing_key
 from repro.vision.components import Rect
@@ -133,6 +135,20 @@ class WitnessConfig:
     #: decision dumps the last-N-frames evidence there; ``None`` keeps
     #: the ring query-only (``WitnessService.flight_recorder``).
     flight_dir: str | None = None
+    #: Deterministic fault injection (:mod:`repro.faults`).  ``None`` (the
+    #: default) keeps every seam a zero-cost ``is None`` test; a
+    #: :class:`~repro.faults.FaultPlan` arms the service-wide injector.
+    #: Faults never change what *can* certify — they exercise the
+    #: fail-closed ladder: recoverable faults degrade and retry,
+    #: unrecoverable ones become violations and refusals.
+    faults: FaultPlan | None = None
+    #: Unrecoverable runtime faults a session tolerates (each already a
+    #: refusal-causing violation) before it is quarantined: sampling
+    #: stops and the session can only refuse to certify.
+    max_session_faults: int = 3
+    #: How long a shared-runtime submission waits on its flush before the
+    #: executor degrades it to an inline forward.
+    runtime_submit_timeout_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.predict_chunk is not None and self.predict_chunk < 1:
@@ -173,6 +189,18 @@ class WitnessConfig:
             )
         if self.flight_frames < 1:
             raise ValueError(f"flight_frames must be >= 1, got {self.flight_frames}")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError(
+                f"faults must be None or a repro.faults.FaultPlan, got {type(self.faults).__name__}"
+            )
+        if self.max_session_faults < 1:
+            raise ValueError(
+                f"max_session_faults must be >= 1, got {self.max_session_faults}"
+            )
+        if self.runtime_submit_timeout_s <= 0:
+            raise ValueError(
+                f"runtime_submit_timeout_s must be positive, got {self.runtime_submit_timeout_s}"
+            )
 
     def replace(self, **overrides) -> "WitnessConfig":
         """A copy of this config with ``overrides`` applied."""
@@ -230,6 +258,12 @@ class SessionReport:
     text_forwards: int = 0
     image_forwards: int = 0
     outcomes: list = field(default_factory=list)
+    # Fault-injection bookkeeping (sampler seams; zero without a plan).
+    # Not part of the session fingerprint: recoverable faults must leave
+    # verdicts bit-identical, and these count the recoveries themselves.
+    frames_dropped: int = 0
+    frames_delayed: int = 0
+    frames_corrupted: int = 0
 
     @property
     def all_failures(self) -> list:
@@ -368,6 +402,17 @@ class WitnessService:
         self.shared_cache: DigestCache | None = (
             DigestCache(self.config.cache_entries) if self.config.caching else None
         )
+        #: The service-wide deterministic fault injector; ``None`` unless
+        #: the config carries a :class:`~repro.faults.FaultPlan`.  One
+        #: injector spans every session, so ``at_calls`` schedules count
+        #: service-global seam calls.
+        self.fault_injector: FaultInjector | None = (
+            FaultInjector(self.config.faults) if self.config.faults is not None else None
+        )
+        if self.fault_injector is not None and self.shared_cache is not None:
+            self.shared_cache.fault_hook = self.fault_injector.cache_hook
+        self._quarantine_lock = threading.Lock()
+        self._quarantined_sessions = 0
         self.registry = SessionRegistry()
         self._hooks: dict = {"frame": [], "violation": [], "decision": []}
         # The cross-session validation runtime: created lazily on the
@@ -442,6 +487,8 @@ class WitnessService:
         base = self.shared_cache
         if base is None:
             base = DigestCache(cfg.cache_entries)
+            if self.fault_injector is not None:
+                base.fault_hook = self.fault_injector.cache_hook
         return base.scoped("text"), base.scoped("image")
 
     @property
@@ -470,7 +517,9 @@ class WitnessService:
                     max_inflight_units=cfg.runtime_max_inflight_units,
                     admission=cfg.runtime_admission,
                     workers=cfg.runtime_workers,
+                    submit_timeout=cfg.runtime_submit_timeout_s,
                     inference=cfg.inference,
+                    faults=self.fault_injector,
                 )
             return self._runtime
 
@@ -478,6 +527,37 @@ class WitnessService:
     def runtime(self) -> ValidationExecutor | None:
         """The shared executor, if any session has instantiated it."""
         return self._runtime
+
+    # -- health & degradation ------------------------------------------------
+
+    def _note_quarantine(self) -> None:
+        with self._quarantine_lock:
+            self._quarantined_sessions += 1
+
+    def health(self) -> dict:
+        """The service's degradation-ladder state, one JSON-able dict.
+
+        Merges the shared runtime's :class:`~repro.runtime.health.HealthTracker`
+        snapshot (``{"state": "healthy"}`` for inline-only services) with
+        session-quarantine accounting and the fault injector's arming
+        state.  Quarantined sessions escalate an otherwise ``healthy``
+        service to ``degraded`` — something unrecoverable happened, even
+        if the runtime itself has moved on.
+        """
+        runtime = self._runtime
+        snapshot = (
+            runtime.health.snapshot() if runtime is not None else {"state": "healthy"}
+        )
+        with self._quarantine_lock:
+            quarantined = self._quarantined_sessions
+        snapshot["quarantined_sessions"] = quarantined
+        if quarantined and snapshot["state"] == "healthy":
+            snapshot["state"] = "degraded"
+        snapshot["faults_armed"] = self.fault_injector is not None
+        snapshot["faults_injected"] = (
+            self.fault_injector.total_fired if self.fault_injector is not None else 0
+        )
+        return snapshot
 
     def runtime_stats(self) -> dict:
         """One observability snapshot: executor mode, sessions, runtime.
@@ -499,6 +579,7 @@ class WitnessService:
             "cache": cache.stats() if cache is not None else None,
             "cache_hit_rate": cache.hit_rate if cache is not None else None,
             "runtime": runtime.stats() if runtime is not None else None,
+            "health": self.health(),
         }
 
     # -- observability (repro.obs) -----------------------------------------
@@ -636,6 +717,11 @@ class WitnessSession:
         self._observing = False
         self._tracker_violations_seen = 0
         self._clean_start_pending = False
+        # Unrecoverable-fault accounting (each one is already a
+        # refusal-causing violation); at config.max_session_faults the
+        # session is quarantined: sampling stops, certification refuses.
+        self._fault_count = 0
+        self._quarantined = False
 
     # -- hooks (per-session; service-level hooks also fire) ----------------
 
@@ -684,6 +770,7 @@ class WitnessSession:
             runtime=runtime,
             inference=self.config.inference,
             tracer=self._tracer,
+            faults=self.service.fault_injector,
         )
         self._image_verifier = ImageVerifier(
             self.service.image_model,
@@ -693,6 +780,7 @@ class WitnessSession:
             runtime=runtime,
             inference=self.config.inference,
             tracer=self._tracer,
+            faults=self.service.fault_injector,
         )
         self._display = DisplayValidator(
             vspec,
@@ -721,8 +809,11 @@ class WitnessSession:
         # be at the top and all inputs in their initial (empty) state.  The
         # check runs inside the sampling pipeline so frame 0's FrameOutcome
         # already carries any clean-start violation when hooks see it.
+        # Mandatory: API-driven, not schedule-driven, so the sampler
+        # drop/delay fault seams (which model lost *scheduled* samples)
+        # never skip it.
         self._clean_start_pending = True
-        self._process_sample(now)
+        self._process_sample(now, mandatory=True)
 
     begin = begin_session
 
@@ -738,7 +829,10 @@ class WitnessSession:
         if self._state != "witnessing" or self._tracker is None:
             raise RuntimeError("no active session")
         self._tracker.receive_hint(hint)
-        self._process_sample(self.machine.clock.now())
+        # Mandatory: the hint-time sample may be the only observation of a
+        # transient input state — the drop/delay seams model lost
+        # *scheduled* samples, never the event-driven ones.
+        self._process_sample(self.machine.clock.now(), mandatory=True)
 
     def end_session(self, request_body: dict) -> CertificationDecision:
         """Validate the submission and certify (the ``vWitness_end`` API)."""
@@ -750,7 +844,9 @@ class WitnessSession:
         if self._state != "witnessing" or self.vspec is None:
             raise RuntimeError("no active session")
         # Final sample: whatever is on screen at submission time counts.
-        self._process_sample(self.machine.clock.now())
+        # Mandatory: the sampler drop/delay seams must not skip it — a
+        # tampered display cannot dodge certification by losing a frame.
+        self._process_sample(self.machine.clock.now(), mandatory=True)
         t0 = time.perf_counter()
         decision = self.service.submission.certify(
             self.vspec,
@@ -824,9 +920,44 @@ class WitnessSession:
         self._tracker_violations_seen = len(self._tracker.violations)
         return fresh
 
-    def _process_sample(self, now_ms: float) -> DisplayResult:
-        """One sampled frame through the full validation pipeline."""
+    def _note_fault(self) -> None:
+        """Count an unrecoverable fault; quarantine at the config cap."""
+        self._fault_count += 1
+        if self._fault_count >= self.config.max_session_faults and not self._quarantined:
+            self._quarantined = True
+            self._record_violation(
+                Violation(
+                    "quarantine",
+                    f"session quarantined after {self._fault_count} unrecoverable "
+                    "runtime faults",
+                )
+            )
+            self.service._note_quarantine()
+
+    def _process_sample(self, now_ms: float, mandatory: bool = False) -> DisplayResult | None:
+        """One sampled frame through the full validation pipeline.
+
+        ``mandatory`` samples (the final submission-time one) ignore the
+        sampler drop/delay fault seams: losing that frame must never let
+        a tampered display certify.  A quarantined session processes no
+        further frames — its report already carries the refusal-causing
+        violations.
+        """
+        if self._quarantined:
+            return None
         assert self._display is not None and self._tracker is not None
+        faults = self.service.fault_injector
+        if faults is not None and not mandatory:
+            if faults.decide("sampler.drop"):
+                # The sample never happens; the random schedule marches on.
+                self.report.frames_dropped += 1
+                self._sampler.schedule_next(now_ms)
+                return None
+            delay = faults.sampler_delay_ms()
+            if delay > 0.0:
+                self.report.frames_delayed += 1
+                self._sampler.defer(now_ms, delay)
+                return None
         t0 = time.perf_counter()
         violations_before = len(self.report.violations)
         if self._tracer is not None:
@@ -834,6 +965,11 @@ class WitnessSession:
         with maybe_span(self._tracer, "frame.sample"):
             frame = self.machine.sample_framebuffer()
         pixels = frame.pixels
+        if faults is not None and faults.decide("sampler.bitflip"):
+            # Corruption hits mandatory samples too: a corrupted display
+            # must fail validation, never dodge it.
+            pixels = faults.corrupt_frame(pixels)
+            self.report.frames_corrupted += 1
 
         changed = self._diff.changed(pixels) if self._diff is not None else None
         nothing_changed = changed is not None and len(changed) == 0
@@ -844,40 +980,54 @@ class WitnessSession:
             self.report.frames_skipped += 1
         else:
             try:
-                with maybe_span(self._tracer, "frame.locate"):
-                    offset, score = self._display.locate_viewport(
-                        pixels, self._tracker.tracked
-                    )
-            except ValueError as exc:
-                # Viewport failure subsumes the clean-start offset check.
-                self._clean_start_pending = False
+                try:
+                    with maybe_span(self._tracer, "frame.locate"):
+                        offset, score = self._display.locate_viewport(
+                            pixels, self._tracker.tracked
+                        )
+                except ValueError as exc:
+                    # Viewport failure subsumes the clean-start offset check.
+                    self._clean_start_pending = False
+                    result = DisplayResult(ok=False)
+                    self.report.display_ok = False
+                    self._record_violation(Violation("viewport", str(exc)))
+                    self._finish_frame(result, now_ms, t0, violations_before)
+                    return result
+                input_rects_frame = [
+                    Rect(e.rect.x, e.rect.y - offset, e.rect.w, e.rect.h)
+                    for e in self.vspec.input_entries()
+                    if e.rect.y2 - offset > 0 and e.rect.y - offset < pixels.shape[0]
+                ]
+                pof_obs = extract_pofs(pixels, self.config.pof_style, input_rects=input_rects_frame)
+                if pof_obs.present:
+                    for violation in check_pof_consistency(pof_obs, input_rects_frame):
+                        self._record_violation(Violation("pof-consistency", violation))
+                self._tracker.on_frame(
+                    pixels, offset, pof_obs, self._last_sample_ms, now_ms
+                )
+                result = self._display.validate(
+                    pixels,
+                    tracked_inputs=self._tracker.tracked,
+                    pof_obs=pof_obs,
+                    changed_rects=changed,
+                    viewport=(offset, score),
+                )
+                self._last_offset = result.offset_y
+                if not result.ok:
+                    self.report.display_ok = False
+            except RuntimeFaultError as exc:
+                # The validation ladder ran out of rungs (injected or
+                # organic).  Fail closed: the frame is invalid, the
+                # session carries a refusal-causing violation, and
+                # repeated faults quarantine it outright.
                 result = DisplayResult(ok=False)
                 self.report.display_ok = False
-                self._record_violation(Violation("viewport", str(exc)))
+                self._record_violation(
+                    Violation("fault", f"{type(exc).__name__}: {exc}")
+                )
+                self._note_fault()
                 self._finish_frame(result, now_ms, t0, violations_before)
                 return result
-            input_rects_frame = [
-                Rect(e.rect.x, e.rect.y - offset, e.rect.w, e.rect.h)
-                for e in self.vspec.input_entries()
-                if e.rect.y2 - offset > 0 and e.rect.y - offset < pixels.shape[0]
-            ]
-            pof_obs = extract_pofs(pixels, self.config.pof_style, input_rects=input_rects_frame)
-            if pof_obs.present:
-                for violation in check_pof_consistency(pof_obs, input_rects_frame):
-                    self._record_violation(Violation("pof-consistency", violation))
-            self._tracker.on_frame(
-                pixels, offset, pof_obs, self._last_sample_ms, now_ms
-            )
-            result = self._display.validate(
-                pixels,
-                tracked_inputs=self._tracker.tracked,
-                pof_obs=pof_obs,
-                changed_rects=changed,
-                viewport=(offset, score),
-            )
-            self._last_offset = result.offset_y
-            if not result.ok:
-                self.report.display_ok = False
 
         if self._clean_start_pending:
             self._clean_start_pending = False

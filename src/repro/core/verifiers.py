@@ -72,7 +72,7 @@ from repro.analysis import hot_path
 from repro.core.planbuf import PLAN_DTYPE, PlanBuffers, thread_pool
 from repro.obs.spans import maybe_span
 from repro.nn.data import CHAR_TO_INDEX, collapse_char
-from repro.nn.infer import predict_fn
+from repro.nn.infer import fail_closed_verdicts, predict_fn
 from repro.nn.model import PREDICT_CHUNK, MatcherModel
 from repro.runtime.batcher import forwards_for
 from repro.vision.hashing import region_digest
@@ -487,6 +487,7 @@ class TextVerifier:
         runtime=None,
         inference: str = "frozen",
         tracer=None,
+        faults=None,
     ) -> None:
         if runtime is not None and not batched:
             raise ValueError("a shared runtime requires batched=True")
@@ -500,12 +501,52 @@ class TextVerifier:
         #: default) keeps every span site on the no-op fast path.
         self.tracer = tracer
         self._predict = predict_fn(model, inference)
+        if faults is not None:
+            # Arm the ``infer.*`` seams: the wrapped forward may raise or
+            # return NaN logits; the retry/sanitize helpers absorb both.
+            self._predict = faults.wrap_predict(self._predict)
         self.invocations = 0
         self.forwards = 0
+        #: Inline forwards that raised and were retried once.
+        self.forward_retries = 0
+        #: Cache lookups/stores that raised and were treated as misses.
+        self.cache_faults = 0
 
     def reset_counters(self) -> None:
         self.invocations = 0
         self.forwards = 0
+
+    def _cache_get(self, key: str):
+        """A cache lookup that degrades, never decides: errors are misses."""
+        try:
+            return self.cache.get(key)
+        except Exception:
+            self.cache_faults += 1
+            return None
+
+    def _cache_put(self, key: str, value: bool) -> None:
+        try:
+            self.cache.put(key, value)
+        except Exception:
+            self.cache_faults += 1
+
+    def _forward_batch(self, obs: np.ndarray, exp: np.ndarray) -> np.ndarray:
+        """One sanitized batched forward, retrying once if it raises."""
+        try:
+            raw = self._predict(obs, exp, chunk_size=self.chunk_size)
+        except Exception:
+            self.forward_retries += 1
+            raw = self._predict(obs, exp, chunk_size=self.chunk_size)
+        return fail_closed_verdicts(raw)
+
+    def _forward_unit(self, obs1: np.ndarray, exp1: np.ndarray) -> np.ndarray:
+        """One sanitized single-unit forward, retrying once if it raises."""
+        try:
+            raw = self._predict(obs1, exp1)
+        except Exception:
+            self.forward_retries += 1
+            raw = self._predict(obs1, exp1)
+        return fail_closed_verdicts(raw)
 
     def _expected_onehot_rows(self, chars: list) -> np.ndarray:
         """One-hot expected-class rows in the thread's pooled buffer."""
@@ -537,7 +578,7 @@ class TextVerifier:
             key = None
             if self.cache is not None:
                 key = f"text:{region_digest(tiles[i])}:{collapse_char(chars[i])}"
-                hit = self.cache.get(key)
+                hit = self._cache_get(key)
                 if hit is not None:
                     results[i] = hit
                     continue
@@ -562,18 +603,18 @@ class TextVerifier:
                     self.forwards += forwards
                 else:
                     with maybe_span(self.tracer, "forward.text"):
-                        verdicts = self._predict(obs, exp, chunk_size=self.chunk_size)
+                        verdicts = self._forward_batch(obs, exp)
                     self.forwards += forwards_for(m, self.chunk_size)
             else:
                 verdicts = np.zeros(m, dtype=bool)
                 with maybe_span(self.tracer, "forward.text"):
                     for j in range(m):
-                        verdicts[j] = bool(self._predict(obs[j : j + 1], exp[j : j + 1])[0])
+                        verdicts[j] = bool(self._forward_unit(obs[j : j + 1], exp[j : j + 1])[0])
                         self.invocations += 1
                         self.forwards += 1
             for row, j in enumerate(rep_positions):
                 if self.cache is not None and keys[j] is not None:
-                    self.cache.put(keys[j], bool(verdicts[row]))
+                    self._cache_put(keys[j], bool(verdicts[row]))
             for j, i in enumerate(pending_idx):
                 results[i] = verdicts[row_of[j]]
         return results
@@ -663,6 +704,7 @@ class ImageVerifier:
         runtime=None,
         inference: str = "frozen",
         tracer=None,
+        faults=None,
     ) -> None:
         if runtime is not None and not batched:
             raise ValueError("a shared runtime requires batched=True")
@@ -675,12 +717,27 @@ class ImageVerifier:
         #: Optional :class:`repro.obs.spans.SpanTracer` (see TextVerifier).
         self.tracer = tracer
         self._predict = predict_fn(model, inference)
+        if faults is not None:
+            # Same ``infer.*`` seam arming as TextVerifier.
+            self._predict = faults.wrap_predict(self._predict)
         self.invocations = 0
         self.forwards = 0
+        #: Inline forwards that raised and were retried once.
+        self.forward_retries = 0
+        #: Cache lookups/stores that raised and were treated as misses.
+        self.cache_faults = 0
 
     def reset_counters(self) -> None:
         self.invocations = 0
         self.forwards = 0
+
+    # Same degrade-never-decide guards as TextVerifier: a raising cache is
+    # a miss, a raising forward gets one retry, and verdicts are always
+    # sanitized fail-closed before caching or scattering.
+    _cache_get = TextVerifier._cache_get
+    _cache_put = TextVerifier._cache_put
+    _forward_batch = TextVerifier._forward_batch
+    _forward_unit = TextVerifier._forward_unit
 
     def verify_pairs(self, pairs) -> np.ndarray:
         """Match verdicts for 32x32 ``(observed, expected)`` tile pairs.
@@ -700,7 +757,7 @@ class ImageVerifier:
             key = None
             if self.cache is not None:
                 key = f"img:{region_digest(observed)}:{region_digest(expected)}"
-                hit = self.cache.get(key)
+                hit = self._cache_get(key)
                 if hit is not None:
                     results[i] = hit
                     continue
@@ -730,18 +787,18 @@ class ImageVerifier:
                     self.forwards += forwards
                 else:
                     with maybe_span(self.tracer, "forward.image"):
-                        verdicts = self._predict(obs, exp, chunk_size=self.chunk_size)
+                        verdicts = self._forward_batch(obs, exp)
                     self.forwards += forwards_for(m, self.chunk_size)
             else:
                 verdicts = np.zeros(m, dtype=bool)
                 with maybe_span(self.tracer, "forward.image"):
                     for j in range(m):
-                        verdicts[j] = bool(self._predict(obs[j : j + 1], exp[j : j + 1])[0])
+                        verdicts[j] = bool(self._forward_unit(obs[j : j + 1], exp[j : j + 1])[0])
                         self.invocations += 1
                         self.forwards += 1
             for row, j in enumerate(rep_positions):
                 if self.cache is not None and keys[j] is not None:
-                    self.cache.put(keys[j], bool(verdicts[row]))
+                    self._cache_put(keys[j], bool(verdicts[row]))
             for j, i in enumerate(pending_idx):
                 results[i] = verdicts[row_of[j]]
         return results

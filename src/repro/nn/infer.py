@@ -708,3 +708,24 @@ def predict_fn(model, inference: str):
 
         return training_predict
     return model.predict
+
+
+def fail_closed_verdicts(raw) -> np.ndarray:
+    """Sanitize a predict output into fail-closed boolean verdicts.
+
+    A healthy matcher returns a boolean array, which passes through
+    untouched (no copy, no allocation).  Anything else — float logits
+    from a duck-typed double, or NaN/Inf garbage from a numerically
+    diverged (or fault-injected) forward — is coerced so that only a
+    *finite, non-zero* value reads as a match.  The trap this exists to
+    close: ``bool(float("nan"))`` is ``True``, so un-sanitized NaN
+    logits would certify every mismatch they touched — the one failure
+    the witness must never convert into a certification.
+    """
+    verdicts = np.asarray(raw)
+    if verdicts.dtype == np.bool_:
+        return verdicts
+    if verdicts.dtype.kind in "fc":
+        # NaN != 0 is True, so the isfinite mask is what fails it closed.
+        return np.isfinite(verdicts) & (verdicts != 0)
+    return verdicts != 0

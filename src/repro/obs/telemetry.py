@@ -13,6 +13,10 @@ metrics.  :func:`build_snapshot` federates them into one
     sessions  registry counters (active/total_opened/peak_active)
     cache     DigestCache stats (entries/hits/misses/evictions/hit_rate)
     runtime   executor metrics (counters/gauges/histograms), or None
+    health    degradation-ladder state (healthy/degraded/failed, crash/
+              restart/quarantine counters, fault-injector arming)
+    faults    fault-injector schedule accounting (per-point calls/fires),
+              or None when no FaultPlan is armed
     spans     per-stage latency histograms incl. p50/p95/p99, or {}
     flight    flight-recorder ring stats, or None
     arenas    frozen-twin workspace arenas per model kind (+ totals)
@@ -179,6 +183,18 @@ class TelemetrySnapshot:
                     **runtime
                 )
             )
+        health = s.get("health")
+        if health:
+            lines.append(
+                "  health: state={state} quarantined={quarantined_sessions}".format(
+                    **health
+                )
+            )
+        faults = s.get("faults")
+        if faults:
+            lines.append(
+                "  faults: plan={plan} fired={total_fired}".format(**faults)
+            )
         arenas = s.get("arenas")
         if arenas:
             lines.append(
@@ -227,6 +243,12 @@ def build_snapshot(service) -> TelemetrySnapshot:
         "sessions": service.registry.stats(),
         "cache": cache.stats() if cache is not None else None,
         "runtime": runtime.stats() if runtime is not None else None,
+        "health": service.health(),
+        "faults": (
+            service.fault_injector.snapshot()
+            if service.fault_injector is not None
+            else None
+        ),
         "spans": span_snapshots(service.span_metrics),
         "flight": recorder.stats() if recorder is not None else None,
         "arenas": _arena_section(service.text_model, service.image_model),

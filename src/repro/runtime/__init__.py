@@ -17,16 +17,23 @@ default ``"inline"`` keeps the original in-thread execution path.
 
 from repro.runtime.backpressure import AdmissionGate
 from repro.runtime.batcher import MicroBatcher, chunks_touched, forwards_for
+from repro.runtime.errors import AdmissionTimeout, RuntimeFaultError, RuntimeFlushError
 from repro.runtime.executor import EXECUTOR_MODES, ValidationExecutor
+from repro.runtime.health import HEALTH_STATES, HealthTracker
 from repro.runtime.metrics import Counter, Gauge, Histogram, RuntimeMetrics
 
 __all__ = [
     "AdmissionGate",
+    "AdmissionTimeout",
     "Counter",
     "EXECUTOR_MODES",
     "Gauge",
+    "HEALTH_STATES",
+    "HealthTracker",
     "Histogram",
     "MicroBatcher",
+    "RuntimeFaultError",
+    "RuntimeFlushError",
     "RuntimeMetrics",
     "ValidationExecutor",
     "chunks_touched",

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.runtime.errors import AdmissionTimeout
+
 POLICIES = ("block", "shed")
 
 
@@ -36,6 +38,7 @@ class AdmissionGate:
         max_inflight_units: int | None,
         policy: str = "block",
         block_timeout: float = 30.0,
+        faults=None,
     ) -> None:
         if max_inflight_units is not None and max_inflight_units < 1:
             raise ValueError(
@@ -46,6 +49,9 @@ class AdmissionGate:
         self.max_inflight_units = max_inflight_units
         self.policy = policy
         self.block_timeout = block_timeout
+        #: Optional :class:`repro.faults.FaultInjector`; ``None`` keeps the
+        #: ``runtime.admission_timeout`` seam a zero-cost no-op.
+        self._faults = faults
         self._cond = threading.Condition()
         self._inflight = 0
         # Oversized submissions currently waiting for the runtime to
@@ -84,6 +90,11 @@ class AdmissionGate:
         """Admit ``units``; ``False`` means shed (policy ``"shed"`` only)."""
         if units < 0:
             raise ValueError(f"cannot admit a negative unit count: {units}")
+        if self._faults is not None and self._faults.decide("runtime.admission_timeout"):
+            raise AdmissionTimeout(
+                f"admission gate blocked for over {self.block_timeout}s (injected); "
+                "the runtime is stalled"
+            )
         with self._cond:
             if not self._has_room(units):
                 if self.policy == "shed":
@@ -101,7 +112,7 @@ class AdmissionGate:
                     if draining:
                         self._drain_waiters -= 1
                 if not granted:
-                    raise RuntimeError(
+                    raise AdmissionTimeout(
                         f"admission gate blocked for over {self.block_timeout}s "
                         f"({self._inflight} units in flight, limit "
                         f"{self.max_inflight_units}); the runtime is stalled"

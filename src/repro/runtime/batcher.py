@@ -19,6 +19,20 @@ strategy: each row's verdict is bit-identical to running it alone.
 The flusher thread executes its own flushes: flushes never borrow the
 submitters' threads nor any shared pool, so a full pool can delay
 coalescing but can never deadlock it.
+
+Supervision
+-----------
+
+The flusher loop is supervised: a crash that escapes a flush (injected
+via the ``runtime.flusher_crash`` fault point, or any organic bug in the
+take/gather path) re-queues the in-hand batch at the *front* of the
+pending queue — no waiting submitter is ever lost — backs off with a
+capped exponential delay, and restarts the loop.  Submitters observe
+nothing but added latency.  Per-submitter flush failures surface as
+:class:`~repro.runtime.errors.RuntimeFlushError`, each submitter getting
+its own exception object with the original flush exception chained as
+``__cause__`` (re-raising one shared object across threads rewrites its
+traceback concurrently).
 """
 
 from __future__ import annotations
@@ -28,7 +42,9 @@ import time
 
 import numpy as np
 
+from repro.nn.infer import fail_closed_verdicts
 from repro.obs.spans import maybe_span
+from repro.runtime.errors import RuntimeFlushError
 from repro.runtime.metrics import RuntimeMetrics
 
 #: Bucket bounds for millisecond-scale latency histograms.
@@ -87,17 +103,32 @@ class MicroBatcher:
         flush_deadline: float = 0.002,
         metrics: RuntimeMetrics | None = None,
         submit_timeout: float = 60.0,
+        faults=None,
+        health=None,
+        restart_backoff: float = 0.001,
+        max_restart_backoff: float = 0.05,
     ) -> None:
         if max_batch_units < 1:
             raise ValueError(f"max_batch_units must be >= 1, got {max_batch_units}")
         if flush_deadline < 0:
             raise ValueError(f"flush_deadline must be >= 0, got {flush_deadline}")
+        if restart_backoff <= 0 or max_restart_backoff < restart_backoff:
+            raise ValueError(
+                "restart backoff must satisfy 0 < restart_backoff <= max_restart_backoff, "
+                f"got {restart_backoff}/{max_restart_backoff}"
+            )
         self.kind = kind
         self.predict_fn = predict_fn
         self.chunk_size = chunk_size
         self.max_batch_units = max_batch_units
         self.flush_deadline = flush_deadline
         self.submit_timeout = submit_timeout
+        self.restart_backoff = restart_backoff
+        self.max_restart_backoff = max_restart_backoff
+        #: Optional :class:`repro.faults.FaultInjector` (None = disarmed)
+        #: and :class:`repro.runtime.health.HealthTracker` event sink.
+        self._faults = faults
+        self._health = health
         self.metrics = metrics or RuntimeMetrics()
         self._cond = threading.Condition()
         self._pending: list = []
@@ -140,12 +171,20 @@ class MicroBatcher:
         with maybe_span(tracer, f"flush.wait.{self.kind}"):
             flushed = sub.done.wait(self.submit_timeout)
         if not flushed:
-            raise RuntimeError(
+            self.metrics.counter(f"flush_timeouts.{self.kind}").inc()
+            raise RuntimeFlushError(
                 f"{self.kind} micro-batch flush did not complete within "
-                f"{self.submit_timeout}s ({sub.units} units pending)"
+                f"{self.submit_timeout}s ({sub.units} units pending)",
+                timeout=True,
             )
         if sub.error is not None:
-            raise sub.error
+            # Per-submitter wrapper: every waiting thread raises its OWN
+            # exception object, chaining the one flush exception as the
+            # cause instead of re-raising the shared object N times.
+            raise RuntimeFlushError(
+                f"{self.kind} micro-batch flush failed: "
+                f"{type(sub.error).__name__}: {sub.error}"
+            ) from sub.error
         return sub.verdicts, sub.forwards
 
     # -- flushing (dedicated thread) ----------------------------------------
@@ -175,11 +214,55 @@ class MicroBatcher:
             return batch
 
     def _flush_loop(self) -> None:
+        """The supervised flusher: take -> (fault seams) -> execute, forever.
+
+        Any exception escaping an iteration (predict errors are contained
+        inside :meth:`_execute`; what escapes is an injected crash or an
+        organic take/gather bug) is supervision's job: the in-hand batch
+        is re-queued at the front of the pending queue so its submitters
+        ride the next flush, the crash is counted, and the loop restarts
+        after a capped exponential backoff.  Only a clean shutdown (closed
+        with nothing pending) exits the thread.
+        """
+        backoff = self.restart_backoff
+        batch: list = []
         while True:
-            batch = self._take_batch()
-            if not batch:
-                return
-            self._execute(batch)
+            try:
+                while True:
+                    batch = self._take_batch()
+                    if not batch:
+                        return
+                    if self._faults is not None:
+                        self._faults.fire("runtime.flusher_crash")
+                        stall = self._faults.stall_seconds("runtime.flush_stall")
+                        if stall > 0.0:
+                            time.sleep(stall)
+                    self._execute(batch)
+                    batch = []
+                    backoff = self.restart_backoff
+                    if self._health is not None:
+                        self._health.note_flush_ok()
+            except BaseException:
+                self.metrics.counter(f"flusher_crashes.{self.kind}").inc()
+                if self._health is not None:
+                    self._health.note_flusher_crash()
+                if batch:
+                    # Re-drain: the crashed iteration's submitters go back
+                    # to the FRONT of the queue (their deadline has aged,
+                    # so the restarted flusher takes them immediately).
+                    with self._cond:
+                        self._pending = batch + self._pending
+                        self._pending_units += sum(sub.units for sub in batch)
+                        self.metrics.gauge(f"queue_depth.{self.kind}").set(
+                            self._pending_units
+                        )
+                        self._cond.notify_all()
+                    batch = []
+                time.sleep(backoff)
+                backoff = min(backoff * 2.0, self.max_restart_backoff)
+                self.metrics.counter(f"flusher_restarts.{self.kind}").inc()
+                if self._health is not None:
+                    self._health.note_flusher_restart()
 
     def _execute(self, batch: list) -> None:
         kind = self.kind
@@ -187,7 +270,9 @@ class MicroBatcher:
         wait_ms = (time.monotonic() - min(sub.enqueued_at for sub in batch)) * 1000.0
         try:
             observed, expected = self._gather(batch, units)
-            verdicts = np.asarray(self.predict_fn(observed, expected, self.chunk_size))
+            verdicts = fail_closed_verdicts(
+                self.predict_fn(observed, expected, self.chunk_size)
+            )
             start = 0
             for sub in batch:
                 stop = start + sub.units

@@ -1,0 +1,51 @@
+"""Typed failure vocabulary of the validation runtime.
+
+Before this module, the runtime spoke in bare ``RuntimeError``\\ s: a
+flush that died re-raised the *same* exception object on every waiting
+submitter thread (mangling tracebacks — each re-raise rewrites the
+shared object's ``__traceback__``), and an admission-gate stall was
+indistinguishable from any other runtime failure.  The degradation
+ladder (:meth:`repro.runtime.executor.ValidationExecutor.predict`) and
+the session quarantine (:class:`repro.core.service.WitnessSession`)
+need to *dispatch* on failure class, so each failure mode gets a type:
+
+* :class:`RuntimeFaultError` — base class of every fault the runtime
+  can surface to a session.  Subclasses ``RuntimeError`` so existing
+  ``except RuntimeError`` call sites keep working.
+* :class:`RuntimeFlushError` — one submitter's view of a failed (or
+  timed-out) micro-batch flush.  Raised per-submitter with the original
+  flush exception as ``__cause__``, so every thread gets its own
+  exception object and an honest traceback chain.
+* :class:`AdmissionTimeout` — the admission gate's block policy gave up
+  waiting for in-flight units to drain.
+
+Injected faults (:class:`repro.faults.InjectedFault`) subclass
+:class:`RuntimeFaultError` too, so one ``except RuntimeFaultError``
+covers both organic and injected failures — which is the point: the
+recovery code cannot tell them apart, so exercising it with injection
+proves the organic paths.
+"""
+
+from __future__ import annotations
+
+
+class RuntimeFaultError(RuntimeError):
+    """Base class of recoverable-or-quarantinable runtime faults."""
+
+
+class RuntimeFlushError(RuntimeFaultError):
+    """A micro-batch flush failed (or timed out) for one submitter.
+
+    ``timeout`` distinguishes a flush that *died* (worth one resubmit —
+    the flusher supervisor may already have restarted) from one that
+    *stalled past the submit deadline* (resubmitting would just wait
+    again; the caller should degrade to an inline forward instead).
+    """
+
+    def __init__(self, message: str, *, timeout: bool = False) -> None:
+        super().__init__(message)
+        self.timeout = timeout
+
+
+class AdmissionTimeout(RuntimeFaultError):
+    """The admission gate's block policy timed out waiting for room."""

@@ -34,10 +34,12 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.nn.infer import INFERENCE_MODES, predict_fn
+from repro.nn.infer import INFERENCE_MODES, fail_closed_verdicts, predict_fn
 from repro.obs.spans import maybe_span
 from repro.runtime.backpressure import POLICIES, AdmissionGate
 from repro.runtime.batcher import MicroBatcher, forwards_for
+from repro.runtime.errors import AdmissionTimeout, RuntimeFlushError
+from repro.runtime.health import HealthTracker
 from repro.runtime.metrics import RuntimeMetrics
 
 #: Valid ``WitnessConfig.executor`` modes.
@@ -62,6 +64,7 @@ class ValidationExecutor:
         workers: int = 8,
         submit_timeout: float = 60.0,
         inference: str = "frozen",
+        faults=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -72,7 +75,10 @@ class ValidationExecutor:
                 f"inference must be one of {INFERENCE_MODES}, got {inference!r}"
             )
         self.metrics = RuntimeMetrics()
-        self.gate = AdmissionGate(max_inflight_units, policy=admission)
+        #: Degradation-ladder state (``healthy``/``degraded``/``failed``),
+        #: fed by the flusher supervisors and the fallback paths below.
+        self.health = HealthTracker()
+        self.gate = AdmissionGate(max_inflight_units, policy=admission, faults=faults)
         self._models = {"text": text_model, "image": image_model}
         self.inference = inference
         # The forward each kind's flushes (and shed fallbacks) execute.
@@ -82,6 +88,10 @@ class ValidationExecutor:
         self._predicts = {
             kind: predict_fn(self._models[kind], inference) for kind in KINDS
         }
+        if faults is not None:
+            self._predicts = {
+                kind: faults.wrap_predict(fn) for kind, fn in self._predicts.items()
+            }
         self._batchers = {
             kind: MicroBatcher(
                 kind,
@@ -91,6 +101,8 @@ class ValidationExecutor:
                 flush_deadline=flush_deadline_ms / 1000.0,
                 metrics=self.metrics,
                 submit_timeout=submit_timeout,
+                faults=faults,
+                health=self.health,
             )
             for kind in KINDS
         }
@@ -117,27 +129,74 @@ class ValidationExecutor:
         way.  ``tracer`` (the submitting session's span tracer) times the
         flush rendezvous — or the inline shed forward — without touching
         what executes.
+
+        Degradation ladder: a flush that fails gets one resubmission (the
+        flusher supervisor may have restarted already); a second failure,
+        a flush timeout, or an admission timeout all fall back to an
+        inline forward on the calling thread — identical verdicts without
+        coalescing — and mark the runtime ``degraded``.  A runtime whose
+        flusher is crash-looping (health ``failed``) skips the queue
+        entirely and every submission runs inline until it recovers.
         """
         if kind not in KINDS:
             raise ValueError(f"unknown model kind {kind!r}")
         units = int(observed.shape[0])
         if units == 0:
             return np.zeros(0, dtype=bool), 0
+        if self._closed:
+            raise RuntimeError(
+                f"validation executor is closed; {kind} submission refused"
+            )
         self.metrics.counter(f"submissions_total.{kind}").inc()
-        if not self.gate.acquire(units):
+        if self.health.state == "failed":
+            # Supervision is looping, not recovering: don't queue behind a
+            # wedged runtime — degrade straight to the inline forward.
+            self.metrics.counter(f"degraded_forwards.{kind}").inc()
+            return self._inline_forward(kind, observed, expected, tracer)
+        try:
+            admitted = self.gate.acquire(units)
+        except AdmissionTimeout:
+            self.metrics.counter(f"admission_timeouts.{kind}").inc()
+            self.health.note_admission_timeout()
+            self.metrics.counter(f"degraded_forwards.{kind}").inc()
+            return self._inline_forward(kind, observed, expected, tracer)
+        if not admitted:
             # Shed: bounded memory wins over coalescing for this round.
             self.metrics.counter("sheds_total").inc()
-            forwards = forwards_for(units, self.chunk_size)
-            self.metrics.counter(f"forwards_total.{kind}").inc(forwards)
-            with maybe_span(tracer, f"forward.{kind}"):
-                verdicts = np.asarray(
-                    self._predicts[kind](observed, expected, self.chunk_size)
-                )
-            return verdicts, forwards
+            self.metrics.counter(f"shed_fallbacks.{kind}").inc()
+            return self._inline_forward(kind, observed, expected, tracer)
         try:
-            return self._batchers[kind].submit(observed, expected, tracer=tracer)
+            return self._submit_with_recovery(kind, observed, expected, tracer)
         finally:
             self.gate.release(units)
+
+    def _submit_with_recovery(self, kind, observed, expected, tracer):
+        """One coalesced submission, riding the degradation ladder down."""
+        batcher = self._batchers[kind]
+        try:
+            return batcher.submit(observed, expected, tracer=tracer)
+        except RuntimeFlushError as exc:
+            self.health.note_degraded(timeout=exc.timeout)
+            if not exc.timeout and not batcher.closed:
+                # The flush died (not stalled): the supervisor has re-queued
+                # its batch and restarted — one more ride is worth it.
+                self.metrics.counter(f"flush_retries.{kind}").inc()
+                try:
+                    return batcher.submit(observed, expected, tracer=tracer)
+                except RuntimeFlushError:
+                    pass
+            self.metrics.counter(f"degraded_forwards.{kind}").inc()
+            return self._inline_forward(kind, observed, expected, tracer)
+
+    def _inline_forward(self, kind, observed, expected, tracer):
+        """The ladder's bottom rung: this round forwards on this thread."""
+        forwards = forwards_for(int(observed.shape[0]), self.chunk_size)
+        self.metrics.counter(f"forwards_total.{kind}").inc(forwards)
+        with maybe_span(tracer, f"forward.{kind}"):
+            verdicts = fail_closed_verdicts(
+                self._predicts[kind](observed, expected, self.chunk_size)
+            )
+        return verdicts, forwards
 
     # -- the display-facing plan execution -----------------------------------
 
@@ -175,6 +234,7 @@ class ValidationExecutor:
             for name, value in counters.items()
             if name.startswith("forwards_saved_total.")
         )
+        snapshot["health"] = self.health.snapshot()
         return snapshot
 
     # -- lifecycle -----------------------------------------------------------

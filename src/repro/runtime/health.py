@@ -1,0 +1,101 @@
+"""Service health: one word summarizing the runtime's degradation state.
+
+The degradation ladder has three rungs, surfaced as ``HealthState`` in
+``WitnessService.health()`` and the telemetry hub:
+
+* ``healthy`` — every forward rode the shared runtime as submitted.
+* ``degraded`` — at least one submission fell back to an inline forward
+  (flush error/timeout, admission timeout) or a flusher crashed and was
+  restarted.  Verdicts are still bit-identical — inline fallback is a
+  pure execution-strategy change — but coalescing was lost for those
+  rounds, so an operator should look.
+* ``failed`` — the flusher crashed ``fail_after`` times in a row without
+  one successful flush in between: supervision is looping, not
+  recovering.  The executor stops queueing behind it and routes every
+  submission straight to the inline fallback (the session-facing
+  behavior is *still* correct verdicts, just without coalescing).
+
+:class:`HealthTracker` is the concurrency-safe event log behind that
+word.  The batcher's flusher supervisor and the executor's degradation
+ladder feed it; ``snapshot()`` is what telemetry exports.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: The degradation ladder, in order.
+HEALTH_STATES = ("healthy", "degraded", "failed")
+
+
+class HealthTracker:
+    """Counts degradation events and reduces them to a ``HEALTH_STATES`` word."""
+
+    def __init__(self, fail_after: int = 5) -> None:
+        if fail_after < 1:
+            raise ValueError(f"fail_after must be >= 1, got {fail_after}")
+        self.fail_after = fail_after
+        self._lock = threading.Lock()
+        self._flusher_crashes = 0
+        self._flusher_restarts = 0
+        self._consecutive_crashes = 0
+        self._degraded_forwards = 0
+        self._flush_timeouts = 0
+        self._admission_timeouts = 0
+
+    # -- event feeds (batcher supervisor / executor ladder) -----------------
+
+    def note_flusher_crash(self) -> None:
+        with self._lock:
+            self._flusher_crashes += 1
+            self._consecutive_crashes += 1
+
+    def note_flusher_restart(self) -> None:
+        with self._lock:
+            self._flusher_restarts += 1
+
+    def note_flush_ok(self) -> None:
+        """A flush completed: the crash streak (if any) is broken."""
+        with self._lock:
+            self._consecutive_crashes = 0
+
+    def note_degraded(self, timeout: bool = False) -> None:
+        with self._lock:
+            self._degraded_forwards += 1
+            if timeout:
+                self._flush_timeouts += 1
+
+    def note_admission_timeout(self) -> None:
+        with self._lock:
+            self._admission_timeouts += 1
+
+    # -- the one word -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._consecutive_crashes >= self.fail_after:
+            return "failed"
+        if (
+            self._degraded_forwards
+            or self._flusher_crashes
+            or self._admission_timeouts
+        ):
+            return "degraded"
+        return "healthy"
+
+    def snapshot(self) -> dict:
+        """One consistent accounting snapshot (state + every counter)."""
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "flusher_crashes": self._flusher_crashes,
+                "flusher_restarts": self._flusher_restarts,
+                "consecutive_crashes": self._consecutive_crashes,
+                "degraded_forwards": self._degraded_forwards,
+                "flush_timeouts": self._flush_timeouts,
+                "admission_timeouts": self._admission_timeouts,
+            }

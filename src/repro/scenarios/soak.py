@@ -154,6 +154,61 @@ def _expectation_failures(spec: ScenarioSpec, fingerprints: tuple) -> list:
     return failures
 
 
+def _fault_expectation_failures(plan, spec: ScenarioSpec, base_fingerprint, fingerprint) -> list:
+    """The fail-closed contract of one scenario under one fault plan.
+
+    Tampered sessions must never certify — a fault that lets one through
+    is fail-open, the breach the whole ladder exists to prevent.
+    Abandoning sessions still reach no decision.  Honest (and
+    slow-typist) sessions follow the plan's ``honest_expectation``:
+    ``identical`` (recoverable — the whole scenario fingerprint must be
+    bit-equal to the fault-free run), ``certify`` (evidence collection
+    perturbed, so fingerprints may differ, but the session certifies and
+    the server verifies), or ``refuse`` (a clean refuse-to-certify
+    decision, never a wedge or an unearned certification).
+    """
+    failures = []
+    for i, (decision, verified, _body, _display_ok, _frames) in enumerate(fingerprint):
+        if spec.script == "tampered":
+            if decision is not None and decision[0]:
+                failures.append(
+                    f"session {i}: FAIL-OPEN: tampered session certified under faults"
+                )
+        elif spec.script == "abandoning":
+            if decision is not None:
+                failures.append(f"session {i}: abandoned session produced a decision")
+        elif spec.script in ("honest", "slow-typist"):
+            if plan.honest_expectation == "certify":
+                if decision is None or not decision[0]:
+                    failures.append(
+                        f"session {i}: honest session did not certify ({decision})"
+                    )
+                elif verified is not True:
+                    failures.append(
+                        f"session {i}: certified request failed server verification"
+                    )
+            elif plan.honest_expectation == "refuse":
+                if decision is None:
+                    failures.append(f"session {i}: honest session reached no decision")
+                elif decision[0]:
+                    failures.append(
+                        f"session {i}: honest session certified despite an "
+                        "unrecoverable fault plan"
+                    )
+    if plan.honest_expectation == "identical":
+        # Recoverable faults must be invisible in the evidence: the whole
+        # scenario — tampered and abandoning sessions included — replays
+        # bit-identically against the fault-free baseline.
+        if base_fingerprint is None:
+            failures.append("no fault-free baseline fingerprint to compare against")
+        elif fingerprint != base_fingerprint:
+            failures.append(
+                "fingerprint diverged from fault-free run: "
+                + _describe_divergence(base_fingerprint, fingerprint)
+            )
+    return failures
+
+
 @dataclass(frozen=True)
 class Divergence:
     """Two engine combinations disagreed on one scenario."""
@@ -203,10 +258,25 @@ class SoakResult:
     #: Paths of divergence flight-recorder artifacts written this soak
     #: (``tracing=True`` plus ``flight_dir`` and at least one divergence).
     flight_artifacts: list = field(default_factory=list)
+    #: Names of the fault plans driven (``run_soak(faults=...)``).
+    fault_plans: tuple = ()
+    #: ``(plan, scenario, detail)`` fail-closed contract breaches under a
+    #: fault plan: a tampered session that certified (fail-open — the
+    #: critical one), an honest session that diverged from its plan's
+    #: expectation, or a crash during a faulted pass.
+    fault_failures: list = field(default_factory=list)
+    #: Per-plan accounting: injector fires per point, runtime health
+    #: counters, sessions/certified/refused, wall seconds.
+    fault_stats: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        return not self.divergences and not self.crashes and not self.expectation_failures
+        return (
+            not self.divergences
+            and not self.crashes
+            and not self.expectation_failures
+            and not self.fault_failures
+        )
 
     @property
     def sessions_per_second(self) -> float:
@@ -225,6 +295,12 @@ class SoakResult:
             f"divergences: {len(self.divergences)}  crashes: {len(self.crashes)}  "
             f"expectation failures: {len(self.expectation_failures)}",
         ]
+        if self.fault_plans:
+            fired = sum(s.get("faults_injected", 0) for s in self.fault_stats.values())
+            lines.append(
+                f"fault plans: {', '.join(self.fault_plans)} "
+                f"({fired} faults injected, {len(self.fault_failures)} failures)"
+            )
         frame = self.span_percentiles.get("frame")
         if frame:
             lines.append(
@@ -238,6 +314,8 @@ class SoakResult:
             lines.append(f"  CRASHED {c.scenario} under {c.combo}: {c.error}")
         for scenario, combo, detail in self.expectation_failures:
             lines.append(f"  UNEXPECTED {scenario} under {combo}: {detail}")
+        for plan, scenario, detail in self.fault_failures:
+            lines.append(f"  FAULT-FAILURE {scenario} under plan {plan}: {detail}")
         for path in self.flight_artifacts:
             lines.append(f"  flight artifact: {path}")
         return "\n".join(lines)
@@ -373,6 +451,7 @@ def run_soak(
     threads: int = 1,
     tracing: bool = False,
     flight_dir: str | None = None,
+    faults=None,
 ) -> SoakResult:
     """Drive every scenario through every engine combination and compare.
 
@@ -397,6 +476,18 @@ def run_soak(
         flight_dir: with ``tracing``, write a JSON flight-recorder
             artifact here per divergence, carrying the diverging
             scenario's last-N frame traces from both sides.
+        faults: a :class:`repro.faults.FaultPlan` (or an iterable of
+            them).  After the fault-free pass, the whole grid replays
+            under the *baseline* combo once per plan with the injector
+            armed, checking the fail-closed contract
+            (:func:`_fault_expectation_failures`): tampered sessions
+            never certify, honest sessions follow the plan's
+            ``honest_expectation`` — ``identical`` plans must reproduce
+            the fault-free fingerprints bit-for-bit.  Runtime seams
+            (flusher crash/stall, admission timeout) only exercise under
+            a shared-executor baseline.  Faulted passes compare only
+            within their own combo — cross-combo fingerprints are not
+            meaningful under faults.
 
     Returns a :class:`SoakResult`; ``result.ok`` is the soak's verdict.
     """
@@ -480,8 +571,6 @@ def run_soak(
             if runtime is not None
             else sum(o.forwards for o in per_combo.values())
         )
-    wall = time.perf_counter() - t0
-
     divergences: list = []
     base_outcomes = outcomes[baseline.name]
     for combo in ordered[1:]:
@@ -527,6 +616,68 @@ def run_soak(
                 json.dump(payload, fh, indent=2, sort_keys=True, default=str)
             flight_artifacts.append(path)
 
+    # -- faulted passes: replay the grid under each plan, fail-closed ------
+    fault_plans: tuple = ()
+    fault_failures: list = []
+    fault_stats: dict = {}
+    if faults is not None:
+        from repro.faults import FaultPlan
+
+        plans = (faults,) if isinstance(faults, FaultPlan) else tuple(faults)
+        fault_plans = tuple(p.name for p in plans)
+        for plan in plans:
+            pt0 = time.perf_counter()
+            fcfg = baseline.config(config).replace(
+                faults=plan, **dict(plan.config_overrides)
+            )
+            service = WitnessService(
+                CertificateAuthority(), fcfg,
+                text_model=text_model, image_model=image_model,
+            )
+            per_plan: dict = {}
+            with service:
+                for spec in grid:
+                    try:
+                        outcome = run_scenario(spec.build(), service)
+                        outcome.combo = f"faults:{plan.name}"
+                        per_plan[spec.key] = outcome
+                    except Exception as exc:  # noqa: BLE001 - a crash IS a finding
+                        fault_failures.append(
+                            (plan.name, spec.key, f"CRASH {type(exc).__name__}: {exc}")
+                        )
+                injector_snapshot = service.fault_injector.snapshot()
+                health = service.health()
+            refused = certified_n = 0
+            for key, outcome in per_plan.items():
+                base = base_outcomes.get(key)
+                fault_failures.extend(
+                    (plan.name, key, detail)
+                    for detail in _fault_expectation_failures(
+                        plan,
+                        outcome.spec,
+                        None if base is None else base.fingerprint,
+                        outcome.fingerprint,
+                    )
+                )
+                certified_n += outcome.certified
+                refused += sum(
+                    1
+                    for decision, _v, _b, _d, _f in outcome.fingerprint
+                    if decision is not None and not decision[0]
+                )
+            fault_stats[plan.name] = {
+                "expectation": plan.honest_expectation,
+                "faults_injected": injector_snapshot["total_fired"],
+                "points": injector_snapshot["points"],
+                "health": health,
+                "sessions": sum(o.sessions for o in per_plan.values()),
+                "frames": sum(o.frames for o in per_plan.values()),
+                "certified": certified_n,
+                "refused": refused,
+                "wall_seconds": time.perf_counter() - pt0,
+            }
+    wall = time.perf_counter() - t0
+
     all_outcomes = [o for per in outcomes.values() for o in per.values()]
     expectation_failures = [
         (o.spec.key, o.combo, detail)
@@ -551,6 +702,9 @@ def run_soak(
         wall_seconds=wall,
         span_percentiles=span_percentiles,
         flight_artifacts=flight_artifacts,
+        fault_plans=fault_plans,
+        fault_failures=fault_failures,
+        fault_stats=fault_stats,
     )
 
 

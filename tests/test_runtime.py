@@ -242,13 +242,17 @@ class TestMicroBatcher:
             batcher.close()
 
     def test_error_propagates_to_every_submitter(self):
+        from repro.runtime import RuntimeFlushError
+
         def explode(observed, expected, chunk_size=None):
             raise ValueError("model bug")
 
         batcher = MicroBatcher("text", explode, max_batch_units=1, flush_deadline=0.0)
         try:
-            with pytest.raises(ValueError, match="model bug"):
+            # Typed per-submitter wrapper with the flush exception chained.
+            with pytest.raises(RuntimeFlushError, match="model bug") as info:
                 batcher.submit(rows(2), rows(2))
+            assert isinstance(info.value.__cause__, ValueError)
             snap = batcher.metrics.snapshot()
             assert snap["counters"]["flush_errors.text"] == 1
         finally:
