@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from repro.analysis.checkers.concurrency import ConcurrencyChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.dtype import DtypeChecker
+from repro.analysis.checkers.escape import EscapeChecker
 from repro.analysis.checkers.hotpath import HotPathChecker
 from repro.analysis.checkers.lifecycle import LifecycleChecker
 from repro.analysis.checkers.locks import LockChecker
@@ -13,6 +15,8 @@ ALL_CHECKERS = (
     DtypeChecker,
     DeterminismChecker,
     LockChecker,
+    ConcurrencyChecker,
+    EscapeChecker,
     HotPathChecker,
     LifecycleChecker,
 )

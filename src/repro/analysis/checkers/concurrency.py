@@ -1,0 +1,168 @@
+"""Interprocedural lock discipline: ordering cycles, blocking under locks.
+
+Built on the :mod:`repro.analysis.callgraph` pass.  Two rules:
+
+``conc-lock-cycle``
+    The project-wide lock-order graph (every ``with`` nesting, direct or
+    reached through resolvable calls, plus the declared ledger in
+    ``AnalysisConfig.declared_lock_order``) must be acyclic.  A cycle
+    means two threads can acquire the participating locks in opposite
+    orders — the classic deadlock — and every *site* contributing an
+    edge to a cycle is reported, so an AB/BA pair yields a finding at
+    each half.
+
+``conc-blocking-under-lock``
+    No blocking operation may be reachable while a lock is held:
+    ``Condition.wait``/``Event.wait`` (except waiting on the very
+    condition being held — that is what conditions are for),
+    ``Thread.join``/``Queue`` ops on typed receivers, ``time.sleep``,
+    and model forwards by method name.  PR 9 established the shape this
+    protects: the flusher's restart backoff sleeps *outside* ``_cond``
+    and the batcher re-queues crashed batches under the lock but
+    executes nothing there — one misplaced sleep or forward serializes
+    every submitting session behind it (or deadlocks it outright if the
+    blocked path needs the held lock to make progress).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import callgraph
+from repro.analysis.core import Checker, Finding, Rule
+
+
+def _chain_text(via: tuple) -> str:
+    return " -> ".join(via)
+
+
+class ConcurrencyChecker(Checker):
+    name = "concurrency"
+    rules = (
+        Rule(
+            id="conc-lock-cycle",
+            summary="lock-acquisition ordering cycle (potential deadlock)",
+            incident=(
+                "PR 9 made the runtime's locks nest across classes for the "
+                "first time (flusher supervision re-queues under _cond while "
+                "metrics instruments take the registry's locks); ROADMAP "
+                "item 1 multiplies the lock owners across processes — an "
+                "ordering cycle anywhere in that graph is a deadlock waiting "
+                "for load"
+            ),
+            hint=(
+                "acquire locks in one global order (see the declared ledger "
+                "in AnalysisConfig.declared_lock_order / CONTRIBUTING); "
+                "break the cycle by narrowing one critical section or "
+                "deferring the inner acquisition until the outer lock drops"
+            ),
+        ),
+        Rule(
+            id="conc-blocking-under-lock",
+            summary="blocking operation reachable while a lock is held",
+            incident=(
+                "PR 9's flusher supervision: the restart backoff sleep and "
+                "the submitter rendezvous wait deliberately sit outside "
+                "_cond — earlier drafts stalled every submitting session "
+                "behind one crashed flush by blocking under the lock"
+            ),
+            hint=(
+                "move the wait/sleep/forward outside the critical section "
+                "(take what you need under the lock, release, then block); "
+                "for deliberate serialize-under-lock protocols add "
+                "# witness-lint: allow[conc-blocking-under-lock] -- <protocol>"
+            ),
+        ),
+    )
+
+    def check(self, module, project) -> list:
+        graph = callgraph.get(project, self.config)
+        findings = []
+        findings.extend(self._cycle_findings(graph, module))
+        findings.extend(self._blocking_findings(graph, module))
+        return findings
+
+    # -- conc-lock-cycle -----------------------------------------------------
+
+    def _cycle_findings(self, graph, module) -> list:
+        cyclic = graph.cycle_pairs()
+        findings = []
+        seen = set()
+        for edge in graph.edges:
+            if edge.module is not module:
+                continue
+            pair = (edge.src, edge.dst)
+            if pair not in cyclic:
+                continue
+            dedup = (edge.line, pair)
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            via = f" via {_chain_text(edge.via)}" if edge.via else ""
+            findings.append(
+                Finding(
+                    rule="conc-lock-cycle",
+                    path=module.path,
+                    line=edge.line,
+                    col=edge.col,
+                    message=(
+                        f"acquiring {edge.dst} while holding {edge.src}{via} "
+                        "closes a lock-order cycle (opposite-order acquisition "
+                        "elsewhere in the graph can deadlock here)"
+                    ),
+                    context=edge.func[len(module.module) + 1 :],
+                    line_text=module.line_text(edge.line),
+                )
+            )
+        return findings
+
+    # -- conc-blocking-under-lock -------------------------------------------
+
+    def _blocking_findings(self, graph, module) -> list:
+        findings = []
+        for fn in graph.functions_of(module):
+            for op in fn.blocking:
+                hazards = [h for h in op.held if h != op.releases]
+                if not hazards:
+                    continue
+                findings.append(
+                    Finding(
+                        rule="conc-blocking-under-lock",
+                        path=module.path,
+                        line=op.line,
+                        col=op.col,
+                        message=(
+                            f"{op.desc} blocks while holding "
+                            f"{', '.join(sorted(hazards))}"
+                        ),
+                        context=fn.info.qualname,
+                        line_text=module.line_text(op.line),
+                    )
+                )
+            seen_calls = set()
+            for site in fn.calls:
+                if not site.held or site.line in seen_calls:
+                    continue
+                callee = graph.functions.get(site.callee)
+                if callee is None or not callee.may_block:
+                    continue
+                for desc, (chain, releases) in callee.may_block.items():
+                    hazards = [h for h in site.held if h != releases]
+                    if not hazards:
+                        continue
+                    seen_calls.add(site.line)
+                    findings.append(
+                        Finding(
+                            rule="conc-blocking-under-lock",
+                            path=module.path,
+                            line=site.line,
+                            col=site.col,
+                            message=(
+                                f"call to {site.callee} may block ({desc} via "
+                                f"{_chain_text(chain)}) while holding "
+                                f"{', '.join(sorted(hazards))}"
+                            ),
+                            context=fn.info.qualname,
+                            line_text=module.line_text(site.line),
+                        )
+                    )
+                    break  # one finding per call site
+        return findings

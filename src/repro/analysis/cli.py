@@ -34,8 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "paths",
+        "paths_pos",
         nargs="*",
+        metavar="path",
         help="files or directories to scan (default: the repro package sources)",
     )
     parser.add_argument(
@@ -64,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog (with incident lineage) and exit",
     )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="run only these rule ids (comma-separated), e.g. "
+        "--only conc-lock-cycle,conc-escape",
+    )
+    parser.add_argument(
+        "--paths",
+        nargs="+",
+        default=None,
+        metavar="FILE",
+        help="additional files/directories to scan (alongside positional "
+        "paths; lets pre-commit pass just the changed files)",
+    )
     return parser
 
 
@@ -73,10 +89,19 @@ def main(argv=None) -> int:
         print(render_rules())
         return 0
 
-    paths = args.paths or [default_target()]
+    paths = list(args.paths_pos) + list(args.paths or [])
+    if not paths:
+        paths = [default_target()]
     for path in paths:
         if not os.path.exists(path):
             print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    only = None
+    if args.only:
+        only = [r.strip() for r in args.only.split(",") if r.strip()]
+        if not only:
+            print("error: --only given but no rule ids parsed", file=sys.stderr)
             return 2
 
     baseline = Baseline.empty()
@@ -87,7 +112,13 @@ def main(argv=None) -> int:
         if baseline_path is not None:
             baseline = Baseline.load(baseline_path)
 
-    result = run_analysis(paths, config=AnalysisConfig(), baseline=baseline)
+    try:
+        result = run_analysis(
+            paths, config=AnalysisConfig(), baseline=baseline, only=only
+        )
+    except ValueError as exc:  # unknown --only rule id
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if args.update_baseline:
         fresh = Baseline.from_findings(result.findings + result.baselined, previous=baseline)

@@ -132,6 +132,45 @@ HOTPATH_SCOPE = (
 #: from *anywhere* resurrects stale weights).
 LIFECYCLE_SCOPE = ("repro",)
 
+#: Interprocedural concurrency rules (lock-order cycles, blocking under
+#: a held lock) apply tree-wide: the lock graph spans packages — the
+#: runtime's conditions nest through metrics calls, the zoo's registry
+#: lock nests over the frozen-twin lock — so no package is exempt.
+CONC_SCOPE = ("repro",)
+
+#: Thread-confinement escape discipline: everywhere pooled transport
+#: buffers (``planbuf.thread_pool``) and frozen-engine workspace arenas
+#: circulate.
+ESCAPE_SCOPE = ("repro.core", "repro.nn", "repro.runtime", "repro.vision")
+
+#: Calls whose result is a thread-confined buffer pool: rows reserved
+#: from one must never outlive the frame or cross a thread boundary.
+POOL_FACTORIES = ("repro.core.planbuf.thread_pool",)
+
+#: The audited lock-order ledger (CONTRIBUTING "lock discipline").  The
+#: call-graph pass infers most ordering edges; orderings it cannot see —
+#: lock objects aliased across classes (RuntimeMetrics hands its
+#: ``_data_lock`` to every instrument, so instrument acquisitions are
+#: ``_data_lock`` acquisitions at runtime), chains through stored
+#: callables — are declared here so they join the static model the
+#: runtime sanitizer cross-checks.  Node ids follow
+#: :mod:`repro.analysis.callgraph` (``module.Class.attr`` /
+#: ``module.NAME``).
+DECLARED_LOCK_ORDER = (
+    # Batcher/gate conditions are held while metrics instruments record:
+    # registration takes _registry_lock, the instrument write takes the
+    # shared _data_lock.  Audited one-way — metrics code never calls
+    # back into the runtime, so no cycle can close.
+    ("repro.runtime.batcher.MicroBatcher._cond", "repro.runtime.metrics.RuntimeMetrics._registry_lock"),
+    ("repro.runtime.batcher.MicroBatcher._cond", "repro.runtime.metrics.RuntimeMetrics._data_lock"),
+    ("repro.runtime.backpressure.AdmissionGate._cond", "repro.runtime.metrics.RuntimeMetrics._registry_lock"),
+    ("repro.runtime.backpressure.AdmissionGate._cond", "repro.runtime.metrics.RuntimeMetrics._data_lock"),
+    ("repro.runtime.metrics.RuntimeMetrics._registry_lock", "repro.runtime.metrics.RuntimeMetrics._data_lock"),
+    # The zoo builds each model exactly once under its registry lock;
+    # vending the frozen twin nests the twin-memo lock inside it.
+    ("repro.nn.zoo._REGISTRY_LOCK", "repro.nn.infer._TWIN_LOCK"),
+)
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -148,6 +187,10 @@ class AnalysisConfig:
     lock_scope: tuple = LOCK_SCOPE
     hotpath_scope: tuple = HOTPATH_SCOPE
     lifecycle_scope: tuple = LIFECYCLE_SCOPE
+    conc_scope: tuple = CONC_SCOPE
+    escape_scope: tuple = ESCAPE_SCOPE
+    pool_factories: tuple = POOL_FACTORIES
+    declared_lock_order: tuple = DECLARED_LOCK_ORDER
     hot_functions: tuple = (
         "repro.nn.infer:_ConvStage.run",
         "repro.nn.infer:_PoolStage.run",
@@ -171,6 +214,9 @@ class AnalysisConfig:
                 for s in scope
             )
 
+        def remap_name(name: str) -> str:
+            return name.replace("repro", prefix, 1) if name.startswith("repro.") else name
+
         return replace(
             self,
             dtype_scope=remap(self.dtype_scope),
@@ -178,6 +224,12 @@ class AnalysisConfig:
             lock_scope=remap(self.lock_scope),
             hotpath_scope=remap(self.hotpath_scope),
             lifecycle_scope=remap(self.lifecycle_scope),
+            conc_scope=remap(self.conc_scope),
+            escape_scope=remap(self.escape_scope),
+            pool_factories=tuple(remap_name(f) for f in self.pool_factories),
+            declared_lock_order=tuple(
+                (remap_name(a), remap_name(b)) for a, b in self.declared_lock_order
+            ),
             hot_functions=tuple(
                 f.replace("repro", prefix, 1) for f in self.hot_functions
             ),

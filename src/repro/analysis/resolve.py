@@ -87,6 +87,9 @@ class ModuleInfo:
     classes: dict = field(default_factory=dict)  # qualname -> ClassInfo
     functions: dict = field(default_factory=dict)  # id(node) -> FunctionInfo
     pragmas: list = field(default_factory=list)
+    #: Module-level names assigned a lock factory (``_TWIN_LOCK =
+    #: threading.Lock()``) — lock-graph nodes just like ``self._lock``.
+    lock_globals: tuple = ()
     _parents: dict = field(default_factory=dict)
 
     # -- navigation --------------------------------------------------------
@@ -325,6 +328,13 @@ def resolve_module(path: str, display_path: str | None = None) -> ModuleInfo:
             module._parents[id(child)] = parent
     _index_imports(module)
     _index_classes_and_functions(module)
+    lock_globals = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and _is_lock_factory_call(module, node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    lock_globals.append(target.id)
+    module.lock_globals = tuple(dict.fromkeys(lock_globals))
     module.pragmas = _extract_pragmas(source)
     return module
 

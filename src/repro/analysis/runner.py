@@ -26,6 +26,8 @@ def _scope_for(checker, config: AnalysisConfig) -> tuple:
         "dtype": config.dtype_scope,
         "determinism": config.determinism_scope,
         "locks": config.lock_scope,
+        "concurrency": config.conc_scope,
+        "escape": config.escape_scope,
         "hotpath": config.hotpath_scope,
         "lifecycle": config.lifecycle_scope,
     }.get(checker.name, ("repro",))
@@ -52,12 +54,29 @@ def run_analysis(
     config: AnalysisConfig | None = None,
     baseline: Baseline | None = None,
     checkers=None,
+    only=None,
 ) -> AnalysisResult:
-    """Run the full suite over ``paths`` (directories or files)."""
+    """Run the full suite over ``paths`` (directories or files).
+
+    ``only`` restricts the run to an iterable of rule ids: checkers
+    owning none of them are skipped entirely (cheap pre-commit runs),
+    and a multi-rule checker's other findings are dropped post-check.
+    Unknown rule ids raise ``ValueError`` so a typo fails loud.
+    """
     config = config or AnalysisConfig()
     baseline = baseline or Baseline.empty()
     project = Project.from_paths(paths)
-    checker_instances = [cls(config) for cls in (checkers or ALL_CHECKERS)]
+    selected = list(checkers or ALL_CHECKERS)
+    only_rules = set(only) if only else None
+    if only_rules is not None:
+        known = {rid for cls in selected for rid in (r.id for r in cls.rules)}
+        unknown = only_rules - known
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        selected = [
+            cls for cls in selected if only_rules & {r.id for r in cls.rules}
+        ]
+    checker_instances = [cls(config) for cls in selected]
 
     raw = []
     for module in project.modules:
@@ -68,7 +87,10 @@ def run_analysis(
         for checker in checker_instances:
             if not in_scope(module.module, _scope_for(checker, config)):
                 continue
-            raw.extend(checker.check(module, project))
+            found = checker.check(module, project)
+            if only_rules is not None:
+                found = [f for f in found if f.rule in only_rules]
+            raw.extend(found)
 
     # Inline pragma suppression: a pragma silences findings of its rules
     # on its line (and records that it fired).

@@ -49,6 +49,13 @@ PLAN_DTYPE = np.float32
 #: memory if a caller keys buffers by a high-cardinality attribute.
 DEFAULT_MAX_SHAPES = 16
 
+#: witness-san seam: :func:`repro.analysis.sanitizer.enable` swaps the
+#: active :class:`~repro.analysis.sanitizer.SanitizerState` in here so
+#: ``reserve`` can ownership-check pooled checkouts.  ``None`` when
+#: disarmed — one ``is None`` test on the hot path, the same pattern as
+#: ``obs.NULL_SPAN`` and the fault injector's disarmed seams.
+_SAN = None
+
 
 class PlanBuffers:
     """One owner's pool of capacity-grown, reusable transport buffers.
@@ -60,7 +67,7 @@ class PlanBuffers:
     write rows in place.
     """
 
-    __slots__ = ("max_shapes", "_buffers", "hits", "allocations", "evictions", "thread")
+    __slots__ = ("max_shapes", "_buffers", "hits", "allocations", "evictions", "thread", "owner_ident")
 
     def __init__(self, max_shapes: int = DEFAULT_MAX_SHAPES) -> None:
         if max_shapes < 1:
@@ -71,6 +78,10 @@ class PlanBuffers:
         self.allocations = 0
         self.evictions = 0
         self.thread = threading.current_thread().name
+        #: witness-san ownership tag: thread id of the first reserving
+        #: thread (claimed lazily — a plan's pool belongs to the session
+        #: thread *driving* it, which may not be the creating thread).
+        self.owner_ident = None
 
     def reserve(self, key, n: int, trailing: tuple = (), dtype=PLAN_DTYPE) -> np.ndarray:
         """The backing array for ``key``: shape ``(capacity, *trailing)``
@@ -82,6 +93,8 @@ class PlanBuffers:
         same key replaces the buffer.  Reservation counts as use for the
         LRU bound.
         """
+        if _SAN is not None:
+            _SAN.note_pool_use(self, "planbuf")
         trailing = tuple(trailing)
         buf = self._buffers.get(key)
         if buf is not None and buf.shape[1:] == trailing and buf.dtype == dtype:
@@ -102,6 +115,21 @@ class PlanBuffers:
             self._buffers.popitem(last=False)
             self.evictions += 1
         return fresh
+
+    def release_ownership(self) -> None:
+        """witness-san frame boundary: un-claim this pool.
+
+        A plan-owned pool legitimately *migrates* between threads frame
+        to frame (a session set up on one thread may be driven by
+        another), but must never be used by two threads within one
+        frame.  ``ValidationPlan.reset`` calls this at every frame
+        start, so the frame's driving thread re-claims the pool on its
+        first reservation and any other thread reserving mid-frame is a
+        confinement violation.  ``thread_pool()`` pools are pinned at
+        creation instead and never released — for them *any* foreign
+        reservation is a violation.
+        """
+        self.owner_ident = None
 
     def peek(self, key) -> np.ndarray | None:
         """The current backing for ``key`` (no LRU touch); None if absent."""
@@ -137,6 +165,10 @@ class _PoolSet:
         pool = getattr(self._tls, "pool", None)
         if pool is None:
             pool = PlanBuffers(self.max_shapes)
+            # Thread-local by construction, so pin ownership for good:
+            # witness-san treats any foreign reservation as a violation
+            # (unlike plan-owned pools, which migrate at frame bounds).
+            pool.owner_ident = threading.get_ident()
             self._tls.pool = pool
             with self._lock:
                 self._entries = [(t, p) for t, p in self._entries if t.is_alive()]

@@ -344,7 +344,14 @@ class ValidationPlan:
         self._image_exp_backing: np.ndarray | None = None
 
     def reset(self) -> None:
-        """Forget all collected units; keep the pooled buffers resident."""
+        """Forget all collected units; keep the pooled buffers resident.
+
+        Reset marks a frame boundary: pool ownership is released so the
+        thread driving *this* frame claims the buffers (sessions migrate
+        between worker threads frame to frame; witness-san flags only
+        mid-frame cross-thread use).
+        """
+        self.buffers.release_ownership()
         self.text_chars.clear()
         self.text_retries.clear()
         self.image_groups.clear()

@@ -91,6 +91,11 @@ INFER_DTYPE = np.float32
 #: bound.
 DEFAULT_MAX_SHAPES = 8
 
+#: witness-san seam (see :mod:`repro.analysis.sanitizer`): the active
+#: sanitizer state, or ``None`` when disarmed — arena checkouts pay one
+#: ``is None`` test, the same disarmed-seam pattern as ``obs.NULL_SPAN``.
+_SAN = None
+
 
 class Workspace:
     """Preallocated scratch buffers for one input shape.
@@ -126,7 +131,7 @@ class Workspace:
 class _Arena:
     """One thread's LRU of :class:`Workspace` objects keyed by input shape."""
 
-    __slots__ = ("max_shapes", "_workspaces", "hits", "misses", "evictions", "thread")
+    __slots__ = ("max_shapes", "_workspaces", "hits", "misses", "evictions", "thread", "owner_ident")
 
     def __init__(self, max_shapes: int) -> None:
         self.max_shapes = max_shapes
@@ -135,8 +140,14 @@ class _Arena:
         self.misses = 0
         self.evictions = 0
         self.thread = threading.current_thread().name
+        #: witness-san ownership tag — pinned to the creating thread by
+        #: ``_ArenaSet.arena()`` (arenas are thread-local and never
+        #: migrate, unlike plan-owned transport pools).
+        self.owner_ident = None
 
     def workspace(self, shape: tuple) -> Workspace:
+        if _SAN is not None:
+            _SAN.note_pool_use(self, "workspace-arena")
         ws = self._workspaces.get(shape)
         if ws is not None:
             self._workspaces.move_to_end(shape)
@@ -181,6 +192,9 @@ class _ArenaSet:
         arena = getattr(self._tls, "arena", None)
         if arena is None:
             arena = _Arena(self.max_shapes)
+            # Thread-local by construction: pin witness-san ownership at
+            # creation so any foreign checkout is a violation outright.
+            arena.owner_ident = threading.get_ident()
             self._tls.arena = arena
             with self._lock:
                 self._entries = [(t, a) for t, a in self._entries if t.is_alive()]

@@ -1,0 +1,50 @@
+"""Fixture: pooled-row confinement escapes (stash-on-self, thread handoff)."""
+
+import threading
+
+from witnessfix.core.planbuf import thread_pool
+
+
+class Transport:
+    def __init__(self):
+        self._keep = None
+
+    def stash(self):
+        pool = thread_pool()
+        row = pool.reserve((4, 4))
+        self._keep = row
+
+    def stash_view(self):
+        pool = thread_pool()
+        row = pool.reserve((4, 4))
+        self._keep = row.reshape(16)
+
+    def stash_workspace(self, ws):
+        self._scratch = ws.buf("x", (8,))
+
+    def handoff_lambda(self, executor):
+        pool = thread_pool()
+        row = pool.reserve((4, 4))
+        executor.submit(lambda: row.sum())
+
+    def handoff_thread(self):
+        pool = thread_pool()
+        row = pool.reserve((4, 4))
+
+        def worker():
+            return row.sum()
+
+        threading.Thread(target=worker).start()
+
+    def local_use_ok(self):
+        pool = thread_pool()
+        row = pool.reserve((4, 4))
+        return row
+
+    def copy_ok(self):
+        pool = thread_pool()
+        row = pool.reserve((4, 4))
+        self._keep = row.copy()
+
+    def own_pool_ok(self):
+        self.buffers = thread_pool()

@@ -1,0 +1,14 @@
+"""Fixture stub: the pooled-buffer factory ``conc-escape`` taints from.
+
+The re-rooted config maps ``repro.core.planbuf.thread_pool`` to this
+module, so ``bad_escape.py`` can import a resolvable pool source.
+"""
+
+
+class _Pool:
+    def reserve(self, shape):
+        return [0.0] * 4
+
+
+def thread_pool():
+    return _Pool()

@@ -1,0 +1,60 @@
+"""Fixture: lock-order cycle and blocking-under-lock shapes (PR 9 era)."""
+
+import threading
+import time
+
+_A = threading.Lock()
+_B = threading.Lock()
+
+
+def ab():
+    with _A:
+        with _B:
+            pass
+
+
+def ba():
+    with _B:
+        with _A:
+            pass
+
+
+def _take_b():
+    with _B:
+        pass
+
+
+def ab_via_call():
+    with _A:
+        _take_b()
+
+
+class Matcher:
+    def __init__(self, model):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self.model = model
+
+    def forward_under_lock(self, x):
+        with self._lock:
+            return self.model.predict(x)
+
+    def sleep_under_lock(self):
+        with self._lock:
+            time.sleep(0.1)
+
+    def _drain(self):
+        time.sleep(0.01)
+
+    def flush_under_lock(self):
+        with self._lock:
+            self._drain()
+
+    def wait_own_cond_ok(self):
+        with self._cond:
+            self._cond.wait()
+
+    def forward_outside_lock_ok(self, x):
+        with self._lock:
+            payload = x
+        return self.model.predict(payload)

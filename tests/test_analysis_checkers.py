@@ -36,8 +36,8 @@ def findings_for(result, filename):
 
 
 def test_fixture_tree_resolves(result):
-    # 7 fixture modules + 5 __init__.py — nothing skipped, nothing doubled.
-    assert result.modules_scanned == 12
+    # 10 fixture modules + 5 __init__.py — nothing skipped, nothing doubled.
+    assert result.modules_scanned == 15
 
 
 def test_dtype_checker_flags_pr4_shapes(result):
@@ -65,6 +65,37 @@ def test_lock_checker_flags_pr3_registry_race(result):
     assert findings_for(result, "runtime/bad_locks.py") == [
         (15, "lock-guard"),  # self._total_opened += 1 outside the lock
         (18, "lock-guard"),  # self._sessions = {} outside the lock
+    ]
+
+
+def test_concurrency_checker_flags_cycle_and_blocking(result):
+    assert findings_for(result, "runtime/bad_conc.py") == [
+        (12, "conc-lock-cycle"),           # ab(): B under A
+        (18, "conc-lock-cycle"),           # ba(): A under B — the other half
+        (29, "conc-lock-cycle"),           # ab_via_call(): B via _take_b()
+        (40, "conc-blocking-under-lock"),  # model forward under self._lock
+        (44, "conc-blocking-under-lock"),  # time.sleep under self._lock
+        (51, "conc-blocking-under-lock"),  # sleep reached via self._drain()
+    ]
+
+
+def test_cycle_message_names_the_call_chain(result):
+    via = [
+        f
+        for f in result.findings
+        if f.rule == "conc-lock-cycle" and f.line == 29
+    ]
+    assert len(via) == 1
+    assert "_take_b" in via[0].message  # interprocedural edge shows its chain
+
+
+def test_escape_checker_flags_stash_and_handoff(result):
+    assert findings_for(result, "core/bad_escape.py") == [
+        (15, "conc-escape"),  # row stored on self._keep
+        (20, "conc-escape"),  # reshape view stored on self
+        (23, "conc-escape"),  # Workspace.buf arena reservation stored on self
+        (28, "conc-escape"),  # lambda over row passed to executor.submit
+        (37, "conc-escape"),  # nested def over row passed to threading.Thread
     ]
 
 
@@ -110,6 +141,11 @@ def test_known_good_twins_stay_silent(result):
         "workspace_forward",
         "cold_helper",
         "persist_training_model_ok",
+        "Matcher.wait_own_cond_ok",
+        "Matcher.forward_outside_lock_ok",
+        "Transport.local_use_ok",
+        "Transport.copy_ok",
+        "Transport.own_pool_ok",
     ):
         assert clean not in flagged_contexts
 
@@ -134,3 +170,75 @@ def test_rule_catalog_is_documented():
         assert rule.summary
         assert rule.incident, f"{rule.id} has no incident lineage"
         assert rule.hint, f"{rule.id} has no remediation hint"
+
+
+def test_only_filter_restricts_rules():
+    config = AnalysisConfig().scoped_to("witnessfix")
+    res = run_analysis(
+        [str(FIXTURES)],
+        config=config,
+        baseline=Baseline.empty(),
+        only=["conc-lock-cycle", "conc-escape"],
+    )
+    fired = {f.rule for f in res.findings}
+    assert fired == {"conc-lock-cycle", "conc-escape"}
+    # The concurrency checker ran (it owns conc-lock-cycle) but its other
+    # rule's findings were dropped post-check.
+    assert not any(f.rule == "conc-blocking-under-lock" for f in res.findings)
+
+
+def test_only_filter_rejects_unknown_rule():
+    config = AnalysisConfig().scoped_to("witnessfix")
+    with pytest.raises(ValueError, match="conc-typo"):
+        run_analysis(
+            [str(FIXTURES)],
+            config=config,
+            baseline=Baseline.empty(),
+            only=["conc-typo"],
+        )
+
+
+def test_paths_restrict_the_scan():
+    config = AnalysisConfig().scoped_to("witnessfix")
+    res = run_analysis(
+        [
+            str(FIXTURES / "runtime" / "bad_conc.py"),
+            str(FIXTURES / "core" / "planbuf.py"),
+        ],
+        config=config,
+        baseline=Baseline.empty(),
+    )
+    assert res.modules_scanned == 2
+    assert {f.rule for f in res.findings} == {
+        "conc-lock-cycle",
+        "conc-blocking-under-lock",
+    }
+
+
+def test_cli_only_and_paths_flags():
+    import os
+    import subprocess
+    import sys
+
+    repo_root = FIXTURES.parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    base = [sys.executable, "-m", "repro.analysis", "--no-baseline"]
+    src_tree = str(repo_root / "src" / "repro")
+
+    ok = subprocess.run(
+        base + ["--only", "conc-lock-cycle,conc-escape", "--paths", src_tree],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert ok.returncode == 0, ok.stdout + ok.stderr
+
+    typo = subprocess.run(
+        base + ["--only", "no-such-rule", src_tree],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert typo.returncode == 2
+    assert "no-such-rule" in typo.stderr

@@ -1,0 +1,259 @@
+"""witness-san tests: wrapper tracking, ownership tagging, the cross-check.
+
+Unit tests drive the sanitizer against synthetic lock/pool shapes (the
+test module is added to the tracked prefixes so locks created *here*
+are wrapped); the integration tests drive real runtime objects and a
+small soak slice, asserting the recorded orderings stay inside the
+static model and that arming changes **nothing** about verdicts
+(bit-identical session fingerprints with the sanitizer on vs off).
+
+The whole module stands down when ``REPRO_WITNESS_SAN=1`` already armed
+the session globally (the CI sanitizer job): enable/disable here would
+tear down the session-wide state mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.core import planbuf
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_WITNESS_SAN") == "1",
+    reason="witness-san armed session-wide; per-test arming would disarm it",
+)
+
+#: This module's name joins the tracked prefixes so locks created by the
+#: helper classes below are wrapped.
+_PREFIXES = ("repro", __name__.partition(".")[0])
+
+
+class _TwoLocks:
+    def __init__(self):
+        self.alpha_lock = threading.Lock()
+        self.beta_lock = threading.Lock()
+
+
+class _Reentrant:
+    def __init__(self):
+        self.outer_lock = threading.RLock()
+        self.inner_lock = threading.Lock()
+
+
+class TestLockTracking:
+    def test_wrapping_and_node_id_naming(self):
+        with sanitizer.sanitized(_PREFIXES):
+            pair = _TwoLocks()
+            with pair.alpha_lock:
+                pass
+            assert pair.alpha_lock.san_name() == f"{__name__}._TwoLocks.alpha_lock"
+        # Disarmed: the factories are restored and fresh locks are real.
+        assert not hasattr(threading.Lock(), "san_name")
+
+    def test_ordering_pair_recorded_and_modeled_order_passes(self):
+        with sanitizer.sanitized(_PREFIXES) as state:
+            pair = _TwoLocks()
+            with pair.alpha_lock:
+                with pair.beta_lock:
+                    pass
+            a, b = pair.alpha_lock.san_name(), pair.beta_lock.san_name()
+        assert (a, b) in state.pairs
+        assert state.check(model=frozenset({(a, b)})) == []
+
+    def test_inversion_detected(self):
+        with sanitizer.sanitized(_PREFIXES) as state:
+            pair = _TwoLocks()
+            with pair.alpha_lock:
+                with pair.beta_lock:
+                    pass
+            with pair.beta_lock:
+                with pair.alpha_lock:
+                    pass
+            a, b = pair.alpha_lock.san_name(), pair.beta_lock.san_name()
+        problems = state.check(model=frozenset({(a, b), (b, a)}))
+        assert len(problems) == 1
+        assert "inversion" in problems[0]
+        assert a in problems[0] and b in problems[0]
+
+    def test_unmodeled_edge_detected(self):
+        with sanitizer.sanitized(_PREFIXES) as state:
+            pair = _TwoLocks()
+            with pair.alpha_lock:
+                with pair.beta_lock:
+                    pass
+        problems = state.check(model=frozenset())
+        assert len(problems) == 1
+        assert "unmodeled" in problems[0]
+
+    def test_rlock_reentry_records_no_false_pairs(self):
+        with sanitizer.sanitized(_PREFIXES) as state:
+            obj = _Reentrant()
+            with obj.outer_lock:
+                with obj.inner_lock:
+                    with obj.outer_lock:  # reentry, not a new ordering
+                        pass
+            outer = obj.outer_lock.san_name()
+            inner = obj.inner_lock.san_name()
+        assert set(state.pairs) == {(outer, inner)}
+
+    def test_condition_wait_keeps_stack(self):
+        with sanitizer.sanitized(_PREFIXES) as state:
+
+            class _Waiter:
+                def __init__(self):
+                    self.cond = threading.Condition()
+
+            w = _Waiter()
+            with w.cond:
+                w.cond.wait(timeout=0.01)  # times out; stack must survive
+                with w.cond:  # reentry (Condition wraps an RLock): no self-pair
+                    pass
+        assert state.pairs == {}
+        assert state.check(model=frozenset()) == []
+
+
+class TestPoolOwnership:
+    def test_thread_pool_is_pinned_to_its_thread(self):
+        with sanitizer.sanitized() as state:
+            box = {}
+            t = threading.Thread(
+                target=lambda: box.setdefault("pool", planbuf.thread_pool())
+            )
+            t.start()
+            t.join()
+            box["pool"].reserve("k", 4, (2,))  # foreign thread: violation
+        assert any("cross-thread planbuf" in v for v in state.violations)
+
+    def test_plan_pool_migrates_at_frame_boundaries(self):
+        with sanitizer.sanitized() as state:
+            pool = planbuf.PlanBuffers()
+            pool.reserve("k", 2, (2,))  # main thread claims the frame
+            pool.release_ownership()  # frame boundary (ValidationPlan.reset)
+            t = threading.Thread(target=lambda: pool.reserve("k", 2, (2,)))
+            t.start()
+            t.join()
+        assert state.violations == []
+
+    def test_plan_pool_mid_frame_cross_thread_flagged(self):
+        with sanitizer.sanitized() as state:
+            pool = planbuf.PlanBuffers()
+            pool.reserve("k", 2, (2,))  # claimed, no boundary before...
+            t = threading.Thread(target=lambda: pool.reserve("k", 2, (2,)))
+            t.start()
+            t.join()  # ...this foreign reservation
+        assert any("cross-thread planbuf" in v for v in state.violations)
+
+    def test_workspace_arena_is_pinned(self):
+        from repro.nn import infer
+
+        with sanitizer.sanitized() as state:
+            arenas = infer._ArenaSet(4)
+            box = {}
+            t = threading.Thread(target=lambda: box.setdefault("a", arenas.arena()))
+            t.start()
+            t.join()
+            box["a"].workspace((1, 1, 8, 8))
+        assert any("workspace-arena" in v for v in state.violations)
+
+    def test_disarmed_seams_are_none(self):
+        from repro.nn import infer
+
+        assert planbuf._SAN is None
+        assert infer._SAN is None
+        with sanitizer.sanitized() as state:
+            assert planbuf._SAN is state
+            assert infer._SAN is state
+        assert planbuf._SAN is None
+        assert infer._SAN is None
+
+
+class TestStaticModelCrossCheck:
+    def test_static_model_contains_declared_ledger(self):
+        from repro.analysis.core import DECLARED_LOCK_ORDER
+
+        model = sanitizer.static_lock_model()
+        for pair in DECLARED_LOCK_ORDER:
+            assert tuple(pair) in model
+
+    def test_runtime_orderings_stay_inside_model(self):
+        """Drive the real micro-batcher + metrics under the sanitizer."""
+        import numpy as np
+
+        from repro.runtime.batcher import MicroBatcher
+        from repro.runtime.metrics import RuntimeMetrics
+
+        with sanitizer.sanitized() as state:
+            metrics = RuntimeMetrics()
+            batcher = MicroBatcher(
+                "text",
+                lambda obs, exp, *a, **k: np.zeros(obs.shape[0], dtype=np.float32),
+                max_batch_units=8,
+                flush_deadline=0.001,
+                metrics=metrics,
+            )
+            try:
+                obs = np.zeros((3, 1, 16, 16), dtype=np.float32)
+                exp = np.zeros((3, 8), dtype=np.float32)
+                for _ in range(4):
+                    batcher.submit(obs, exp)
+            finally:
+                batcher.close()
+        assert state.pairs, "expected the batcher to exercise lock nesting"
+        assert state.check() == []
+
+
+class TestSoakParity:
+    def test_soak_slice_fingerprints_identical_on_vs_off(
+        self, text_model, image_model
+    ):
+        """The tentpole acceptance gate: arming witness-san changes no
+        verdict bit.  A two-scenario slice runs on the shared executor
+        with two driver threads (real flusher + admission concurrency),
+        once disarmed and once armed; session fingerprints must match
+        exactly and the armed run must stay violation-free."""
+        fingerprints = {}
+        for armed in (False, True):
+            if armed:
+                with sanitizer.sanitized() as state:
+                    fingerprints[armed] = _drive_slice(text_model, image_model)
+                problems = state.check()
+                assert problems == [], problems
+                assert state.summary()["acquires"] > 0
+            else:
+                fingerprints[armed] = _drive_slice(text_model, image_model)
+        assert fingerprints[True] == fingerprints[False]
+
+
+def _drive_slice(text_model, image_model) -> dict:
+    """Two scenarios through a shared-executor service, two threads."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.core.service import WitnessService
+    from repro.crypto import CertificateAuthority
+    from repro.scenarios import ScenarioSpec, baseline_combo, run_scenario
+
+    combo = baseline_combo("shared", "frozen")
+    service = WitnessService(
+        CertificateAuthority(),
+        combo.config(None),
+        text_model=text_model,
+        image_model=image_model,
+    )
+    specs = [
+        ScenarioSpec("tall-form", script="honest"),
+        ScenarioSpec("dashboard", script="honest"),
+    ]
+    results = {}
+
+    def drive(spec):
+        outcome = run_scenario(spec.build(), service)
+        results[spec.key] = outcome.fingerprint
+
+    with service:
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            list(pool.map(drive, specs))
+    return results
